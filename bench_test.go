@@ -1,0 +1,602 @@
+package jets
+
+// One benchmark per evaluation figure (plus ablations and real-runtime
+// microbenchmarks). Figure benchmarks at Blue Gene/P scale drive the
+// discrete-event simulator; messaging and dispatcher benchmarks run the real
+// implementation. Custom metrics carry the figure's headline number (jobs/s,
+// utilization) so `go test -bench` output reads like the paper's tables.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jets/internal/core"
+	"jets/internal/dht"
+	"jets/internal/dispatch"
+	"jets/internal/hydra"
+	"jets/internal/mpi"
+	"jets/internal/pmi"
+	"jets/internal/proto"
+	"jets/internal/simjets"
+	"jets/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Figure benchmarks (simulator)
+
+func BenchmarkFig06SequentialRate(b *testing.B) {
+	for _, nodes := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				rows := simjets.Fig06SequentialRate([]int{nodes}, 20, int64(i+1))
+				rate = rows[0].JobsPerSec
+			}
+			b.ReportMetric(rate, "jobs/s")
+		})
+	}
+}
+
+func BenchmarkFig07ClusterUtilization(b *testing.B) {
+	for _, alloc := range []int{16, 64} {
+		b.Run(fmt.Sprintf("alloc=%d", alloc), func(b *testing.B) {
+			var jets4, shell float64
+			for i := 0; i < b.N; i++ {
+				for _, r := range simjets.Fig07Cluster([]int{alloc}, int64(i+1)) {
+					switch r.Mode {
+					case "jets-4proc":
+						jets4 = r.Utilization
+					case "shell-script":
+						shell = r.Utilization
+					}
+				}
+			}
+			b.ReportMetric(100*jets4, "jets-util-%")
+			b.ReportMetric(100*shell, "shell-util-%")
+		})
+	}
+}
+
+func BenchmarkFig08PingPong(b *testing.B) {
+	for _, size := range []int{64, 4096, 262144} {
+		payload := make([]byte, size)
+		run := func(b *testing.B, tcp bool) {
+			var perMsg time.Duration
+			body := func(c *mpi.Comm) error {
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					if c.Rank() == 0 {
+						if err := c.Send(1, 1, payload); err != nil {
+							return err
+						}
+						if _, err := c.Recv(1, 2); err != nil {
+							return err
+						}
+					} else {
+						if _, err := c.Recv(0, 1); err != nil {
+							return err
+						}
+						if err := c.Send(0, 2, payload); err != nil {
+							return err
+						}
+					}
+				}
+				if c.Rank() == 0 {
+					perMsg = time.Since(start) / time.Duration(2*b.N)
+				}
+				return nil
+			}
+			var err error
+			if tcp {
+				err = mpi.RunTCP(2, body)
+			} else {
+				err = mpi.RunLocal(2, body)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(perMsg.Nanoseconds()), "ns/msg")
+			b.SetBytes(int64(size))
+		}
+		b.Run(fmt.Sprintf("native/size=%d", size), func(b *testing.B) { run(b, false) })
+		b.Run(fmt.Sprintf("sockets/size=%d", size), func(b *testing.B) { run(b, true) })
+	}
+}
+
+func BenchmarkFig09BGPUtilization(b *testing.B) {
+	for _, alloc := range []int{512, 1024} {
+		for _, nproc := range []int{4, 8, 64} {
+			b.Run(fmt.Sprintf("alloc=%d/nproc=%d", alloc, nproc), func(b *testing.B) {
+				var util float64
+				for i := 0; i < b.N; i++ {
+					rows := simjets.Fig09BGP([]int{alloc}, []int{nproc}, int64(i+1))
+					util = rows[0].Utilization
+				}
+				b.ReportMetric(100*util, "util-%")
+			})
+		}
+	}
+}
+
+func BenchmarkFig10Faulty(b *testing.B) {
+	var meanRunning float64
+	for i := 0; i < b.N; i++ {
+		tr := simjets.Fig10Faulty(32, 10*time.Second, 5*time.Second, int64(i+1))
+		// Mean running jobs over the decay window, the Fig. 10 health signal.
+		meanRunning = tr.Running.Mean(330 * time.Second)
+	}
+	b.ReportMetric(meanRunning, "mean-running-jobs")
+}
+
+func BenchmarkFig11NAMDDistribution(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		h := simjets.Fig11Histogram(1536, int64(i+1))
+		mean = h.Mean()
+	}
+	b.ReportMetric(mean, "mean-walltime-s")
+}
+
+func BenchmarkFig12NAMDUtilization(b *testing.B) {
+	for _, alloc := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("alloc=%d", alloc), func(b *testing.B) {
+			var util float64
+			for i := 0; i < b.N; i++ {
+				rows := simjets.Fig12NAMD([]int{alloc}, int64(i+1))
+				util = rows[0].Utilization
+			}
+			b.ReportMetric(100*util, "util-%")
+		})
+	}
+}
+
+func BenchmarkFig13NAMDLoad(b *testing.B) {
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		peak = simjets.Fig13LoadLevel(int64(i + 1)).Max()
+	}
+	b.ReportMetric(peak, "peak-busy-procs")
+}
+
+func BenchmarkFig15SwiftSynthetic(b *testing.B) {
+	for _, ppn := range []int{1, 8} {
+		b.Run(fmt.Sprintf("alloc=16/npj=4/ppn=%d", ppn), func(b *testing.B) {
+			var util float64
+			for i := 0; i < b.N; i++ {
+				rows := simjets.Fig15Swift([]int{16}, []int{4}, []int{ppn}, int64(i+1))
+				util = rows[0].Utilization
+			}
+			b.ReportMetric(100*util, "util-%")
+		})
+	}
+}
+
+func BenchmarkFig18aREMSingle(b *testing.B) {
+	for _, alloc := range []int{4, 64} {
+		b.Run(fmt.Sprintf("alloc=%d", alloc), func(b *testing.B) {
+			var util float64
+			for i := 0; i < b.N; i++ {
+				rows := simjets.Fig18REM([]int{alloc}, true, int64(i+1))
+				util = rows[0].Utilization
+			}
+			b.ReportMetric(100*util, "util-%")
+		})
+	}
+}
+
+func BenchmarkFig18bREMMPI(b *testing.B) {
+	for _, alloc := range []int{8, 64} {
+		b.Run(fmt.Sprintf("alloc=%d", alloc), func(b *testing.B) {
+			var util float64
+			for i := 0; i < b.N; i++ {
+				rows := simjets.Fig18REM([]int{alloc}, false, int64(i+1))
+				util = rows[0].Utilization
+			}
+			b.ReportMetric(100*util, "util-%")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (design choices called out in DESIGN.md)
+
+// BenchmarkAblationQueuePolicy compares FIFO head-of-line blocking against
+// priority+backfill (the §7 extension) in the scenario where it matters: a
+// full-pool job is queued while half the pool is busy, with small jobs
+// behind it. FIFO idles the free half until the big job can start; backfill
+// runs the small jobs there immediately.
+func BenchmarkAblationQueuePolicy(b *testing.B) {
+	run := func(b *testing.B, queue func() dispatch.QueuePolicy) {
+		var total time.Duration
+		for i := 0; i < b.N; i++ {
+			runner := hydra.NewFuncRunner()
+			workload.RegisterApps(runner)
+			eng, err := core.NewEngine(core.Options{LocalWorkers: 8, Runner: runner, Queue: queue()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			start := time.Now()
+			// Occupy half the pool with a long task.
+			long, err := eng.Submit(dispatch.Job{
+				Spec: hydra.JobSpec{JobID: "long", NProcs: 4, Cmd: workload.BarrierApp, Args: []string{"60"}},
+				Type: dispatch.MPI,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Let it start so the next submission truly queues.
+			for eng.Dispatcher().RunningJobs() == 0 {
+				time.Sleep(time.Millisecond)
+			}
+			handles := []*dispatch.Handle{long}
+			big, err := eng.Submit(dispatch.Job{
+				Spec: hydra.JobSpec{JobID: "big", NProcs: 8, Cmd: workload.BarrierApp, Args: []string{"5"}},
+				Type: dispatch.MPI,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			handles = append(handles, big)
+			for j := 0; j < 16; j++ {
+				h, err := eng.Submit(dispatch.Job{
+					Spec: hydra.JobSpec{JobID: fmt.Sprintf("small%d", j), NProcs: 1,
+						Cmd: workload.BarrierApp, Args: []string{"5"}},
+					Type: dispatch.MPI,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				handles = append(handles, h)
+			}
+			for _, h := range handles {
+				if res := h.Wait(); res.Failed {
+					b.Fatalf("job %s failed: %s", res.JobID, res.Err)
+				}
+			}
+			total += time.Since(start)
+			eng.Close()
+		}
+		b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "mean-makespan-ms")
+	}
+	b.Run("fifo", func(b *testing.B) {
+		run(b, func() dispatch.QueuePolicy { return dispatch.NewFIFOQueue() })
+	})
+	b.Run("priority-backfill", func(b *testing.B) {
+		run(b, func() dispatch.QueuePolicy { return dispatch.NewPriorityQueue(true) })
+	})
+}
+
+// BenchmarkAblationGroupPolicy compares first-come-first-served worker
+// grouping against the topology-aware extension by the mean torus hop count
+// of assembled groups (lower = tighter placements).
+func BenchmarkAblationGroupPolicy(b *testing.B) {
+	// Synthetic idle pool with shuffled torus coordinates.
+	coords := make([][]int, 64)
+	for i := range coords {
+		coords[i] = []int{(i * 7) % 8, (i * 3) % 8, (i * 5) % 16}
+	}
+	hops := func(sel []int) float64 {
+		total, pairs := 0, 0
+		for i := 0; i < len(sel); i++ {
+			for j := i + 1; j < len(sel); j++ {
+				a, c := coords[sel[i]], coords[sel[j]]
+				for k := range a {
+					d := a[k] - c[k]
+					if d < 0 {
+						d = -d
+					}
+					total += d
+				}
+				pairs++
+			}
+		}
+		return float64(total) / float64(pairs)
+	}
+	for _, tc := range []struct {
+		name   string
+		policy dispatch.GroupPolicy
+	}{
+		{"fcfs", dispatch.FirstComeFirstServed},
+		{"topology-aware", dispatch.TopologyAware},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				mean = hops(tc.policy(coords, 8))
+			}
+			b.ReportMetric(mean, "mean-hops")
+		})
+	}
+}
+
+// BenchmarkAblationLocalStorage quantifies the paper's local-storage
+// optimization: Fig. 15 conditions with the application binary on the
+// shared filesystem versus cached in node-local RAM.
+func BenchmarkAblationLocalStorage(b *testing.B) {
+	run := func(b *testing.B, local bool) {
+		var util float64
+		for i := 0; i < b.N; i++ {
+			util = simjets.Fig15LocalStorage(16, 4, 8, local, int64(i+1))
+		}
+		b.ReportMetric(100*util, "util-%")
+	}
+	b.Run("gpfs-binary", func(b *testing.B) { run(b, false) })
+	b.Run("local-binary", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationMPIIO quantifies the §1.2/§7 MPI-IO argument: the number
+// of filesystem clients for a 16-process job's output, direct (every rank
+// writes) versus collective two-phase with one aggregator (N/16 clients).
+func BenchmarkAblationMPIIO(b *testing.B) {
+	const ranks, block = 16, 4096
+	run := func(b *testing.B, naggs int, direct bool) {
+		var accesses atomic64
+		for i := 0; i < b.N; i++ {
+			accesses.store(0)
+			sink := &countingWriterAt{counter: &accesses}
+			err := mpi.RunLocal(ranks, func(c *mpi.Comm) error {
+				data := make([]byte, block)
+				if direct {
+					// Uncoordinated MTC-style I/O: every rank is a client.
+					if _, err := sink.WriteAt(data, int64(c.Rank()*block)); err != nil {
+						return err
+					}
+					return c.Barrier()
+				}
+				_, err := c.WriteAtAll(sink, int64(c.Rank()*block), data, naggs)
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(accesses.load()), "fs-accesses")
+	}
+	b.Run("direct-16clients", func(b *testing.B) { run(b, 0, true) })
+	b.Run("collective-1agg", func(b *testing.B) { run(b, 1, false) })
+	b.Run("collective-4agg", func(b *testing.B) { run(b, 4, false) })
+}
+
+type atomic64 struct{ v atomic.Int64 }
+
+func (a *atomic64) add()          { a.v.Add(1) }
+func (a *atomic64) store(x int64) { a.v.Store(x) }
+func (a *atomic64) load() int64   { return a.v.Load() }
+
+type countingWriterAt struct{ counter *atomic64 }
+
+func (w *countingWriterAt) WriteAt(p []byte, off int64) (int, error) {
+	w.counter.add()
+	return len(p), nil
+}
+
+// BenchmarkDHT measures the distributed-hash-table data-passing layer (§7).
+func BenchmarkDHT(b *testing.B) {
+	for _, op := range []string{"put", "get"} {
+		b.Run(op, func(b *testing.B) {
+			err := mpi.RunLocal(4, func(c *mpi.Comm) error {
+				tab, err := dht.New(c)
+				if err != nil {
+					return err
+				}
+				val := make([]byte, 256)
+				if c.Rank() == 0 {
+					if op == "get" {
+						for i := 0; i < b.N; i++ {
+							if err := tab.Put(fmt.Sprintf("k%d", i), val); err != nil {
+								return err
+							}
+						}
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							if _, err := tab.Get(fmt.Sprintf("k%d", i)); err != nil {
+								return err
+							}
+						}
+					} else {
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							if err := tab.Put(fmt.Sprintf("k%d", i), val); err != nil {
+								return err
+							}
+						}
+					}
+				}
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+				return tab.Close()
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Real-runtime microbenchmarks
+
+// BenchmarkIdealLaunchRate measures raw in-process task launch (the §6.1.1
+// "ideal" point analogue): proxy execution with no dispatcher.
+func BenchmarkIdealLaunchRate(b *testing.B) {
+	runner := hydra.NewFuncRunner()
+	runner.Register("noop", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		return 0
+	})
+	task := proto.Task{TaskID: "t", JobID: "j", Cmd: "noop"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := hydra.RunProxy(context.Background(), &task, runner, io.Discard)
+		if res.ExitCode != 0 {
+			b.Fatal("task failed")
+		}
+	}
+}
+
+// BenchmarkDispatchThroughput measures the real dispatcher's sequential task
+// rate over loopback TCP with in-process workers.
+func BenchmarkDispatchThroughput(b *testing.B) {
+	runner := hydra.NewFuncRunner()
+	workload.RegisterApps(runner)
+	eng, err := core.NewEngine(core.Options{LocalWorkers: 8, Runner: runner})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	b.ResetTimer()
+	handles := make([]*dispatch.Handle, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		h, err := eng.Submit(dispatch.Job{
+			Spec: hydra.JobSpec{JobID: fmt.Sprintf("n%d", i), NProcs: 1, Cmd: workload.NoopApp},
+			Type: dispatch.Sequential,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		if res := h.Wait(); res.Failed {
+			b.Fatal("job failed")
+		}
+	}
+}
+
+// BenchmarkMPIJobLaunch measures the full MPI job cycle through the real
+// stack: mpiexec start, proxy dispatch, PMI wire-up, barrier, teardown.
+func BenchmarkMPIJobLaunch(b *testing.B) {
+	for _, nproc := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("nproc=%d", nproc), func(b *testing.B) {
+			runner := hydra.NewFuncRunner()
+			workload.RegisterApps(runner)
+			eng, err := core.NewEngine(core.Options{LocalWorkers: nproc, Runner: runner})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h, err := eng.Submit(dispatch.Job{
+					Spec: hydra.JobSpec{JobID: fmt.Sprintf("m%d", i), NProcs: nproc,
+						Cmd: workload.BarrierApp, Args: []string{"0"}},
+					Type: dispatch.MPI,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res := h.Wait(); res.Failed {
+					b.Fatalf("job failed: %+v", res)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMPICollectives measures barrier and allreduce over the channel
+// transport.
+func BenchmarkMPICollectives(b *testing.B) {
+	b.Run("barrier-8", func(b *testing.B) {
+		if err := mpi.RunLocal(8, func(c *mpi.Comm) error {
+			for i := 0; i < b.N; i++ {
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("allreduce-8x16", func(b *testing.B) {
+		in := make([]float64, 16)
+		if err := mpi.RunLocal(8, func(c *mpi.Comm) error {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.AllreduceFloat64(mpi.OpSum, in); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkPMIWireUp measures the full PMI bootstrap (put, barrier, get all)
+// for an 8-rank job.
+func BenchmarkPMIWireUp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		srv, err := pmi.NewServer(fmt.Sprintf("kvs%d", i), 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		errs := make(chan error, 8)
+		for rank := 0; rank < 8; rank++ {
+			go func(rank int) {
+				c, err := pmi.Dial(addr, rank)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := c.Put(fmt.Sprintf("addr-%d", rank), fmt.Sprintf("h%d", rank)); err != nil {
+					errs <- err
+					return
+				}
+				if err := c.Barrier(); err != nil {
+					errs <- err
+					return
+				}
+				for p := 0; p < 8; p++ {
+					if _, err := c.Get(fmt.Sprintf("addr-%d", p)); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- c.Finalize()
+			}(rank)
+		}
+		for rank := 0; rank < 8; rank++ {
+			if err := <-errs; err != nil {
+				b.Fatal(err)
+			}
+		}
+		srv.Close()
+	}
+}
+
+// BenchmarkProtoCodec measures wire-protocol framing throughput.
+func BenchmarkProtoCodec(b *testing.B) {
+	a, c := proto.Pipe()
+	defer a.Close()
+	defer c.Close()
+	task := &proto.Task{TaskID: "t", JobID: "j", Cmd: "namd2",
+		Args: []string{"-in", "x", "-out", "y"}, Rank: 3, Size: 8}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(&proto.Envelope{Kind: proto.KindTask, Task: task}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+}

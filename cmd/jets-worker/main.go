@@ -1,0 +1,80 @@
+// Command jets-worker is the pilot-job worker agent started on compute
+// nodes by allocation scripts (paper §5). It connects to a JETS dispatcher,
+// requests work persistently, runs tasks as subprocesses, and streams their
+// output back through the service.
+//
+// Usage:
+//
+//	jets-worker -dispatcher login1:7001 -id $(hostname) -cores 4 \
+//	            -cache /dev/shm/jets
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"jets/internal/hydra"
+	"jets/internal/worker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jets-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dispatcher := flag.String("dispatcher", "", "dispatcher address host:port (required)")
+	id := flag.String("id", "", "worker id (default hostname-pid)")
+	cores := flag.Int("cores", 1, "cores to report")
+	cache := flag.String("cache", "", "node-local cache directory for staged files")
+	coord := flag.String("coord", "", "interconnect coordinates, e.g. 3,0,7")
+	heartbeat := flag.Duration("heartbeat", time.Second, "heartbeat interval")
+	flag.Parse()
+
+	if *dispatcher == "" {
+		return fmt.Errorf("-dispatcher is required")
+	}
+	if *id == "" {
+		host, _ := os.Hostname()
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	var coords []int
+	if *coord != "" {
+		for _, part := range strings.Split(*coord, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -coord %q: %v", *coord, err)
+			}
+			coords = append(coords, v)
+		}
+	}
+	if *cache != "" {
+		if err := os.MkdirAll(*cache, 0o755); err != nil {
+			return err
+		}
+	}
+	w, err := worker.New(worker.Config{
+		ID:                *id,
+		Cores:             *cores,
+		Coord:             coords,
+		DispatcherAddr:    *dispatcher,
+		Runner:            hydra.ExecRunner{},
+		HeartbeatInterval: *heartbeat,
+		CacheDir:          *cache,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	fmt.Printf("jets-worker: %s -> %s\n", *id, *dispatcher)
+	return w.Run(ctx)
+}

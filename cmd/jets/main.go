@@ -1,0 +1,179 @@
+// Command jets is the stand-alone JETS tool (paper §5.1): it reads a job
+// list, schedules the jobs over pilot-job workers, and prints per-batch
+// statistics including Eq. (1) utilization.
+//
+// Usage:
+//
+//	jets -input jobs.txt -workers 8
+//	jets -input jobs.txt -listen 0.0.0.0:7001        # external workers
+//
+// Input format, one job per line:
+//
+//	MPI: 4 namd2.sh input-1.pdb output-1.log
+//	SEQ: hostname -f
+//	hostname -f
+//
+// Commands run as real subprocesses (hydra.ExecRunner). MPI jobs receive the
+// PMI_* environment, so executables built against jets' internal/mpi (or any
+// PMI-1 client) wire up with their peers automatically.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"jets/internal/core"
+	"jets/internal/dispatch"
+	"jets/internal/hydra"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jets:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	input := flag.String("input", "", "job list file ('-' for stdin)")
+	workers := flag.Int("workers", 4, "local worker agents to start")
+	cores := flag.Int("cores", 1, "cores reported per local worker")
+	retries := flag.Int("retries", 0, "automatic retries for jobs lost to worker faults")
+	timeout := flag.Duration("timeout", 0, "per-job wall limit (0 = none)")
+	batchTimeout := flag.Duration("batch-timeout", time.Hour, "whole-batch limit")
+	priority := flag.Bool("priority", false, "use the priority+backfill queue instead of FIFO")
+	outDir := flag.String("output", "", "directory for task stdout files (empty discards)")
+	format := flag.String("format", "lines", "input format: lines (MPI:/SEQ:) or json")
+	tracePath := flag.String("trace", "", "write a JSON-lines dispatcher event trace to this file")
+	flag.Parse()
+
+	if *input == "" {
+		return fmt.Errorf("-input is required (see -h)")
+	}
+	in := os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var onOutput func(taskID, stream string, data []byte)
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		sink := newOutputDir(*outDir)
+		defer sink.Close()
+		onOutput = sink.Write
+	}
+
+	var queue dispatch.QueuePolicy
+	if *priority {
+		queue = dispatch.NewPriorityQueue(true)
+	}
+	var tracer *dispatch.TraceRecorder
+	var onEvent func(dispatch.Event)
+	if *tracePath != "" {
+		tracer = &dispatch.TraceRecorder{}
+		onEvent = tracer.Record
+	}
+	eng, err := core.NewEngine(core.Options{
+		LocalWorkers:   *workers,
+		CoresPerWorker: *cores,
+		Runner:         hydra.ExecRunner{},
+		MaxJobRetries:  *retries,
+		JobTimeout:     *timeout,
+		Queue:          queue,
+		OnOutput:       onOutput,
+		OnEvent:        onEvent,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	fmt.Printf("jets: dispatcher on %s, %d local workers\n", eng.Addr(), *workers)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	ctx, cancelT := context.WithTimeout(ctx, *batchTimeout)
+	defer cancelT()
+
+	handler, err := core.HandlerFor(*format)
+	if err != nil {
+		return err
+	}
+	rep, err := eng.RunHandler(ctx, handler, in)
+	if err != nil {
+		return err
+	}
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace:       %s (%d events)\n", *tracePath, tracer.Count(""))
+	}
+	fmt.Print(core.FormatReport(rep))
+	for _, r := range rep.Results {
+		if r.Failed {
+			fmt.Printf("FAILED %s: %s\n", r.JobID, r.Err)
+		}
+	}
+	if rep.Failed() > 0 {
+		return fmt.Errorf("%d jobs failed", rep.Failed())
+	}
+	return nil
+}
+
+// outputDir appends task output chunks to one file per task.
+type outputDir struct {
+	dir   string
+	files map[string]*os.File
+}
+
+func newOutputDir(dir string) *outputDir {
+	return &outputDir{dir: dir, files: map[string]*os.File{}}
+}
+
+func (o *outputDir) Write(taskID, stream string, data []byte) {
+	f, ok := o.files[taskID]
+	if !ok {
+		var err error
+		f, err = os.Create(o.dir + "/" + sanitize(taskID) + ".out")
+		if err != nil {
+			return
+		}
+		o.files[taskID] = f
+	}
+	f.Write(data)
+}
+
+func (o *outputDir) Close() {
+	for _, f := range o.files {
+		f.Close()
+	}
+}
+
+func sanitize(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		if c == '/' || c == ':' {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,100 @@
+// Command swiftrun executes a mini-Swift script against a JETS engine — the
+// paper's MPICH/Coasters form (§5.2): the script's app calls become JETS
+// jobs; apps annotated "mpi <n>" are decomposed into proxy launches and
+// wired up over sockets.
+//
+// Usage:
+//
+//	swiftrun -workers 8 script.swift
+//
+// App commands run as real subprocesses.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"jets/internal/core"
+	"jets/internal/hydra"
+	"jets/internal/swiftlang"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "swiftrun:", err)
+		os.Exit(1)
+	}
+}
+
+// argList collects repeatable -arg name=value flags.
+type argList map[string]string
+
+func (a argList) String() string { return fmt.Sprint(map[string]string(a)) }
+
+func (a argList) Set(s string) error {
+	i := strings.IndexByte(s, '=')
+	if i <= 0 {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	a[s[:i]] = s[i+1:]
+	return nil
+}
+
+func run() error {
+	workers := flag.Int("workers", 4, "local worker agents")
+	workdir := flag.String("workdir", "swift-work", "directory for auto-mapped files")
+	timeout := flag.Duration("timeout", time.Hour, "script wall limit")
+	args := argList{}
+	flag.Var(args, "arg", "script argument name=value (repeatable), read with arg()")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: swiftrun [flags] script.swift")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := swiftlang.Parse(string(src))
+	if err != nil {
+		return err
+	}
+
+	exec := swiftlang.NewJETSExecutor()
+	eng, err := core.NewEngine(core.Options{
+		LocalWorkers: *workers,
+		Runner:       hydra.ExecRunner{},
+		OnOutput:     exec.OutputSink,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	exec.Bind(eng)
+
+	if err := os.MkdirAll(*workdir, 0o755); err != nil {
+		return err
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	ctx, cancelT := context.WithTimeout(ctx, *timeout)
+	defer cancelT()
+
+	start := time.Now()
+	if err := swiftlang.Run(ctx, prog, swiftlang.Config{
+		Executor: exec,
+		WorkDir:  *workdir,
+		Stdout:   os.Stdout,
+		Args:     args,
+	}); err != nil {
+		return err
+	}
+	st := eng.Dispatcher().Stats()
+	fmt.Printf("swiftrun: %d jobs (%d tasks) in %v\n",
+		st.JobsCompleted, st.TasksDispatched, time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,86 @@
+// MPI messaging probe: the Fig. 8 comparison as a runnable example.
+//
+// Two ranks exchange messages of increasing size over both transports the
+// library provides — the in-process channel fabric (standing in for the
+// vendor-native Blue Gene messaging) and TCP sockets bootstrapped through
+// PMI (the MPICH2-over-ZeptoOS path JETS launches). The output shows the
+// paper's shape: sockets pay a large fixed per-message cost that amortizes
+// as messages grow.
+//
+// Run with: go run ./examples/pingpong
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"jets/internal/mpi"
+)
+
+func main() {
+	fmt.Printf("%10s %14s %14s %14s %14s\n",
+		"bytes", "native lat", "sockets lat", "native MB/s", "sockets MB/s")
+	for _, size := range []int{1, 16, 256, 4 << 10, 64 << 10, 1 << 20, 4 << 20} {
+		nat, err := measure(size, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		soc, err := measure(size, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d %14s %14s %14.1f %14.1f\n",
+			size, nat, soc, bandwidth(size, nat), bandwidth(size, soc))
+	}
+}
+
+func bandwidth(size int, perMsg time.Duration) float64 {
+	if perMsg <= 0 {
+		return 0
+	}
+	return float64(size) / perMsg.Seconds() / 1e6
+}
+
+func measure(size int, tcp bool) (time.Duration, error) {
+	rounds := 1000
+	if size >= 1<<20 {
+		rounds = 50
+	}
+	payload := make([]byte, size)
+	var perMsg time.Duration
+	body := func(c *mpi.Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			if c.Rank() == 0 {
+				if err := c.Send(1, 1, payload); err != nil {
+					return err
+				}
+				if _, err := c.Recv(1, 2); err != nil {
+					return err
+				}
+			} else {
+				if _, err := c.Recv(0, 1); err != nil {
+					return err
+				}
+				if err := c.Send(0, 2, payload); err != nil {
+					return err
+				}
+			}
+		}
+		if c.Rank() == 0 {
+			perMsg = time.Since(start) / time.Duration(2*rounds)
+		}
+		return nil
+	}
+	var err error
+	if tcp {
+		err = mpi.RunTCP(2, body)
+	} else {
+		err = mpi.RunLocal(2, body)
+	}
+	return perMsg, err
+}

@@ -1,0 +1,80 @@
+// Quickstart: the smallest complete JETS program.
+//
+// It starts an engine with eight in-process pilot workers, registers one
+// MPI application (a barrier-synchronized "hello" that wires up through the
+// real PMI/socket path), and runs a batch written in the stand-alone input
+// format of the paper:
+//
+//	MPI: 4 hello alpha
+//	MPI: 2 hello beta
+//	SEQ: hello gamma
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"strings"
+
+	"jets/internal/core"
+	"jets/internal/hydra"
+	"jets/internal/mpi"
+)
+
+func main() {
+	// 1. Register applications. In production these are real executables
+	// (hydra.ExecRunner); in-process functions keep the example
+	// self-contained.
+	runner := hydra.NewFuncRunner()
+	runner.Register("hello", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		if _, isMPI := env["PMI_PORT"]; !isMPI {
+			fmt.Fprintf(stdout, "sequential hello %s\n", args[0])
+			return 0
+		}
+		comm, err := mpi.InitEnvFrom(env) // PMI wire-up, socket connect
+		if err != nil {
+			return 1
+		}
+		defer comm.Close()
+		if err := comm.Barrier(); err != nil {
+			return 1
+		}
+		sum, err := comm.AllreduceInt64(mpi.OpSum, []int64{int64(comm.Rank())})
+		if err != nil {
+			return 1
+		}
+		if comm.Rank() == 0 {
+			fmt.Fprintf(stdout, "hello %s from %d ranks (ranksum=%d)\n", args[0], comm.Size(), sum[0])
+		}
+		return 0
+	})
+
+	// 2. Start the engine: dispatcher plus local pilot-job workers.
+	eng, err := core.NewEngine(core.Options{
+		LocalWorkers: 8,
+		Runner:       runner,
+		OnOutput: func(taskID, stream string, data []byte) {
+			fmt.Printf("[%s] %s", taskID, data)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// 3. Run a batch from the paper's input format.
+	input := `
+MPI: 4 hello alpha
+MPI: 2 hello beta
+SEQ: hello gamma
+`
+	rep, err := eng.RunFile(context.Background(), strings.NewReader(input))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(core.FormatReport(rep))
+}

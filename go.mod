@@ -1,0 +1,3 @@
+module jets
+
+go 1.22

@@ -1,0 +1,284 @@
+package coasters
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"jets/internal/dispatch"
+	"jets/internal/hydra"
+	"jets/internal/mpi"
+)
+
+func newTestService(t *testing.T, spectrum bool) (*Service, *hydra.FuncRunner) {
+	t.Helper()
+	runner := hydra.NewFuncRunner()
+	svc, err := NewService(Config{
+		Provider: &LocalProvider{Runner: runner, Cores: 4},
+		Spectrum: spectrum,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc, runner
+}
+
+func TestSpectrumSizes(t *testing.T) {
+	cases := []struct {
+		n, min int
+		want   []int
+	}{
+		{8, 1, []int{4, 2, 1, 1}},
+		{1, 1, []int{1}},
+		{0, 1, nil},
+		{7, 2, []int{3, 2, 2}},
+	}
+	for _, tc := range cases {
+		got := SpectrumSizes(tc.n, tc.min)
+		if len(got) != len(tc.want) {
+			t.Errorf("SpectrumSizes(%d,%d)=%v want %v", tc.n, tc.min, got, tc.want)
+			continue
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("SpectrumSizes(%d,%d)=%v want %v", tc.n, tc.min, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// Property: spectrum blocks cover the demand exactly and never exceed it by
+// more than min-1, with sizes nonincreasing.
+func TestSpectrumSizesProperty(t *testing.T) {
+	f := func(nRaw, minRaw uint8) bool {
+		n := int(nRaw)%128 + 1
+		min := int(minRaw)%8 + 1
+		sizes := SpectrumSizes(n, min)
+		sum := 0
+		prev := 1 << 30
+		for _, s := range sizes {
+			if s <= 0 || s > prev {
+				return false
+			}
+			prev = s
+			sum += s
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnsureWorkersSingleBlock(t *testing.T) {
+	svc, _ := newTestService(t, false)
+	if err := svc.EnsureWorkers(context.Background(), 6); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Workers() != 6 || svc.Blocks() != 1 {
+		t.Fatalf("workers=%d blocks=%d", svc.Workers(), svc.Blocks())
+	}
+	// Idempotent: enough workers, no new blocks.
+	if err := svc.EnsureWorkers(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Blocks() != 1 {
+		t.Fatalf("blocks=%d", svc.Blocks())
+	}
+}
+
+func TestEnsureWorkersSpectrum(t *testing.T) {
+	svc, _ := newTestService(t, true)
+	if err := svc.EnsureWorkers(context.Background(), 8); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Workers() != 8 {
+		t.Fatalf("workers=%d", svc.Workers())
+	}
+	if svc.Blocks() < 3 { // 4+2+1+1
+		t.Fatalf("blocks=%d; spectrum should allocate several", svc.Blocks())
+	}
+}
+
+func TestSubmitGrowsPoolForMPI(t *testing.T) {
+	svc, runner := newTestService(t, false)
+	runner.Register("allsum", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		comm, err := mpi.InitEnvFrom(env)
+		if err != nil {
+			return 1
+		}
+		defer comm.Close()
+		out, err := comm.AllreduceInt64(mpi.OpSum, []int64{1})
+		if err != nil || int(out[0]) != comm.Size() {
+			return 1
+		}
+		return 0
+	})
+	// No workers yet; the MPI-aware allocation must boot 5.
+	h, err := svc.Submit(context.Background(), dispatch.Job{
+		Spec: hydra.JobSpec{JobID: "m", NProcs: 5, Cmd: "allsum"},
+		Type: dispatch.MPI,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := h.Wait(); res.Failed {
+		t.Fatalf("job failed: %+v", res)
+	}
+	if svc.Workers() < 5 {
+		t.Fatalf("workers=%d", svc.Workers())
+	}
+}
+
+func TestStaging(t *testing.T) {
+	svc, _ := newTestService(t, false)
+	svc.Put("params.cfg", []byte("temperature 300"))
+	data, ok := svc.Get("params.cfg")
+	if !ok || string(data) != "temperature 300" {
+		t.Fatalf("got %q ok=%v", data, ok)
+	}
+	if _, ok := svc.Get("missing"); ok {
+		t.Fatal("missing file found")
+	}
+	// Returned copy must not alias the store.
+	data[0] = 'X'
+	again, _ := svc.Get("params.cfg")
+	if string(again) != "temperature 300" {
+		t.Fatal("staging store aliased")
+	}
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	svc, runner := newTestService(t, false)
+	var mu sync.Mutex
+	ran := 0
+	runner.Register("job.sh", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		mu.Lock()
+		ran++
+		mu.Unlock()
+		return 0
+	})
+	if err := svc.EnsureWorkers(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := svc.Serve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := DialClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if n, err := cl.Workers(ctx); err != nil || n != 2 {
+		t.Fatalf("workers=%d err=%v", n, err)
+	}
+	// Concurrent submissions over one connection.
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := cl.Submit(ctx, WireJob{JobID: fmt.Sprintf("rpc%d", i), NProcs: 1, Cmd: "job.sh"})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res == nil || res.Failed {
+				errs <- fmt.Errorf("job %d failed: %+v", i, res)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran != 8 {
+		t.Fatalf("ran=%d", ran)
+	}
+}
+
+func TestRPCStagingAndEnsure(t *testing.T) {
+	svc, _ := newTestService(t, false)
+	addr, err := svc.Serve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := DialClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	payload := bytes.Repeat([]byte{7}, 1<<16)
+	if err := cl.Put(ctx, "big.bin", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := cl.Get(ctx, "big.bin")
+	if err != nil || !found || !bytes.Equal(got, payload) {
+		t.Fatalf("get: found=%v err=%v len=%d", found, err, len(got))
+	}
+	if _, found, _ := cl.Get(ctx, "nope"); found {
+		t.Fatal("found missing file")
+	}
+	n, err := cl.Ensure(ctx, 3)
+	if err != nil || n != 3 {
+		t.Fatalf("ensure: n=%d err=%v", n, err)
+	}
+}
+
+func TestRPCUnknownOp(t *testing.T) {
+	svc, _ := newTestService(t, false)
+	addr, _ := svc.Serve("")
+	cl, err := DialClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.call(context.Background(), rpcRequest{Op: "bogus"}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestBlockRelease(t *testing.T) {
+	svc, _ := newTestService(t, false)
+	if err := svc.EnsureWorkers(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	d := svc.Dispatcher()
+	if d.Workers() != 4 {
+		t.Fatalf("workers=%d", d.Workers())
+	}
+	svc.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Workers() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers not released: %d", d.Workers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestProviderValidation(t *testing.T) {
+	if _, err := NewService(Config{}); err == nil {
+		t.Fatal("service without provider accepted")
+	}
+	p := &LocalProvider{Runner: hydra.NewFuncRunner()}
+	if _, err := p.Boot(context.Background(), 0, "127.0.0.1:1"); err == nil {
+		t.Fatal("zero block accepted")
+	}
+}

@@ -1,0 +1,270 @@
+package coasters
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"jets/internal/dispatch"
+	"jets/internal/hydra"
+)
+
+// The client RPC: newline-delimited JSON over TCP (step 4 of Fig. 3 — task
+// submission and data movement share one socket). Requests are handled
+// concurrently and responses matched by ID, so one connection carries many
+// outstanding tasks, as the Swift execution layer requires.
+
+type rpcRequest struct {
+	ID   uint64   `json:"id"`
+	Op   string   `json:"op"`
+	Job  *WireJob `json:"job,omitempty"`
+	Name string   `json:"name,omitempty"`
+	Data []byte   `json:"data,omitempty"`
+	N    int      `json:"n,omitempty"`
+}
+
+type rpcResponse struct {
+	ID     uint64              `json:"id"`
+	Err    string              `json:"err,omitempty"`
+	Result *dispatch.JobResult `json:"result,omitempty"`
+	Data   []byte              `json:"data,omitempty"`
+	Found  bool                `json:"found,omitempty"`
+	N      int                 `json:"n,omitempty"`
+}
+
+// WireJob is the serializable job submission.
+type WireJob struct {
+	JobID    string   `json:"job_id"`
+	NProcs   int      `json:"nprocs"`
+	Cmd      string   `json:"cmd"`
+	Args     []string `json:"args,omitempty"`
+	Env      []string `json:"env,omitempty"`
+	MPI      bool     `json:"mpi"`
+	Priority int      `json:"priority,omitempty"`
+}
+
+func (w *WireJob) toJob() dispatch.Job {
+	typ := dispatch.Sequential
+	if w.MPI {
+		typ = dispatch.MPI
+	}
+	return dispatch.Job{
+		Spec: hydra.JobSpec{
+			JobID:  w.JobID,
+			NProcs: w.NProcs,
+			Cmd:    w.Cmd,
+			Args:   w.Args,
+			Env:    w.Env,
+		},
+		Type:     typ,
+		Priority: w.Priority,
+	}
+}
+
+// Serve starts the client RPC listener; returns its address.
+func (s *Service) Serve(addr string) (string, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.serveClient(conn)
+		}
+	}()
+	s.mu.Lock()
+	s.listeners = append(s.listeners, ln)
+	s.mu.Unlock()
+	return ln.Addr().String(), nil
+}
+
+func (s *Service) serveClient(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	var wmu sync.Mutex
+	enc := json.NewEncoder(conn)
+	send := func(resp rpcResponse) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		enc.Encode(resp)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for {
+		var req rpcRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		go s.handleRPC(ctx, req, send)
+	}
+}
+
+func (s *Service) handleRPC(ctx context.Context, req rpcRequest, send func(rpcResponse)) {
+	resp := rpcResponse{ID: req.ID}
+	switch req.Op {
+	case "submit":
+		if req.Job == nil {
+			resp.Err = "submit without job"
+			break
+		}
+		h, err := s.Submit(ctx, req.Job.toJob())
+		if err != nil {
+			resp.Err = err.Error()
+			break
+		}
+		select {
+		case <-h.Done():
+			res, _ := h.TryResult()
+			resp.Result = &res
+		case <-ctx.Done():
+			resp.Err = "connection closed"
+		}
+	case "put":
+		s.Put(req.Name, req.Data)
+	case "get":
+		data, ok := s.Get(req.Name)
+		resp.Data, resp.Found = data, ok
+	case "workers":
+		resp.N = s.Workers()
+	case "ensure":
+		if err := s.EnsureWorkers(ctx, req.N); err != nil {
+			resp.Err = err.Error()
+		}
+		resp.N = s.Workers()
+	default:
+		resp.Err = fmt.Sprintf("unknown op %q", req.Op)
+	}
+	send(resp)
+}
+
+// Client talks to a CoasterService.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	wmu  sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan rpcResponse
+	seq     uint64
+	closed  bool
+}
+
+// DialClient connects to a service RPC endpoint.
+func DialClient(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, enc: json.NewEncoder(conn), pending: map[uint64]chan rpcResponse{}}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	dec := json.NewDecoder(bufio.NewReader(c.conn))
+	for {
+		var resp rpcResponse
+		if err := dec.Decode(&resp); err != nil {
+			c.mu.Lock()
+			c.closed = true
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+func (c *Client) call(ctx context.Context, req rpcRequest) (rpcResponse, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return rpcResponse{}, fmt.Errorf("coasters: client closed")
+	}
+	c.seq++
+	req.ID = c.seq
+	ch := make(chan rpcResponse, 1)
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := c.enc.Encode(req)
+	c.wmu.Unlock()
+	if err != nil {
+		return rpcResponse{}, err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return rpcResponse{}, fmt.Errorf("coasters: connection lost")
+		}
+		if resp.Err != "" {
+			return resp, fmt.Errorf("coasters: %s", resp.Err)
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return rpcResponse{}, ctx.Err()
+	}
+}
+
+// Submit runs a job to completion through the service.
+func (c *Client) Submit(ctx context.Context, job WireJob) (*dispatch.JobResult, error) {
+	resp, err := c.call(ctx, rpcRequest{Op: "submit", Job: &job})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Result, nil
+}
+
+// Put stages a file to the service.
+func (c *Client) Put(ctx context.Context, name string, data []byte) error {
+	_, err := c.call(ctx, rpcRequest{Op: "put", Name: name, Data: data})
+	return err
+}
+
+// Get fetches a staged file.
+func (c *Client) Get(ctx context.Context, name string) ([]byte, bool, error) {
+	resp, err := c.call(ctx, rpcRequest{Op: "get", Name: name})
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Data, resp.Found, nil
+}
+
+// Workers reports the service pool size.
+func (c *Client) Workers(ctx context.Context) (int, error) {
+	resp, err := c.call(ctx, rpcRequest{Op: "workers"})
+	return resp.N, err
+}
+
+// Ensure asks the service to grow the pool to n workers.
+func (c *Client) Ensure(ctx context.Context, n int) (int, error) {
+	resp, err := c.call(ctx, rpcRequest{Op: "ensure", N: n})
+	return resp.N, err
+}
+
+// Close drops the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,51 @@
+package coasters
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"jets/internal/swiftlang"
+)
+
+// SwiftExecutor adapts a CoasterService client to the mini-Swift executor
+// interface, forming the paper's full MPICH/Coasters pipeline (Fig. 5): the
+// Swift script produces tasks, the CoasterService allocates workers and
+// drives the mpiexec mechanism, and the JETS dispatcher decomposes MPI jobs
+// onto the pool.
+type SwiftExecutor struct {
+	client *Client
+	seq    atomic.Int64
+}
+
+// NewSwiftExecutor wraps a connected client.
+func NewSwiftExecutor(client *Client) *SwiftExecutor {
+	return &SwiftExecutor{client: client}
+}
+
+// Execute implements swiftlang.Executor.
+func (x *SwiftExecutor) Execute(ctx context.Context, inv swiftlang.AppInvocation) error {
+	job := WireJob{
+		JobID:  fmt.Sprintf("swift-%s-%d", inv.App, x.seq.Add(1)),
+		NProcs: 1,
+		Cmd:    inv.Tokens[0],
+		Args:   inv.Tokens[1:],
+	}
+	if inv.NProcs > 0 {
+		job.MPI = true
+		job.NProcs = inv.NProcs
+	}
+	res, err := x.client.Submit(ctx, job)
+	if err != nil {
+		return err
+	}
+	if res == nil {
+		return fmt.Errorf("coasters: no result for job %s", job.JobID)
+	}
+	if res.Failed {
+		return fmt.Errorf("coasters: job %s failed: %s", job.JobID, res.Err)
+	}
+	return nil
+}
+
+var _ swiftlang.Executor = (*SwiftExecutor)(nil)

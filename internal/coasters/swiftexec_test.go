@@ -1,0 +1,76 @@
+package coasters
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"jets/internal/hydra"
+	"jets/internal/mpi"
+	"jets/internal/swiftlang"
+)
+
+// TestSwiftThroughCoasters runs a mini-Swift script end to end through the
+// CoasterService RPC: Swift -> Coasters client -> service -> dispatcher ->
+// workers -> mpiexec/proxies -> mini-MPI. This is the full Fig. 5 pipeline.
+func TestSwiftThroughCoasters(t *testing.T) {
+	runner := hydra.NewFuncRunner()
+	runner.Register("simulate", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		comm, err := mpi.InitEnvFrom(env)
+		if err != nil {
+			return 1
+		}
+		defer comm.Close()
+		if err := comm.Barrier(); err != nil {
+			return 1
+		}
+		return 0
+	})
+	svc, err := NewService(Config{Provider: &LocalProvider{Runner: runner, Cores: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	addr, err := svc.Serve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := DialClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	script := `
+app () simulate (int n, int i) mpi n { "simulate" i; }
+foreach i in [0:5] {
+    simulate(3, i);
+}
+trace("all submitted");
+`
+	var out bytes.Buffer
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	err = swiftlang.RunScript(ctx, script, swiftlang.Config{
+		Executor: NewSwiftExecutor(cl),
+		Stdout:   &out,
+		WorkDir:  t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("script: %v", err)
+	}
+	if !strings.Contains(out.String(), "all submitted") {
+		t.Fatalf("out=%s", out.String())
+	}
+	// The MPI-aware allocation must have booted at least 3 workers.
+	if svc.Workers() < 3 {
+		t.Fatalf("workers=%d", svc.Workers())
+	}
+	st := svc.Dispatcher().Stats()
+	if st.JobsCompleted != 6 || st.JobsFailed != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}

@@ -1,0 +1,279 @@
+// Package core is the JETS engine: the stand-alone form of the system
+// (paper §5.1). It wires the central dispatcher to a set of pilot-job
+// workers, parses the paper's input-file format
+//
+//	MPI: 4 namd2.sh input-1.pdb output-1.log
+//	MPI: 8 namd2.sh input-2.pdb output-2.log
+//
+// and runs batches to completion, reporting per-job results and the Eq. (1)
+// utilization summary. Hostnames are never part of a job specification: the
+// engine assembles groups dynamically from whichever workers are available,
+// which is the essential JETS property.
+package core
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"jets/internal/dispatch"
+	"jets/internal/hydra"
+	"jets/internal/metrics"
+	"jets/internal/worker"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// LocalWorkers, when positive, starts that many in-process worker
+	// agents connected over loopback TCP — the single-machine form of an
+	// allocation. Zero means workers join externally (cmd/jets-worker).
+	LocalWorkers int
+	// CoresPerWorker is reported by local workers at registration.
+	CoresPerWorker int
+	// Runner executes user processes on local workers; defaults to
+	// hydra.ExecRunner (real subprocesses).
+	Runner hydra.Runner
+	// Queue and Group select scheduling policies (defaults: FIFO, FCFS).
+	Queue dispatch.QueuePolicy
+	Group dispatch.GroupPolicy
+	// MaxJobRetries for worker-fault resubmission.
+	MaxJobRetries int
+	// HeartbeatTimeout for declaring workers dead; default 10s.
+	HeartbeatTimeout time.Duration
+	// JobTimeout bounds each job; 0 disables.
+	JobTimeout time.Duration
+	// OnOutput receives task output; nil discards.
+	OnOutput func(taskID, stream string, data []byte)
+	// OnEvent receives dispatcher trace events; nil disables tracing.
+	OnEvent func(dispatch.Event)
+}
+
+// Engine is a running JETS instance.
+type Engine struct {
+	d    *dispatch.Dispatcher
+	addr string
+
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	workers []*worker.Worker
+}
+
+// NewEngine starts the dispatcher and any local workers.
+func NewEngine(opts Options) (*Engine, error) {
+	d := dispatch.New(dispatch.Config{
+		HeartbeatTimeout: opts.HeartbeatTimeout,
+		MaxJobRetries:    opts.MaxJobRetries,
+		Queue:            opts.Queue,
+		Group:            opts.Group,
+		JobTimeout:       opts.JobTimeout,
+		OnOutput:         opts.OnOutput,
+		OnEvent:          opts.OnEvent,
+	})
+	addr, err := d.Start()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{d: d, addr: addr}
+	ctx, cancel := context.WithCancel(context.Background())
+	e.cancel = cancel
+
+	cores := opts.CoresPerWorker
+	if cores <= 0 {
+		cores = 1
+	}
+	for i := 0; i < opts.LocalWorkers; i++ {
+		w, err := worker.New(worker.Config{
+			ID:                fmt.Sprintf("local-%d", i),
+			Host:              fmt.Sprintf("localhost/%d", i),
+			Cores:             cores,
+			Coord:             []int{i % 8, (i / 8) % 8, i / 64},
+			DispatcherAddr:    addr,
+			Runner:            opts.Runner,
+			HeartbeatInterval: 250 * time.Millisecond,
+		})
+		if err != nil {
+			cancel()
+			d.Close()
+			return nil, err
+		}
+		e.workers = append(e.workers, w)
+		e.wg.Add(1)
+		go func(w *worker.Worker) {
+			defer e.wg.Done()
+			w.Run(ctx)
+		}(w)
+	}
+	// Wait for local workers to come up so the first batch does not race
+	// registration.
+	deadline := time.Now().Add(10 * time.Second)
+	for d.Workers() < opts.LocalWorkers {
+		if time.Now().After(deadline) {
+			e.Close()
+			return nil, fmt.Errorf("core: only %d/%d local workers registered", d.Workers(), opts.LocalWorkers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return e, nil
+}
+
+// Addr returns the dispatcher endpoint for external workers.
+func (e *Engine) Addr() string { return e.addr }
+
+// Dispatcher exposes the underlying dispatcher for advanced composition.
+func (e *Engine) Dispatcher() *dispatch.Dispatcher { return e.d }
+
+// Workers returns the engine's local worker agents (for fault injection in
+// tests and experiments).
+func (e *Engine) Workers() []*worker.Worker { return e.workers }
+
+// Submit enqueues one job.
+func (e *Engine) Submit(job dispatch.Job) (*dispatch.Handle, error) { return e.d.Submit(job) }
+
+// StageFile pushes a file to every worker's local cache.
+func (e *Engine) StageFile(name string, data []byte) { e.d.StageFile(name, data) }
+
+// Close shuts the engine down without draining.
+func (e *Engine) Close() {
+	e.d.Close()
+	e.cancel()
+	e.wg.Wait()
+}
+
+// BatchReport summarizes one batch execution.
+type BatchReport struct {
+	Results []dispatch.JobResult
+	Records []metrics.JobRecord
+	Summary metrics.Summary
+	// Allocation is the worker count used for the utilization summary.
+	Allocation int
+	Elapsed    time.Duration
+}
+
+// Failed counts failed jobs.
+func (r *BatchReport) Failed() int {
+	n := 0
+	for _, res := range r.Results {
+		if res.Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// RunBatch submits all jobs and waits for completion (bounded by ctx).
+func (e *Engine) RunBatch(ctx context.Context, jobs []dispatch.Job) (*BatchReport, error) {
+	start := time.Now()
+	handles := make([]*dispatch.Handle, 0, len(jobs))
+	for _, j := range jobs {
+		h, err := e.d.Submit(j)
+		if err != nil {
+			return nil, fmt.Errorf("core: submit %s: %w", j.Spec.JobID, err)
+		}
+		handles = append(handles, h)
+	}
+	report := &BatchReport{Allocation: e.d.Workers()}
+	for _, h := range handles {
+		select {
+		case <-h.Done():
+		case <-ctx.Done():
+			return report, ctx.Err()
+		}
+		res, _ := h.TryResult()
+		report.Results = append(report.Results, res)
+	}
+	report.Elapsed = time.Since(start)
+	report.Records = e.d.Records()
+	report.Summary = metrics.Summarize(report.Records, report.Allocation)
+	return report, nil
+}
+
+// RunFile parses the stand-alone input format and runs the batch.
+func (e *Engine) RunFile(ctx context.Context, r io.Reader) (*BatchReport, error) {
+	jobs, err := ParseInput(r)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunBatch(ctx, jobs)
+}
+
+// ParseInput reads the stand-alone JETS input format: one job per line.
+//
+//	MPI: <nprocs> <cmd> [args...]   — an MPI job on nprocs nodes
+//	SEQ: <cmd> [args...]            — a sequential task
+//	<cmd> [args...]                 — shorthand for SEQ:
+//
+// Blank lines and lines starting with '#' are ignored. Job IDs are assigned
+// from the line order.
+func ParseInput(r io.Reader) ([]dispatch.Job, error) {
+	var jobs []dispatch.Job
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		job, err := parseLine(line, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, job)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: reading input: %w", err)
+	}
+	return jobs, nil
+}
+
+func parseLine(line string, lineNo int) (dispatch.Job, error) {
+	id := fmt.Sprintf("job%d", lineNo)
+	switch {
+	case strings.HasPrefix(line, "MPI:"):
+		fields := strings.Fields(strings.TrimPrefix(line, "MPI:"))
+		if len(fields) < 2 {
+			return dispatch.Job{}, fmt.Errorf("core: line %d: MPI line needs <nprocs> <cmd>", lineNo)
+		}
+		n, err := strconv.Atoi(fields[0])
+		if err != nil || n <= 0 {
+			return dispatch.Job{}, fmt.Errorf("core: line %d: bad process count %q", lineNo, fields[0])
+		}
+		return dispatch.Job{
+			Spec: hydra.JobSpec{JobID: id, NProcs: n, Cmd: fields[1], Args: fields[2:]},
+			Type: dispatch.MPI,
+		}, nil
+	case strings.HasPrefix(line, "SEQ:"):
+		fields := strings.Fields(strings.TrimPrefix(line, "SEQ:"))
+		if len(fields) < 1 {
+			return dispatch.Job{}, fmt.Errorf("core: line %d: SEQ line needs <cmd>", lineNo)
+		}
+		return dispatch.Job{
+			Spec: hydra.JobSpec{JobID: id, NProcs: 1, Cmd: fields[0], Args: fields[1:]},
+			Type: dispatch.Sequential,
+		}, nil
+	default:
+		fields := strings.Fields(line)
+		return dispatch.Job{
+			Spec: hydra.JobSpec{JobID: id, NProcs: 1, Cmd: fields[0], Args: fields[1:]},
+			Type: dispatch.Sequential,
+		}, nil
+	}
+}
+
+// FormatReport renders a batch report in the jets tool's output style.
+func FormatReport(r *BatchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "jobs:        %d (%d failed)\n", len(r.Results), r.Failed())
+	fmt.Fprintf(&b, "allocation:  %d workers\n", r.Allocation)
+	fmt.Fprintf(&b, "makespan:    %v\n", r.Summary.Makespan.Round(time.Millisecond))
+	fmt.Fprintf(&b, "mean run:    %v\n", r.Summary.MeanRun.Round(time.Millisecond))
+	fmt.Fprintf(&b, "rate:        %.1f jobs/s\n", r.Summary.Rate)
+	fmt.Fprintf(&b, "utilization: %.1f%%\n", 100*r.Summary.Utilization)
+	return b.String()
+}

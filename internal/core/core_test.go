@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jets/internal/dispatch"
+	"jets/internal/hydra"
+	"jets/internal/mpi"
+)
+
+func TestParseInput(t *testing.T) {
+	in := `
+# replica exchange batch
+MPI: 4 namd2.sh input-1.pdb output-1.log
+MPI: 8 namd2.sh input-2.pdb output-2.log
+
+SEQ: exchange.sh snap-1 snap-2
+hostname -f
+`
+	jobs, err := ParseInput(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4 {
+		t.Fatalf("jobs=%d", len(jobs))
+	}
+	if jobs[0].Type != dispatch.MPI || jobs[0].Spec.NProcs != 4 ||
+		jobs[0].Spec.Cmd != "namd2.sh" || len(jobs[0].Spec.Args) != 2 {
+		t.Fatalf("job0 %+v", jobs[0])
+	}
+	if jobs[1].Spec.NProcs != 8 {
+		t.Fatalf("job1 %+v", jobs[1])
+	}
+	if jobs[2].Type != dispatch.Sequential || jobs[2].Spec.Cmd != "exchange.sh" {
+		t.Fatalf("job2 %+v", jobs[2])
+	}
+	if jobs[3].Type != dispatch.Sequential || jobs[3].Spec.Cmd != "hostname" ||
+		jobs[3].Spec.Args[0] != "-f" {
+		t.Fatalf("job3 %+v", jobs[3])
+	}
+	// IDs come from line numbers and must be unique.
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if seen[j.Spec.JobID] {
+			t.Fatalf("duplicate id %s", j.Spec.JobID)
+		}
+		seen[j.Spec.JobID] = true
+	}
+}
+
+func TestParseInputErrors(t *testing.T) {
+	for _, in := range []string{
+		"MPI: x cmd",
+		"MPI: -3 cmd",
+		"MPI: 4",
+		"SEQ:",
+	} {
+		if _, err := ParseInput(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func newTestEngine(t *testing.T, workers int) (*Engine, *hydra.FuncRunner) {
+	t.Helper()
+	runner := hydra.NewFuncRunner()
+	e, err := NewEngine(Options{
+		LocalWorkers:   workers,
+		CoresPerWorker: 4,
+		Runner:         runner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e, runner
+}
+
+func TestEngineRunFile(t *testing.T) {
+	e, runner := newTestEngine(t, 8)
+	var seqRuns, mpiRuns atomic.Int64
+	runner.Register("work.sh", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		if _, isMPI := env["PMI_PORT"]; isMPI {
+			comm, err := mpi.InitEnvFrom(env)
+			if err != nil {
+				return 1
+			}
+			defer comm.Close()
+			if err := comm.Barrier(); err != nil {
+				return 1
+			}
+			mpiRuns.Add(1)
+			return 0
+		}
+		seqRuns.Add(1)
+		return 0
+	})
+	in := `
+MPI: 4 work.sh a
+MPI: 2 work.sh b
+SEQ: work.sh c
+work.sh d
+`
+	rep, err := e.RunFile(context.Background(), strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() != 0 {
+		t.Fatalf("failed=%d results=%+v", rep.Failed(), rep.Results)
+	}
+	if got := mpiRuns.Load(); got != 6 { // 4 + 2 ranks
+		t.Fatalf("mpi rank executions=%d", got)
+	}
+	if got := seqRuns.Load(); got != 2 {
+		t.Fatalf("seq executions=%d", got)
+	}
+	if rep.Summary.Jobs != 4 {
+		t.Fatalf("summary %+v", rep.Summary)
+	}
+	if rep.Allocation != 8 {
+		t.Fatalf("allocation=%d", rep.Allocation)
+	}
+}
+
+func TestEngineUtilizationReasonable(t *testing.T) {
+	e, runner := newTestEngine(t, 4)
+	const taskMS = 30
+	runner.Register("sleep.sh", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		time.Sleep(taskMS * time.Millisecond)
+		return 0
+	})
+	var jobs []dispatch.Job
+	for i := 0; i < 20; i++ {
+		jobs = append(jobs, dispatch.Job{
+			Spec: hydra.JobSpec{JobID: fmt.Sprintf("s%d", i), NProcs: 1, Cmd: "sleep.sh"},
+			Type: dispatch.Sequential,
+		})
+	}
+	rep, err := e.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() != 0 {
+		t.Fatal("jobs failed")
+	}
+	// 20 x 30ms jobs on 4 workers: ideal makespan 150ms. Allow generous
+	// slack but demand >50% utilization — the pilot-job model's whole point.
+	if rep.Summary.Utilization < 0.5 {
+		t.Fatalf("utilization %.2f too low (makespan %v)", rep.Summary.Utilization, rep.Summary.Makespan)
+	}
+}
+
+func TestEngineBatchWithFailure(t *testing.T) {
+	e, runner := newTestEngine(t, 2)
+	runner.Register("maybe.sh", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		if len(args) > 0 && args[0] == "fail" {
+			return 1
+		}
+		return 0
+	})
+	jobs := []dispatch.Job{
+		{Spec: hydra.JobSpec{JobID: "ok", NProcs: 1, Cmd: "maybe.sh"}, Type: dispatch.Sequential},
+		{Spec: hydra.JobSpec{JobID: "bad", NProcs: 1, Cmd: "maybe.sh", Args: []string{"fail"}}, Type: dispatch.Sequential},
+	}
+	rep, err := e.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() != 1 {
+		t.Fatalf("failed=%d", rep.Failed())
+	}
+}
+
+func TestEngineContextCancel(t *testing.T) {
+	e, runner := newTestEngine(t, 1)
+	runner.Register("forever.sh", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		<-ctx.Done()
+		return 1
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := e.RunBatch(ctx, []dispatch.Job{
+		{Spec: hydra.JobSpec{JobID: "f", NProcs: 1, Cmd: "forever.sh"}, Type: dispatch.Sequential},
+	})
+	if err == nil {
+		t.Fatal("want context error")
+	}
+}
+
+func TestFormatReport(t *testing.T) {
+	e, runner := newTestEngine(t, 2)
+	runner.Register("n", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int { return 0 })
+	rep, err := e.RunBatch(context.Background(), []dispatch.Job{
+		{Spec: hydra.JobSpec{JobID: "a", NProcs: 1, Cmd: "n"}, Type: dispatch.Sequential},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatReport(rep)
+	for _, want := range []string{"jobs:", "utilization:", "allocation:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStageFileThroughEngine(t *testing.T) {
+	e, runner := newTestEngine(t, 1)
+	_ = runner
+	// Local workers have no cache dir, so staging is a no-op that must not
+	// crash or wedge the engine.
+	e.StageFile("lib.so", []byte("x"))
+	runner.Register("n", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int { return 0 })
+	rep, err := e.RunBatch(context.Background(), []dispatch.Job{
+		{Spec: hydra.JobSpec{JobID: "a", NProcs: 1, Cmd: "n"}, Type: dispatch.Sequential},
+	})
+	if err != nil || rep.Failed() != 0 {
+		t.Fatalf("err=%v failed=%d", err, rep.Failed())
+	}
+}

@@ -1,0 +1,196 @@
+// Package dataflow provides the single-assignment variables under the
+// mini-Swift interpreter (internal/swiftlang). Swift semantics: every
+// variable is a future that is written exactly once; statements execute
+// concurrently, limited only by data dependencies; reading an unset variable
+// blocks until some other statement sets it.
+package dataflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrAlreadySet is returned when a single-assignment variable is written
+// twice — in Swift this is a program error.
+var ErrAlreadySet = errors.New("dataflow: variable already set")
+
+// Future is a single-assignment cell.
+type Future struct {
+	mu   sync.Mutex
+	done chan struct{}
+	val  interface{}
+	set  bool
+	name string
+}
+
+// NewFuture creates an unset future; name is used in error messages.
+func NewFuture(name string) *Future {
+	return &Future{done: make(chan struct{}), name: name}
+}
+
+// Name returns the future's diagnostic name.
+func (f *Future) Name() string { return f.name }
+
+// Set writes the value, waking all readers. Setting twice fails.
+func (f *Future) Set(v interface{}) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.set {
+		return fmt.Errorf("%w: %s", ErrAlreadySet, f.name)
+	}
+	f.val = v
+	f.set = true
+	close(f.done)
+	return nil
+}
+
+// Get blocks until the value is set or ctx ends.
+func (f *Future) Get(ctx context.Context) (interface{}, error) {
+	select {
+	case <-f.done:
+		return f.val, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("dataflow: waiting for %s: %w", f.name, ctx.Err())
+	}
+}
+
+// TryGet returns the value if already set.
+func (f *Future) TryGet() (interface{}, bool) {
+	select {
+	case <-f.done:
+		return f.val, true
+	default:
+		return nil, false
+	}
+}
+
+// IsSet reports whether the future has been written.
+func (f *Future) IsSet() bool {
+	_, ok := f.TryGet()
+	return ok
+}
+
+// Array is a sparse single-assignment array: each element is itself a
+// future, created on first reference (Swift's open arrays). An array is
+// "closed" when no more writes will occur; readers of the whole array block
+// until closure.
+type Array struct {
+	mu     sync.Mutex
+	elems  map[int]*Future
+	closed chan struct{}
+	once   sync.Once
+	name   string
+}
+
+// NewArray creates an open array.
+func NewArray(name string) *Array {
+	return &Array{elems: make(map[int]*Future), closed: make(chan struct{}), name: name}
+}
+
+// Name returns the array's diagnostic name.
+func (a *Array) Name() string { return a.name }
+
+// Elem returns (creating if needed) the future for index i.
+func (a *Array) Elem(i int) *Future {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f, ok := a.elems[i]
+	if !ok {
+		f = NewFuture(fmt.Sprintf("%s[%d]", a.name, i))
+		a.elems[i] = f
+	}
+	return f
+}
+
+// Close marks the array complete; idempotent.
+func (a *Array) Close() { a.once.Do(func() { close(a.closed) }) }
+
+// Closed reports whether the array is closed.
+func (a *Array) Closed() bool {
+	select {
+	case <-a.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the array is closed, then returns the sorted indices of
+// set elements.
+func (a *Array) Wait(ctx context.Context) ([]int, error) {
+	select {
+	case <-a.closed:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("dataflow: waiting for array %s: %w", a.name, ctx.Err())
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	idx := make([]int, 0, len(a.elems))
+	for i, f := range a.elems {
+		if f.IsSet() {
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	return idx, nil
+}
+
+// Len reports the number of referenced elements (set or pending).
+func (a *Array) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.elems)
+}
+
+// Engine tracks the concurrent statements of one dataflow program run: a
+// wait group plus first-error capture with cancellation.
+type Engine struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewEngine creates an engine under the parent context.
+func NewEngine(parent context.Context) *Engine {
+	ctx, cancel := context.WithCancel(parent)
+	return &Engine{ctx: ctx, cancel: cancel}
+}
+
+// Context returns the engine's cancellation context.
+func (e *Engine) Context() context.Context { return e.ctx }
+
+// Go runs fn concurrently; a returned error (other than the cancellation
+// it caused) is recorded and cancels the whole run.
+func (e *Engine) Go(fn func(ctx context.Context) error) {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		if err := fn(e.ctx); err != nil {
+			e.fail(err)
+		}
+	}()
+}
+
+func (e *Engine) fail(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+		e.cancel()
+	}
+	e.mu.Unlock()
+}
+
+// Wait blocks until all statements finish and returns the first error.
+func (e *Engine) Wait() error {
+	e.wg.Wait()
+	e.cancel()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}

@@ -1,0 +1,235 @@
+// Package dht is a distributed hash table layered over an MPI communicator,
+// the data-passing scheme the paper proposes evaluating for MPTC dataflows
+// (§7, citing Wozniak et al.'s reliable MPI data structures): instead of
+// passing datasets between tasks through the shared filesystem, ranks
+// publish values into a table partitioned across the job by key hash.
+//
+// Each rank runs a service goroutine answering requests for the keys it
+// owns while the application thread issues its own operations; request and
+// reply traffic runs on a private duplicated communicator so it never
+// collides with application messages.
+package dht
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"jets/internal/mpi"
+)
+
+// ErrNotFound is returned by Get for absent keys.
+var ErrNotFound = errors.New("dht: key not found")
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("dht: closed")
+
+// op codes on the wire.
+const (
+	opPut = iota
+	opGet
+	opDelete
+	opStop
+	opOK
+	opMissing
+)
+
+const (
+	reqTag = 1 << 20 // service request tag
+	repTag = 1 << 21 // reply tag base; replies use repTag+seq
+	maxSeq = 1 << 19
+)
+
+// Table is one rank's handle to the distributed table.
+type Table struct {
+	comm *mpi.Comm
+
+	mu    sync.Mutex
+	local map[string][]byte
+
+	seq    atomic.Int64
+	closed atomic.Bool
+	done   chan struct{}
+}
+
+// New creates the table collectively: every rank of comm must call it. The
+// table duplicates the communicator for its internal traffic.
+func New(comm *mpi.Comm) (*Table, error) {
+	priv, err := comm.Dup()
+	if err != nil {
+		return nil, fmt.Errorf("dht: dup: %w", err)
+	}
+	t := &Table{comm: priv, local: make(map[string][]byte), done: make(chan struct{})}
+	go t.serve()
+	return t, nil
+}
+
+// Owner returns the rank owning a key.
+func (t *Table) Owner(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(t.comm.Size()))
+}
+
+// message layout: [1 op][8 seq][2 klen][key][value]
+func encodeReq(op byte, seq int64, key string, value []byte) []byte {
+	out := make([]byte, 0, 11+len(key)+len(value))
+	out = append(out, op)
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], uint64(seq))
+	out = append(out, b8[:]...)
+	var b2 [2]byte
+	binary.LittleEndian.PutUint16(b2[:], uint16(len(key)))
+	out = append(out, b2[:]...)
+	out = append(out, key...)
+	out = append(out, value...)
+	return out
+}
+
+func decodeReq(b []byte) (op byte, seq int64, key string, value []byte, err error) {
+	if len(b) < 11 {
+		return 0, 0, "", nil, fmt.Errorf("dht: truncated request")
+	}
+	op = b[0]
+	seq = int64(binary.LittleEndian.Uint64(b[1:9]))
+	klen := int(binary.LittleEndian.Uint16(b[9:11]))
+	if len(b) < 11+klen {
+		return 0, 0, "", nil, fmt.Errorf("dht: truncated key")
+	}
+	key = string(b[11 : 11+klen])
+	value = b[11+klen:]
+	return op, seq, key, value, nil
+}
+
+// serve answers requests for locally owned keys until a stop message.
+func (t *Table) serve() {
+	defer close(t.done)
+	for {
+		m, err := t.comm.Recv(mpi.AnySource, reqTag)
+		if err != nil {
+			return // communicator closed
+		}
+		op, seq, key, value, err := decodeReq(m.Data)
+		if err != nil {
+			continue
+		}
+		replyTo := m.Src
+		reply := func(status byte, data []byte) {
+			t.comm.Send(replyTo, repTag+int(seq%maxSeq), append([]byte{status}, data...))
+		}
+		switch op {
+		case opStop:
+			return
+		case opPut:
+			t.mu.Lock()
+			t.local[key] = append([]byte(nil), value...)
+			t.mu.Unlock()
+			reply(opOK, nil)
+		case opGet:
+			t.mu.Lock()
+			v, ok := t.local[key]
+			cp := append([]byte(nil), v...)
+			t.mu.Unlock()
+			if ok {
+				reply(opOK, cp)
+			} else {
+				reply(opMissing, nil)
+			}
+		case opDelete:
+			t.mu.Lock()
+			_, ok := t.local[key]
+			delete(t.local, key)
+			t.mu.Unlock()
+			if ok {
+				reply(opOK, nil)
+			} else {
+				reply(opMissing, nil)
+			}
+		}
+	}
+}
+
+// call performs one remote operation and waits for the reply.
+func (t *Table) call(op byte, key string, value []byte) (byte, []byte, error) {
+	if t.closed.Load() {
+		return 0, nil, ErrClosed
+	}
+	if len(key) > 1<<16-1 {
+		return 0, nil, fmt.Errorf("dht: key too long (%d bytes)", len(key))
+	}
+	owner := t.Owner(key)
+	seq := t.seq.Add(1)
+	if err := t.comm.Send(owner, reqTag, encodeReq(op, seq, key, value)); err != nil {
+		return 0, nil, err
+	}
+	m, err := t.comm.Recv(owner, repTag+int(seq%maxSeq))
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(m.Data) < 1 {
+		return 0, nil, fmt.Errorf("dht: empty reply")
+	}
+	return m.Data[0], m.Data[1:], nil
+}
+
+// Put stores key=value at its owner rank.
+func (t *Table) Put(key string, value []byte) error {
+	status, _, err := t.call(opPut, key, value)
+	if err != nil {
+		return err
+	}
+	if status != opOK {
+		return fmt.Errorf("dht: put rejected (status %d)", status)
+	}
+	return nil
+}
+
+// Get fetches a key, wherever it lives.
+func (t *Table) Get(key string) ([]byte, error) {
+	status, data, err := t.call(opGet, key, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status == opMissing {
+		return nil, ErrNotFound
+	}
+	return data, nil
+}
+
+// Delete removes a key; deleting an absent key returns ErrNotFound.
+func (t *Table) Delete(key string) error {
+	status, _, err := t.call(opDelete, key, nil)
+	if err != nil {
+		return err
+	}
+	if status == opMissing {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// LocalLen reports the number of keys this rank owns.
+func (t *Table) LocalLen() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.local)
+}
+
+// Close shuts this rank's table down. It is collective in effect: every
+// rank should call it; each rank stops only its own service (by sending
+// itself a stop message), so in-flight remote operations from other ranks
+// complete first.
+func (t *Table) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	// Stop our own service loop.
+	if err := t.comm.Send(t.comm.Rank(), reqTag, encodeReq(opStop, 0, "", nil)); err != nil {
+		return err
+	}
+	<-t.done
+	return t.comm.Close()
+}

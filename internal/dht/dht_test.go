@@ -1,0 +1,260 @@
+package dht
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"jets/internal/mpi"
+)
+
+// withTable runs fn on every rank of an n-process job with a table created
+// and torn down collectively.
+func withTable(t *testing.T, n int, fn func(c *mpi.Comm, tab *Table) error) {
+	t.Helper()
+	err := mpi.RunLocal(n, func(c *mpi.Comm) error {
+		tab, err := New(c)
+		if err != nil {
+			return err
+		}
+		if err := fn(c, tab); err != nil {
+			return err
+		}
+		// Quiesce before shutdown so no remote operation is outstanding.
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		return tab.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGetAcrossRanks(t *testing.T) {
+	withTable(t, 4, func(c *mpi.Comm, tab *Table) error {
+		key := fmt.Sprintf("key-from-%d", c.Rank())
+		val := []byte(fmt.Sprintf("value-%d", c.Rank()))
+		if err := tab.Put(key, val); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// Every rank reads every other rank's key.
+		for r := 0; r < c.Size(); r++ {
+			got, err := tab.Get(fmt.Sprintf("key-from-%d", r))
+			if err != nil {
+				return fmt.Errorf("rank %d get key-from-%d: %w", c.Rank(), r, err)
+			}
+			want := fmt.Sprintf("value-%d", r)
+			if string(got) != want {
+				return fmt.Errorf("got %q want %q", got, want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestGetMissing(t *testing.T) {
+	withTable(t, 2, func(c *mpi.Comm, tab *Table) error {
+		if _, err := tab.Get("nope"); !errors.Is(err, ErrNotFound) {
+			return fmt.Errorf("got %v want ErrNotFound", err)
+		}
+		return nil
+	})
+}
+
+func TestDelete(t *testing.T) {
+	withTable(t, 3, func(c *mpi.Comm, tab *Table) error {
+		if c.Rank() == 0 {
+			if err := tab.Put("k", []byte("v")); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			if err := tab.Delete("k"); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if _, err := tab.Get("k"); !errors.Is(err, ErrNotFound) {
+			return fmt.Errorf("key survived delete: %v", err)
+		}
+		if err := tab.Delete("k"); !errors.Is(err, ErrNotFound) {
+			return fmt.Errorf("double delete: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestOverwrite(t *testing.T) {
+	withTable(t, 2, func(c *mpi.Comm, tab *Table) error {
+		if c.Rank() == 0 {
+			if err := tab.Put("k", []byte("one")); err != nil {
+				return err
+			}
+			if err := tab.Put("k", []byte("two")); err != nil {
+				return err
+			}
+			got, err := tab.Get("k")
+			if err != nil || string(got) != "two" {
+				return fmt.Errorf("got %q err %v", got, err)
+			}
+		}
+		return nil
+	})
+}
+
+func TestOwnerConsistentAndBalanced(t *testing.T) {
+	withTable(t, 4, func(c *mpi.Comm, tab *Table) error {
+		counts := make([]int, c.Size())
+		for i := 0; i < 1000; i++ {
+			counts[tab.Owner(fmt.Sprintf("key%d", i))]++
+		}
+		for r, n := range counts {
+			if n < 100 { // perfectly balanced would be 250
+				return fmt.Errorf("rank %d owns only %d/1000 keys", r, n)
+			}
+		}
+		return nil
+	})
+}
+
+func TestLocalLenMatchesOwnership(t *testing.T) {
+	withTable(t, 4, func(c *mpi.Comm, tab *Table) error {
+		if c.Rank() == 0 {
+			for i := 0; i < 100; i++ {
+				if err := tab.Put(fmt.Sprintf("k%d", i), []byte{1}); err != nil {
+					return err
+				}
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// Sum of local lengths equals total keys.
+		total, err := c.AllreduceInt64(mpi.OpSum, []int64{int64(tab.LocalLen())})
+		if err != nil {
+			return err
+		}
+		if total[0] != 100 {
+			return fmt.Errorf("total keys %d", total[0])
+		}
+		return nil
+	})
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	withTable(t, 4, func(c *mpi.Comm, tab *Table) error {
+		const perRank = 50
+		var wg sync.WaitGroup
+		errs := make(chan error, perRank)
+		for i := 0; i < perRank; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				key := fmt.Sprintf("r%d-i%d", c.Rank(), i)
+				val := bytes.Repeat([]byte{byte(i)}, 64)
+				if err := tab.Put(key, val); err != nil {
+					errs <- err
+					return
+				}
+				got, err := tab.Get(key)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, val) {
+					errs <- fmt.Errorf("corrupt value for %s", key)
+				}
+			}(i)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			return err
+		}
+		return nil
+	})
+}
+
+func TestTableIsolatedFromAppTraffic(t *testing.T) {
+	// Application point-to-point traffic with arbitrary tags must not be
+	// swallowed by the table's service loop.
+	withTable(t, 2, func(c *mpi.Comm, tab *Table) error {
+		if err := tab.Put("x", []byte("y")); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := c.Send(1, 7, []byte("app")); err != nil {
+				return err
+			}
+			_, err := tab.Get("x")
+			return err
+		}
+		m, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if string(m.Data) != "app" {
+			return fmt.Errorf("app traffic corrupted: %q", m.Data)
+		}
+		return nil
+	})
+}
+
+func TestOpsAfterCloseFail(t *testing.T) {
+	err := mpi.RunLocal(2, func(c *mpi.Comm) error {
+		tab, err := New(c)
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if err := tab.Close(); err != nil {
+			return err
+		}
+		if err := tab.Put("k", nil); !errors.Is(err, ErrClosed) {
+			return fmt.Errorf("put after close: %v", err)
+		}
+		if err := tab.Close(); err != nil { // idempotent
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeReq(t *testing.T) {
+	b := encodeReq(opPut, 42, "key", []byte("value"))
+	op, seq, key, val, err := decodeReq(b)
+	if err != nil || op != opPut || seq != 42 || key != "key" || string(val) != "value" {
+		t.Fatalf("decoded op=%d seq=%d key=%q val=%q err=%v", op, seq, key, val, err)
+	}
+	if _, _, _, _, err := decodeReq([]byte{1, 2}); err == nil {
+		t.Error("truncated request accepted")
+	}
+	if _, _, _, _, err := decodeReq(encodeReq(opPut, 1, "abc", nil)[:12]); err == nil {
+		t.Error("truncated key accepted")
+	}
+}
+
+func TestLongKeyRejected(t *testing.T) {
+	withTable(t, 1, func(c *mpi.Comm, tab *Table) error {
+		if err := tab.Put(string(make([]byte, 1<<17)), nil); err == nil {
+			return fmt.Errorf("oversized key accepted")
+		}
+		return nil
+	})
+}

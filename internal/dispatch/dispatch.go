@@ -1,0 +1,712 @@
+// Package dispatch implements the central JETS scheduler: the service that
+// pilot-job workers connect to and that transforms MPI job specifications
+// into sets of Hydra proxy tasks streamed to available workers (paper §5,
+// Fig. 4).
+//
+// The dispatcher observes the paper's architecture principles: socket
+// handling, request handling, and process management are separate concurrent
+// stages; workers that fail or hang are disregarded automatically; and the
+// component composes into the stand-alone jets tool (internal/core), the
+// Coasters service (internal/coasters), or custom frameworks.
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"jets/internal/hydra"
+	"jets/internal/metrics"
+	"jets/internal/proto"
+)
+
+// Config parameterizes the dispatcher.
+type Config struct {
+	// Addr to listen on; default "127.0.0.1:0".
+	Addr string
+	// HeartbeatTimeout after which a silent worker is declared dead;
+	// default 10s.
+	HeartbeatTimeout time.Duration
+	// MaxJobRetries bounds automatic resubmission of jobs that failed due
+	// to worker loss (not application error); default 0.
+	MaxJobRetries int
+	// Queue policy; default FIFO (the paper's policy).
+	Queue QueuePolicy
+	// Group policy for MPI worker aggregation; default first-come-first-
+	// served (the paper's policy).
+	Group GroupPolicy
+	// JobTimeout bounds each MPI job's total wall time (mpiexec watchdog);
+	// 0 disables.
+	JobTimeout time.Duration
+	// OnOutput receives task output chunks; nil discards them.
+	OnOutput func(taskID, stream string, data []byte)
+	// OnEvent receives life-cycle trace events (see events.go); nil
+	// disables tracing. Delivery is ordered but asynchronous.
+	OnEvent func(Event)
+}
+
+// Stats are cumulative dispatcher counters.
+type Stats struct {
+	JobsSubmitted   int
+	JobsCompleted   int
+	JobsFailed      int
+	JobsRetried     int
+	TasksDispatched int
+	WorkersJoined   int
+	WorkersLost     int
+}
+
+// workerConn is the dispatcher-side state of one pilot-job connection.
+type workerConn struct {
+	id    string
+	reg   proto.Register
+	codec *proto.Codec
+
+	sendq chan *proto.Envelope
+	quit  chan struct{} // closed when the worker is declared gone
+
+	// Fields below are guarded by the dispatcher mutex.
+	lastSeen time.Time
+	parked   bool                   // has an unanswered work request
+	tasks    map[string]*runningJob // taskID -> job currently on this worker
+	gone     bool
+}
+
+// enqueue hands a frame to the worker's writer goroutine without blocking;
+// a worker too slow to drain its queue is treated as faulty. sendq is never
+// closed — the writer exits through quit — so enqueue is race-free against
+// worker teardown.
+func (wc *workerConn) enqueue(e *proto.Envelope) bool {
+	select {
+	case <-wc.quit:
+		return false
+	default:
+	}
+	select {
+	case wc.sendq <- e:
+		return true
+	default:
+		return false
+	}
+}
+
+// runningJob tracks one dispatched job until every rank reports.
+type runningJob struct {
+	job     *Job
+	exec    *hydra.MPIExec // nil for sequential jobs
+	pending map[string]*workerConn
+	results []proto.Result
+	workers []string
+	failed  bool
+	faulted bool // failure caused by worker loss rather than the application
+	errMsg  string
+	start   time.Time
+}
+
+// Dispatcher is the central JETS scheduler.
+type Dispatcher struct {
+	cfg   Config
+	ln    net.Listener
+	epoch time.Time
+
+	mu       sync.Mutex
+	workers  map[string]*workerConn
+	idle     []*workerConn
+	queue    QueuePolicy
+	running  map[string]*runningJob
+	records  []metrics.JobRecord
+	stats    Stats
+	staged   []proto.Stage
+	draining bool
+	closed   bool
+
+	idleWait chan struct{} // closed+recreated whenever state changes (for Drain)
+	wg       sync.WaitGroup
+
+	events        chan Event
+	eventsQuit    chan struct{}
+	droppedEvents int
+}
+
+// New creates a dispatcher with defaults applied. Call Start to serve.
+func New(cfg Config) *Dispatcher {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 10 * time.Second
+	}
+	if cfg.Queue == nil {
+		cfg.Queue = NewFIFOQueue()
+	}
+	if cfg.Group == nil {
+		cfg.Group = FirstComeFirstServed
+	}
+	return &Dispatcher{
+		cfg:      cfg,
+		workers:  make(map[string]*workerConn),
+		queue:    cfg.Queue,
+		running:  make(map[string]*runningJob),
+		idleWait: make(chan struct{}),
+	}
+}
+
+// Start binds the listener and begins serving workers. It returns the bound
+// address.
+func (d *Dispatcher) Start() (string, error) {
+	ln, err := net.Listen("tcp", d.cfg.Addr)
+	if err != nil {
+		return "", err
+	}
+	d.ln = ln
+	d.epoch = time.Now()
+	if d.cfg.OnEvent != nil {
+		d.events = make(chan Event, 8192)
+		d.eventsQuit = make(chan struct{})
+		d.wg.Add(1)
+		go d.drainEvents()
+	}
+	d.wg.Add(2)
+	go d.acceptLoop()
+	go d.janitor()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the listen address (valid after Start).
+func (d *Dispatcher) Addr() string { return d.ln.Addr().String() }
+
+// Epoch returns the dispatcher start time; job records are relative to it.
+func (d *Dispatcher) Epoch() time.Time { return d.epoch }
+
+func (d *Dispatcher) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			return
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.serveWorker(proto.NewCodec(conn))
+		}()
+	}
+}
+
+// ServeConn attaches a pre-established connection as a worker transport,
+// used by the in-process runtime.
+func (d *Dispatcher) ServeConn(codec *proto.Codec) {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		d.serveWorker(codec)
+	}()
+}
+
+func (d *Dispatcher) serveWorker(codec *proto.Codec) {
+	defer codec.Close()
+	first, err := codec.Recv()
+	if err != nil || first.Kind != proto.KindRegister || first.Register == nil {
+		codec.Send(&proto.Envelope{Kind: proto.KindError, Error: "expected register"})
+		return
+	}
+	wc := &workerConn{
+		id:       first.Register.WorkerID,
+		reg:      *first.Register,
+		codec:    codec,
+		sendq:    make(chan *proto.Envelope, 1024),
+		quit:     make(chan struct{}),
+		lastSeen: time.Now(),
+		tasks:    make(map[string]*runningJob),
+	}
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	if _, dup := d.workers[wc.id]; dup {
+		d.mu.Unlock()
+		codec.Send(&proto.Envelope{Kind: proto.KindError, Error: "duplicate worker id " + wc.id})
+		return
+	}
+	d.workers[wc.id] = wc
+	d.stats.WorkersJoined++
+	d.emit(Event{Kind: EvWorkerJoined, WorkerID: wc.id, Detail: wc.reg.Host})
+	staged := append([]proto.Stage(nil), d.staged...)
+	d.mu.Unlock()
+
+	// Writer stage: drains the outbound queue so scheduling never blocks on
+	// a slow connection.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for {
+			select {
+			case e := <-wc.sendq:
+				if err := codec.Send(e); err != nil {
+					return
+				}
+			case <-wc.quit:
+				// Flush anything already queued (best effort), then exit.
+				for {
+					select {
+					case e := <-wc.sendq:
+						if err := codec.Send(e); err != nil {
+							return
+						}
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	wc.enqueue(&proto.Envelope{Kind: proto.KindRegistered})
+	for i := range staged {
+		wc.enqueue(&proto.Envelope{Kind: proto.KindStage, Stage: &staged[i]})
+	}
+
+	for {
+		env, err := codec.Recv()
+		if err != nil {
+			break
+		}
+		switch env.Kind {
+		case proto.KindWorkRequest:
+			d.markIdle(wc)
+		case proto.KindResult:
+			if env.Result != nil {
+				d.handleResult(wc, *env.Result)
+			}
+		case proto.KindOutput:
+			if env.Output != nil && d.cfg.OnOutput != nil {
+				d.cfg.OnOutput(env.Output.TaskID, env.Output.Stream, env.Output.Data)
+			}
+		case proto.KindHeartbeat:
+			d.mu.Lock()
+			wc.lastSeen = time.Now()
+			d.mu.Unlock()
+		case proto.KindStaged, proto.KindError:
+			// acks and diagnostics; nothing to do
+		default:
+		}
+		d.mu.Lock()
+		wc.lastSeen = time.Now()
+		d.mu.Unlock()
+	}
+	d.workerGone(wc)
+	<-writerDone
+}
+
+// markIdle parks a worker's work request and schedules.
+func (d *Dispatcher) markIdle(wc *workerConn) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if wc.gone {
+		return
+	}
+	if d.draining {
+		wc.enqueue(&proto.Envelope{Kind: proto.KindShutdown})
+		return
+	}
+	if !wc.parked {
+		wc.parked = true
+		d.idle = append(d.idle, wc)
+	}
+	d.trySchedule()
+	d.kick()
+}
+
+// trySchedule starts as many queued jobs as the idle workers allow. Caller
+// holds d.mu.
+func (d *Dispatcher) trySchedule() {
+	for {
+		job := d.queue.Next(len(d.idle))
+		if job == nil {
+			return
+		}
+		d.launch(job)
+	}
+}
+
+// launch assembles a worker group and streams the job's tasks. Caller holds
+// d.mu.
+func (d *Dispatcher) launch(job *Job) {
+	n := job.Procs()
+	coords := make([][]int, len(d.idle))
+	for i, wc := range d.idle {
+		coords[i] = wc.reg.Coord
+	}
+	sel := d.cfg.Group(coords, n)
+	group := make([]*workerConn, n)
+	selected := make(map[int]bool, n)
+	for i, idx := range sel {
+		group[i] = d.idle[idx]
+		selected[idx] = true
+	}
+	rest := d.idle[:0]
+	for i, wc := range d.idle {
+		if !selected[i] {
+			rest = append(rest, wc)
+		}
+	}
+	d.idle = rest
+
+	rj := &runningJob{
+		job:     job,
+		pending: make(map[string]*workerConn, n),
+		start:   time.Now(),
+	}
+	var tasks []proto.Task
+	if job.Type == MPI {
+		spec := job.Spec
+		if spec.WallLimit == 0 && d.cfg.JobTimeout > 0 {
+			spec.WallLimit = d.cfg.JobTimeout
+		}
+		exec, err := hydra.StartMPIExec(spec)
+		if err != nil {
+			d.finalizeLocked(rj, fmt.Sprintf("mpiexec start: %v", err))
+			// return the group to the idle pool
+			d.idle = append(d.idle, group...)
+			return
+		}
+		rj.exec = exec
+		tasks = exec.ProxyTasks()
+	} else {
+		tasks = []proto.Task{{
+			TaskID:    job.Spec.JobID + "/seq",
+			JobID:     job.Spec.JobID,
+			Cmd:       job.Spec.Cmd,
+			Args:      append([]string(nil), job.Spec.Args...),
+			Env:       append([]string(nil), job.Spec.Env...),
+			Dir:       job.Spec.Dir,
+			WallLimit: job.Spec.WallLimit,
+		}}
+	}
+
+	d.running[job.Spec.JobID] = rj
+	d.emit(Event{Kind: EvJobStarted, JobID: job.Spec.JobID})
+	for i := range tasks {
+		wc := group[i]
+		wc.parked = false
+		rj.pending[tasks[i].TaskID] = wc
+		rj.workers = append(rj.workers, wc.id)
+		wc.tasks[tasks[i].TaskID] = rj
+		d.stats.TasksDispatched++
+		d.emit(Event{Kind: EvTaskSent, JobID: job.Spec.JobID, TaskID: tasks[i].TaskID, WorkerID: wc.id})
+		task := tasks[i]
+		if !wc.enqueue(&proto.Envelope{Kind: proto.KindTask, Task: &task}) {
+			// Writer queue overflow: treat the worker as faulty. The result
+			// path will synthesize the failure when workerGone runs.
+			go wc.codec.Close()
+		}
+	}
+}
+
+// handleResult processes a rank's completion report.
+func (d *Dispatcher) handleResult(wc *workerConn, res proto.Result) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rj, ok := d.running[res.JobID]
+	if !ok {
+		return
+	}
+	if _, mine := rj.pending[res.TaskID]; !mine {
+		return
+	}
+	delete(rj.pending, res.TaskID)
+	delete(wc.tasks, res.TaskID)
+	rj.results = append(rj.results, res)
+	d.emit(Event{Kind: EvTaskDone, JobID: res.JobID, TaskID: res.TaskID, WorkerID: wc.id})
+	if res.ExitCode != 0 {
+		rj.failed = true
+		if rj.errMsg == "" {
+			rj.errMsg = fmt.Sprintf("task %s exited %d: %s", res.TaskID, res.ExitCode, res.Err)
+		}
+		// Unblock sibling ranks that may be stuck in MPI operations.
+		if rj.exec != nil && len(rj.pending) > 0 {
+			rj.exec.Abort()
+		}
+	}
+	if len(rj.pending) == 0 {
+		d.finalizeLocked(rj, "")
+	}
+	d.kick()
+}
+
+// workerGone removes a dead worker and fails its in-flight tasks (paper
+// §6.1.5: JETS automatically disregards workers that fail or hang).
+func (d *Dispatcher) workerGone(wc *workerConn) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if wc.gone {
+		return
+	}
+	wc.gone = true
+	close(wc.quit)
+	delete(d.workers, wc.id)
+	d.stats.WorkersLost++
+	d.emit(Event{Kind: EvWorkerLost, WorkerID: wc.id})
+	for i, c := range d.idle {
+		if c == wc {
+			d.idle = append(d.idle[:i], d.idle[i+1:]...)
+			break
+		}
+	}
+	for taskID, rj := range wc.tasks {
+		delete(wc.tasks, taskID)
+		if _, mine := rj.pending[taskID]; !mine {
+			continue
+		}
+		delete(rj.pending, taskID)
+		rj.failed = true
+		rj.faulted = true
+		if rj.errMsg == "" {
+			rj.errMsg = fmt.Sprintf("worker %s lost while running %s", wc.id, taskID)
+		}
+		rj.results = append(rj.results, proto.Result{
+			TaskID: taskID, JobID: rj.job.Spec.JobID, ExitCode: -1,
+			Err: "worker lost",
+		})
+		if rj.exec != nil {
+			rj.exec.Abort()
+		}
+		if len(rj.pending) == 0 {
+			d.finalizeLocked(rj, "")
+		}
+	}
+	d.kick()
+}
+
+// finalizeLocked completes or retries a finished job. Caller holds d.mu.
+func (d *Dispatcher) finalizeLocked(rj *runningJob, overrideErr string) {
+	delete(d.running, rj.job.Spec.JobID)
+	if rj.exec != nil {
+		rj.exec.Close()
+	}
+	if overrideErr != "" {
+		rj.failed = true
+		rj.errMsg = overrideErr
+	}
+
+	if rj.failed && rj.faulted && rj.job.retries < d.cfg.MaxJobRetries {
+		rj.job.retries++
+		d.stats.JobsRetried++
+		d.emit(Event{Kind: EvJobRetried, JobID: rj.job.Spec.JobID, Detail: rj.errMsg})
+		d.queue.Requeue(rj.job)
+		d.trySchedule()
+		return
+	}
+
+	stop := time.Since(d.epoch)
+	start := rj.start.Sub(d.epoch)
+	if !rj.failed {
+		d.records = append(d.records, metrics.JobRecord{
+			ID:    rj.job.Spec.JobID,
+			Procs: rj.job.Procs(),
+			Start: start,
+			Stop:  stop,
+		})
+		d.stats.JobsCompleted++
+		d.emit(Event{Kind: EvJobCompleted, JobID: rj.job.Spec.JobID})
+	} else {
+		d.stats.JobsFailed++
+		d.emit(Event{Kind: EvJobFailed, JobID: rj.job.Spec.JobID, Detail: rj.errMsg})
+	}
+	rj.job.handle.complete(JobResult{
+		JobID:       rj.job.Spec.JobID,
+		Failed:      rj.failed,
+		Err:         rj.errMsg,
+		Retries:     rj.job.retries,
+		Start:       start,
+		Stop:        stop,
+		TaskResults: rj.results,
+		Workers:     rj.workers,
+	})
+}
+
+// janitor expires workers whose heartbeats stopped.
+func (d *Dispatcher) janitor() {
+	defer d.wg.Done()
+	interval := d.cfg.HeartbeatTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for range t.C {
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			return
+		}
+		cutoff := time.Now().Add(-d.cfg.HeartbeatTimeout)
+		var expired []*workerConn
+		for _, wc := range d.workers {
+			if wc.lastSeen.Before(cutoff) {
+				expired = append(expired, wc)
+			}
+		}
+		d.mu.Unlock()
+		for _, wc := range expired {
+			// Closing the connection pops the reader loop, which runs the
+			// full workerGone path.
+			wc.codec.Close()
+		}
+	}
+}
+
+// kick wakes Drain waiters. Caller holds d.mu.
+func (d *Dispatcher) kick() {
+	close(d.idleWait)
+	d.idleWait = make(chan struct{})
+}
+
+// Submit enqueues a job and returns its handle.
+func (d *Dispatcher) Submit(job Job) (*Handle, error) {
+	if err := job.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if job.Type == Sequential && job.Spec.NProcs != 1 {
+		return nil, fmt.Errorf("dispatch: sequential job %q must have NProcs 1", job.Spec.JobID)
+	}
+	h := newHandle(job.Spec.JobID)
+	j := &job
+	j.handle = h
+	j.submitted = time.Now()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed || d.draining {
+		return nil, errors.New("dispatch: dispatcher is shut down")
+	}
+	if _, dup := d.running[job.Spec.JobID]; dup {
+		return nil, fmt.Errorf("dispatch: duplicate job id %q", job.Spec.JobID)
+	}
+	d.stats.JobsSubmitted++
+	d.emit(Event{Kind: EvJobSubmitted, JobID: job.Spec.JobID, Detail: job.Type.String()})
+	d.queue.Push(j)
+	d.trySchedule()
+	d.kick()
+	return h, nil
+}
+
+// Drain blocks until the queue and all running jobs are empty, or ctx ends.
+func (d *Dispatcher) Drain(ctx context.Context) error {
+	for {
+		d.mu.Lock()
+		empty := d.queue.Len() == 0 && len(d.running) == 0
+		wait := d.idleWait
+		d.mu.Unlock()
+		if empty {
+			return nil
+		}
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Shutdown drains (bounded by ctx), tells all workers to exit, and closes
+// the listener.
+func (d *Dispatcher) Shutdown(ctx context.Context) error {
+	err := d.Drain(ctx)
+	d.mu.Lock()
+	d.draining = true
+	workers := make([]*workerConn, 0, len(d.workers))
+	for _, wc := range d.workers {
+		workers = append(workers, wc)
+	}
+	d.mu.Unlock()
+	for _, wc := range workers {
+		wc.enqueue(&proto.Envelope{Kind: proto.KindShutdown})
+	}
+	d.Close()
+	return err
+}
+
+// Close releases the listener immediately. Outstanding handles complete
+// with failures as connections drop.
+func (d *Dispatcher) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	if d.eventsQuit != nil {
+		close(d.eventsQuit)
+	}
+	if d.ln != nil {
+		return d.ln.Close()
+	}
+	return nil
+}
+
+// StageFile distributes a file to every current and future worker's local
+// cache (the paper's local-storage optimization: proxy binaries, user
+// executables, and reused data files).
+func (d *Dispatcher) StageFile(name string, data []byte) {
+	s := proto.Stage{Name: name, Data: data}
+	d.mu.Lock()
+	d.staged = append(d.staged, s)
+	workers := make([]*workerConn, 0, len(d.workers))
+	for _, wc := range d.workers {
+		workers = append(workers, wc)
+	}
+	d.mu.Unlock()
+	for _, wc := range workers {
+		wc.enqueue(&proto.Envelope{Kind: proto.KindStage, Stage: &s})
+	}
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (d *Dispatcher) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Workers reports the number of live registered workers.
+func (d *Dispatcher) Workers() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.workers)
+}
+
+// IdleWorkers reports workers currently parked waiting for tasks.
+func (d *Dispatcher) IdleWorkers() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.idle)
+}
+
+// QueuedJobs reports jobs waiting for workers.
+func (d *Dispatcher) QueuedJobs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.queue.Len()
+}
+
+// RunningJobs reports jobs currently executing.
+func (d *Dispatcher) RunningJobs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.running)
+}
+
+// Records returns a copy of the completed-job records (offsets from Epoch),
+// the raw material for the utilization and load-level figures.
+func (d *Dispatcher) Records() []metrics.JobRecord {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]metrics.JobRecord(nil), d.records...)
+}

@@ -1,0 +1,131 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one dispatcher life-cycle occurrence, for observability and
+// post-run analysis (the §6.1.5 experiment's "worker and user task start
+// and stop times were recorded" instrumentation).
+type Event struct {
+	// T is the offset from the dispatcher epoch.
+	T    time.Duration `json:"t"`
+	Kind EventKind     `json:"kind"`
+
+	WorkerID string `json:"worker,omitempty"`
+	JobID    string `json:"job,omitempty"`
+	TaskID   string `json:"task,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// EventKind enumerates trace event types.
+type EventKind string
+
+// Event kinds.
+const (
+	EvWorkerJoined EventKind = "worker-joined"
+	EvWorkerLost   EventKind = "worker-lost"
+	EvJobSubmitted EventKind = "job-submitted"
+	EvJobStarted   EventKind = "job-started"
+	EvTaskSent     EventKind = "task-sent"
+	EvTaskDone     EventKind = "task-done"
+	EvJobCompleted EventKind = "job-completed"
+	EvJobFailed    EventKind = "job-failed"
+	EvJobRetried   EventKind = "job-retried"
+)
+
+// emit records an event. Called with d.mu held; the event is buffered and
+// delivered by a dedicated drainer goroutine so the observer can never
+// deadlock the scheduler. A full buffer drops events (counted in
+// DroppedEvents) rather than blocking dispatch.
+func (d *Dispatcher) emit(e Event) {
+	if d.events == nil {
+		return
+	}
+	e.T = time.Since(d.epoch)
+	select {
+	case d.events <- e:
+	default:
+		d.droppedEvents++
+	}
+}
+
+func (d *Dispatcher) drainEvents() {
+	defer d.wg.Done()
+	for {
+		select {
+		case e := <-d.events:
+			d.cfg.OnEvent(e)
+		case <-d.eventsQuit:
+			// Deliver anything already buffered, then exit.
+			for {
+				select {
+				case e := <-d.events:
+					d.cfg.OnEvent(e)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// DroppedEvents reports events lost to observer backpressure.
+func (d *Dispatcher) DroppedEvents() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.droppedEvents
+}
+
+// TraceRecorder is an OnEvent sink that retains the full event sequence.
+type TraceRecorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Record is the Config.OnEvent callback.
+func (t *TraceRecorder) Record(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded sequence.
+func (t *TraceRecorder) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Count returns how many events of the kind were recorded (all kinds when
+// kind is empty).
+func (t *TraceRecorder) Count(kind EventKind) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if kind == "" {
+		return len(t.events)
+	}
+	n := 0
+	for _, e := range t.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteJSON renders the trace as JSON lines.
+func (t *TraceRecorder) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	for _, e := range t.events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package dispatch
+
+import (
+	"sync"
+	"time"
+
+	"jets/internal/hydra"
+	"jets/internal/proto"
+)
+
+// JobType distinguishes plain sequential tasks (Falkon-style single-process
+// mode) from MPI jobs that go through the mpiexec decomposition.
+type JobType int
+
+// Job types.
+const (
+	Sequential JobType = iota
+	MPI
+)
+
+func (t JobType) String() string {
+	if t == MPI {
+		return "MPI"
+	}
+	return "sequential"
+}
+
+// Job is one unit of user work submitted to the dispatcher.
+type Job struct {
+	Spec hydra.JobSpec
+	Type JobType
+	// Priority orders jobs under the priority queue policy; higher runs
+	// first. Ignored by FIFO.
+	Priority int
+
+	retries   int
+	submitted time.Time
+	handle    *Handle
+}
+
+// Procs returns the number of workers the job needs.
+func (j *Job) Procs() int {
+	if j.Type == Sequential {
+		return 1
+	}
+	return j.Spec.NProcs
+}
+
+// JobResult is the final outcome of one job.
+type JobResult struct {
+	JobID   string
+	Failed  bool
+	Err     string
+	Retries int
+	// Start/Stop are offsets from the dispatcher epoch; Start is the moment
+	// the job's tasks were handed to workers.
+	Start, Stop time.Duration
+	// TaskResults holds the per-rank results in completion order.
+	TaskResults []proto.Result
+	// Workers lists the worker IDs the job ran on.
+	Workers []string
+}
+
+// Handle tracks an in-flight job.
+type Handle struct {
+	jobID string
+	done  chan struct{}
+
+	mu  sync.Mutex
+	res JobResult
+}
+
+func newHandle(jobID string) *Handle {
+	return &Handle{jobID: jobID, done: make(chan struct{})}
+}
+
+// JobID returns the job's identifier.
+func (h *Handle) JobID() string { return h.jobID }
+
+// Done is closed when the job reaches a terminal state.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the job completes and returns its result.
+func (h *Handle) Wait() JobResult {
+	<-h.done
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.res
+}
+
+// TryResult returns the result if the job has completed.
+func (h *Handle) TryResult() (JobResult, bool) {
+	select {
+	case <-h.done:
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return h.res, true
+	default:
+		return JobResult{}, false
+	}
+}
+
+func (h *Handle) complete(res JobResult) {
+	h.mu.Lock()
+	h.res = res
+	h.mu.Unlock()
+	close(h.done)
+}

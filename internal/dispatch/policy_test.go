@@ -1,0 +1,227 @@
+package dispatch
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"jets/internal/hydra"
+)
+
+func mkJob(id string, procs, prio int) *Job {
+	return &Job{Spec: hydra.JobSpec{JobID: id, NProcs: procs, Cmd: "x"}, Type: MPI, Priority: prio}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewFIFOQueue()
+	q.Push(mkJob("a", 2, 0))
+	q.Push(mkJob("b", 1, 9)) // priority ignored by FIFO
+	if q.Len() != 2 {
+		t.Fatalf("len=%d", q.Len())
+	}
+	if j := q.Next(4); j.Spec.JobID != "a" {
+		t.Fatalf("got %s", j.Spec.JobID)
+	}
+	if j := q.Next(4); j.Spec.JobID != "b" {
+		t.Fatalf("got %s", j.Spec.JobID)
+	}
+	if q.Next(4) != nil {
+		t.Fatal("empty queue returned job")
+	}
+}
+
+func TestFIFOHeadOfLineBlocking(t *testing.T) {
+	q := NewFIFOQueue()
+	q.Push(mkJob("big", 8, 0))
+	q.Push(mkJob("small", 1, 0))
+	if j := q.Next(4); j != nil {
+		t.Fatalf("FIFO must not overtake: got %s", j.Spec.JobID)
+	}
+	if j := q.Next(8); j.Spec.JobID != "big" {
+		t.Fatalf("got %v", j)
+	}
+}
+
+func TestFIFORequeueFront(t *testing.T) {
+	q := NewFIFOQueue()
+	q.Push(mkJob("a", 1, 0))
+	q.Push(mkJob("b", 1, 0))
+	r := mkJob("retry", 1, 0)
+	q.Requeue(r)
+	if j := q.Next(1); j.Spec.JobID != "retry" {
+		t.Fatalf("got %s", j.Spec.JobID)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	q := NewPriorityQueue(false)
+	q.Push(mkJob("low", 1, 1))
+	q.Push(mkJob("high", 1, 5))
+	q.Push(mkJob("mid", 1, 3))
+	var got []string
+	for j := q.Next(8); j != nil; j = q.Next(8) {
+		got = append(got, j.Spec.JobID)
+	}
+	want := []string{"high", "mid", "low"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestPriorityStableWithinLevel(t *testing.T) {
+	q := NewPriorityQueue(false)
+	for i := 0; i < 5; i++ {
+		q.Push(mkJob(fmt.Sprintf("j%d", i), 1, 7))
+	}
+	for i := 0; i < 5; i++ {
+		j := q.Next(8)
+		if j.Spec.JobID != fmt.Sprintf("j%d", i) {
+			t.Fatalf("position %d: got %s", i, j.Spec.JobID)
+		}
+	}
+}
+
+func TestPriorityNoBackfillBlocks(t *testing.T) {
+	q := NewPriorityQueue(false)
+	q.Push(mkJob("big-high", 8, 5))
+	q.Push(mkJob("small-low", 1, 1))
+	if j := q.Next(4); j != nil {
+		t.Fatalf("no-backfill queue overtook head: %s", j.Spec.JobID)
+	}
+}
+
+func TestPriorityBackfill(t *testing.T) {
+	q := NewPriorityQueue(true)
+	q.Push(mkJob("big-high", 8, 5))
+	q.Push(mkJob("small-low", 1, 1))
+	j := q.Next(4)
+	if j == nil || j.Spec.JobID != "small-low" {
+		t.Fatalf("backfill did not pick fitting job: %v", j)
+	}
+	// The blocked head is still there.
+	if q.Peek().Spec.JobID != "big-high" {
+		t.Fatalf("head lost")
+	}
+}
+
+func TestPriorityRequeueAhead(t *testing.T) {
+	q := NewPriorityQueue(false)
+	q.Push(mkJob("a", 1, 3))
+	r := mkJob("retry", 1, 3)
+	q.Requeue(r)
+	if j := q.Next(8); j.Spec.JobID != "retry" {
+		t.Fatalf("got %s", j.Spec.JobID)
+	}
+}
+
+func TestFCFSGroup(t *testing.T) {
+	idx := FirstComeFirstServed(make([][]int, 5), 3)
+	if len(idx) != 3 || idx[0] != 0 || idx[1] != 1 || idx[2] != 2 {
+		t.Fatalf("got %v", idx)
+	}
+}
+
+func TestTopologyAwarePrefersNearby(t *testing.T) {
+	// Workers at torus coordinates; index 0 seeds the group. Indexes 2,3 are
+	// adjacent to 0; index 1 is far away.
+	coords := [][]int{
+		{0, 0, 0}, // seed
+		{7, 7, 7}, // far
+		{0, 0, 1}, // near
+		{1, 0, 0}, // near
+	}
+	idx := TopologyAware(coords, 3)
+	if len(idx) != 3 {
+		t.Fatalf("got %v", idx)
+	}
+	chosen := map[int]bool{}
+	for _, i := range idx {
+		chosen[i] = true
+	}
+	if !chosen[0] || !chosen[2] || !chosen[3] || chosen[1] {
+		t.Fatalf("got %v; want {0,2,3}", idx)
+	}
+}
+
+func TestTopologyAwareHandlesMissingCoords(t *testing.T) {
+	coords := [][]int{{0, 0}, nil, {0, 1}, nil}
+	idx := TopologyAware(coords, 2)
+	chosen := map[int]bool{}
+	for _, i := range idx {
+		chosen[i] = true
+	}
+	if !chosen[0] || !chosen[2] {
+		t.Fatalf("got %v; workers with coordinates should group first", idx)
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	if d := manhattan([]int{1, 2, 3}, []int{4, 0, 3}); d != 5 {
+		t.Fatalf("d=%d", d)
+	}
+	if d := manhattan(nil, []int{1}); d < 1<<19 {
+		t.Fatalf("missing coords should be penalized, d=%d", d)
+	}
+	if d := manhattan([]int{1}, []int{1, 2}); d < 1<<19 {
+		t.Fatalf("mismatched dims should be penalized, d=%d", d)
+	}
+}
+
+// Property: both queue policies conserve jobs — everything pushed comes out
+// exactly once given enough capacity.
+func TestQueueConservationProperty(t *testing.T) {
+	f := func(sizes []uint8, usePrio, backfill bool) bool {
+		var q QueuePolicy
+		if usePrio {
+			q = NewPriorityQueue(backfill)
+		} else {
+			q = NewFIFOQueue()
+		}
+		n := len(sizes)
+		for i, s := range sizes {
+			q.Push(mkJob(fmt.Sprintf("j%d", i), int(s%8)+1, int(s%3)))
+		}
+		seen := map[string]bool{}
+		for j := q.Next(8); j != nil; j = q.Next(8) {
+			if seen[j.Spec.JobID] {
+				return false
+			}
+			seen[j.Spec.JobID] = true
+		}
+		return len(seen) == n && q.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TopologyAware always returns n distinct valid indexes.
+func TestTopologyAwareValidProperty(t *testing.T) {
+	f := func(raw []uint8, nRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		coords := make([][]int, len(raw))
+		for i, v := range raw {
+			coords[i] = []int{int(v % 8), int(v / 8 % 8), int(v / 64)}
+		}
+		n := int(nRaw)%len(coords) + 1
+		idx := TopologyAware(coords, n)
+		if len(idx) != n {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, i := range idx {
+			if i < 0 || i >= len(coords) || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

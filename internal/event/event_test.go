@@ -1,0 +1,256 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(3*time.Second, func() { order = append(order, 3) })
+	s.At(1*time.Second, func() { order = append(order, 1) })
+	s.At(2*time.Second, func() { order = append(order, 2) })
+	s.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order=%v", order)
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("now=%v", s.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var hits []time.Duration
+	s.At(time.Second, func() {
+		s.After(500*time.Millisecond, func() {
+			hits = append(hits, s.Now())
+		})
+	})
+	s.Run(0)
+	if len(hits) != 1 || hits[0] != 1500*time.Millisecond {
+		t.Fatalf("hits=%v", hits)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(0, func() {})
+	})
+	s.Run(0)
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	s.After(-time.Second, func() {})
+}
+
+func TestRunLimit(t *testing.T) {
+	s := New(1)
+	count := 0
+	var reschedule func()
+	reschedule = func() {
+		count++
+		s.After(time.Millisecond, reschedule)
+	}
+	s.After(0, reschedule)
+	n := s.Run(100)
+	if n != 100 || count != 100 {
+		t.Fatalf("n=%d count=%d", n, count)
+	}
+	if s.Pending() == 0 {
+		t.Fatal("limit should leave events pending")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4} {
+		d := d * time.Second
+		s.At(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(2500 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired=%v", fired)
+	}
+	if s.Now() != 2500*time.Millisecond {
+		t.Fatalf("now=%v", s.Now())
+	}
+	s.RunUntil(10 * time.Second)
+	if len(fired) != 4 {
+		t.Fatalf("fired=%v", fired)
+	}
+}
+
+func TestStationSingleServer(t *testing.T) {
+	s := New(1)
+	st := NewStation(s, 1)
+	var done []time.Duration
+	// Three requests at t=0 with 1s service each: complete at 1, 2, 3.
+	for i := 0; i < 3; i++ {
+		st.Request(time.Second, func() { done = append(done, s.Now()) })
+	}
+	s.Run(0)
+	want := []time.Duration{1 * time.Second, 2 * time.Second, 3 * time.Second}
+	if len(done) != 3 {
+		t.Fatalf("done=%v", done)
+	}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("done=%v want %v", done, want)
+		}
+	}
+	if st.MaxQueue != 2 {
+		t.Fatalf("maxqueue=%d", st.MaxQueue)
+	}
+	if bt := st.BusyTime(); bt != 3*time.Second {
+		t.Fatalf("busy=%v", bt)
+	}
+}
+
+func TestStationMultiServer(t *testing.T) {
+	s := New(1)
+	st := NewStation(s, 2)
+	var last time.Duration
+	for i := 0; i < 4; i++ {
+		st.Request(time.Second, func() { last = s.Now() })
+	}
+	s.Run(0)
+	if last != 2*time.Second {
+		t.Fatalf("4 reqs on 2 servers should finish at 2s, got %v", last)
+	}
+}
+
+func TestStationPanics(t *testing.T) {
+	s := New(1)
+	func() {
+		defer func() { recover() }()
+		NewStation(s, 0)
+		t.Error("zero servers accepted")
+	}()
+	st := NewStation(s, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative service accepted")
+		}
+	}()
+	st.Request(-time.Second, nil)
+}
+
+func TestPool(t *testing.T) {
+	s := New(1)
+	p := NewPool(s, 2)
+	got := 0
+	for i := 0; i < 5; i++ {
+		p.Acquire(func() { got++ })
+	}
+	if got != 2 || p.Waiting() != 3 {
+		t.Fatalf("got=%d waiting=%d", got, p.Waiting())
+	}
+	p.Release()
+	if got != 3 {
+		t.Fatalf("release did not hand off: got=%d", got)
+	}
+	p.Release()
+	p.Release()
+	if got != 5 || p.Waiting() != 0 {
+		t.Fatalf("got=%d waiting=%d", got, p.Waiting())
+	}
+	p.Release()
+	if p.Available() != 1 {
+		t.Fatalf("avail=%d", p.Available())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		s := New(42)
+		var out []time.Duration
+		for i := 0; i < 50; i++ {
+			d := time.Duration(s.Rand().Intn(1000)) * time.Millisecond
+			s.At(d, func() { out = append(out, s.Now()) })
+		}
+		s.Run(0)
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: events always execute in nondecreasing time order.
+func TestMonotonicTimeProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New(7)
+		ok := true
+		last := time.Duration(-1)
+		for _, d := range delays {
+			s.At(time.Duration(d)*time.Millisecond, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run(0)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a single-server station serializes: total completion time of n
+// identical requests equals n * service.
+func TestStationSerializationProperty(t *testing.T) {
+	f := func(nRaw, svcRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		svc := time.Duration(int(svcRaw)+1) * time.Millisecond
+		s := New(3)
+		st := NewStation(s, 1)
+		var last time.Duration
+		for i := 0; i < n; i++ {
+			st.Request(svc, func() { last = s.Now() })
+		}
+		s.Run(0)
+		return last == time.Duration(n)*svc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package faults implements the fault-injection harness of §6.1.5: a script
+// run on the submit site "that terminated randomly selected pilot jobs, one
+// at a time, at regular 10-s intervals", so that the dispatcher's handling
+// of dead workers can be observed as the allocation shrinks to zero.
+package faults
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"jets/internal/worker"
+)
+
+// Injector kills one random live worker per interval.
+type Injector struct {
+	Interval time.Duration
+	rng      *rand.Rand
+
+	mu      sync.Mutex
+	alive   []*worker.Worker
+	killed  int
+	history []time.Duration // offsets from Start
+	start   time.Time
+}
+
+// NewInjector creates an injector over the given workers.
+func NewInjector(workers []*worker.Worker, interval time.Duration, seed int64) *Injector {
+	return &Injector{
+		Interval: interval,
+		rng:      rand.New(rand.NewSource(seed)),
+		alive:    append([]*worker.Worker(nil), workers...),
+	}
+}
+
+// Run kills one worker per interval until none remain or ctx ends. It
+// blocks; run it in a goroutine alongside the workload.
+func (inj *Injector) Run(ctx context.Context) {
+	inj.mu.Lock()
+	inj.start = time.Now()
+	inj.mu.Unlock()
+	t := time.NewTicker(inj.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if !inj.KillOne() {
+				return
+			}
+		}
+	}
+}
+
+// KillOne kills one random live worker now, reporting false when none
+// remain.
+func (inj *Injector) KillOne() bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if len(inj.alive) == 0 {
+		return false
+	}
+	i := inj.rng.Intn(len(inj.alive))
+	w := inj.alive[i]
+	inj.alive = append(inj.alive[:i], inj.alive[i+1:]...)
+	w.Kill()
+	inj.killed++
+	if !inj.start.IsZero() {
+		inj.history = append(inj.history, time.Since(inj.start))
+	}
+	return true
+}
+
+// Killed reports how many workers have been killed.
+func (inj *Injector) Killed() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.killed
+}
+
+// Alive reports how many workers remain.
+func (inj *Injector) Alive() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return len(inj.alive)
+}
+
+// History returns kill times as offsets from Run start (empty for manual
+// KillOne use before Run).
+func (inj *Injector) History() []time.Duration {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return append([]time.Duration(nil), inj.history...)
+}

@@ -1,0 +1,150 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"jets/internal/core"
+	"jets/internal/dispatch"
+	"jets/internal/hydra"
+	"jets/internal/metrics"
+)
+
+func TestKillOneDrainsAll(t *testing.T) {
+	runner := hydra.NewFuncRunner()
+	eng, err := core.NewEngine(core.Options{LocalWorkers: 5, Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	inj := NewInjector(eng.Workers(), time.Hour, 3)
+	for i := 5; i > 0; i-- {
+		if inj.Alive() != i {
+			t.Fatalf("alive=%d want %d", inj.Alive(), i)
+		}
+		if !inj.KillOne() {
+			t.Fatal("KillOne false with workers remaining")
+		}
+	}
+	if inj.KillOne() {
+		t.Fatal("KillOne true with none remaining")
+	}
+	if inj.Killed() != 5 {
+		t.Fatalf("killed=%d", inj.Killed())
+	}
+}
+
+// TestFaultyUtilization reproduces the §6.1.5 scenario at reduced scale:
+// workers are killed one at a time while a large sequential batch runs; the
+// dispatcher must keep the surviving workers busy and the batch of jobs
+// completed on live workers must track the shrinking allocation.
+func TestFaultyUtilization(t *testing.T) {
+	const nWorkers = 8
+	runner := hydra.NewFuncRunner()
+	runner.Register("tick", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		select {
+		case <-time.After(10 * time.Millisecond):
+			return 0
+		case <-ctx.Done():
+			return 1
+		}
+	})
+	eng, err := core.NewEngine(core.Options{
+		LocalWorkers:     nWorkers,
+		Runner:           runner,
+		HeartbeatTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Enough work to outlast the faults.
+	var handles []*dispatch.Handle
+	for i := 0; i < 400; i++ {
+		h, err := eng.Submit(dispatch.Job{
+			Spec: hydra.JobSpec{JobID: fmt.Sprintf("t%d", i), NProcs: 1, Cmd: "tick"},
+			Type: dispatch.Sequential,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+
+	inj := NewInjector(eng.Workers(), 60*time.Millisecond, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go inj.Run(ctx)
+
+	// Wait until all workers are dead.
+	for inj.Alive() > 0 {
+		select {
+		case <-ctx.Done():
+			t.Fatal("injector did not finish")
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	// With all workers dead, any job still queued will never run; wait only
+	// for in-flight work to settle, then count terminal handles.
+	settle := time.Now().Add(10 * time.Second)
+	for eng.Dispatcher().RunningJobs() > 0 && time.Now().Before(settle) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	completed, failed := 0, 0
+	for _, h := range handles {
+		res, done := h.TryResult()
+		if !done {
+			continue // legitimately stranded in the queue
+		}
+		if res.Failed {
+			failed++
+		} else {
+			completed++
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no jobs completed under fault injection")
+	}
+	st := eng.Dispatcher().Stats()
+	if st.WorkersLost != nWorkers {
+		t.Fatalf("workers lost=%d want %d", st.WorkersLost, nWorkers)
+	}
+	// Fig. 10's claim: while workers remained, completed jobs kept flowing —
+	// the records' load level should have been positive until near the end.
+	recs := eng.Dispatcher().Records()
+	if len(recs) == 0 {
+		t.Fatal("no job records")
+	}
+	load := metrics.LoadLevel(recs)
+	if load.Max() == 0 {
+		t.Fatal("load level never positive")
+	}
+	t.Logf("completed=%d failed=%d records=%d maxload=%v", completed, failed, len(recs), load.Max())
+}
+
+func TestHistoryRecorded(t *testing.T) {
+	runner := hydra.NewFuncRunner()
+	eng, err := core.NewEngine(core.Options{LocalWorkers: 3, Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	inj := NewInjector(eng.Workers(), 20*time.Millisecond, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	inj.Run(ctx) // runs to exhaustion (3 kills)
+	h := inj.History()
+	if len(h) != 3 {
+		t.Fatalf("history=%v", h)
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i] < h[i-1] {
+			t.Fatalf("history not monotone: %v", h)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package fsim models storage for the discrete-event simulator: a shared
+// parallel filesystem (GPFS/PVFS-like) whose metadata and data services
+// congest under many simultaneous clients, and unconstrained node-local
+// storage (the ZeptoOS RAM filesystem the JETS start scripts use to cache
+// proxy and application binaries).
+//
+// The distinction drives several of the paper's results: Fig. 15's
+// utilization loss as processes-per-node rises (the application binary is
+// re-read per process from GPFS), and the single-process REM case's loss to
+// simultaneous small-file accesses (§6.2.2).
+package fsim
+
+import (
+	"fmt"
+	"time"
+
+	"jets/internal/event"
+)
+
+// FS is the simulated storage interface.
+type FS interface {
+	// Read schedules a read of size bytes by one client; done runs at
+	// completion.
+	Read(size int, done func())
+	// Write schedules a write of size bytes; done runs at completion.
+	Write(size int, done func())
+	// Open schedules a metadata operation (open/stat); done runs at
+	// completion.
+	Open(done func())
+	// Name identifies the model.
+	Name() string
+}
+
+// SharedFS models a parallel filesystem: a metadata station with a fixed
+// service rate (the scarce resource under small-file loads) and a data
+// station with aggregate bandwidth divided among concurrent streams.
+type SharedFS struct {
+	name string
+	sim  *event.Sim
+	meta *event.Station
+	data *event.Station
+
+	// BytesPerSec is the aggregate data bandwidth.
+	BytesPerSec float64
+	// MetaService is the per-metadata-op service time.
+	MetaService time.Duration
+
+	reads, writes, opens int
+}
+
+// SharedConfig parameterizes a shared filesystem.
+type SharedConfig struct {
+	Name string
+	// MetaServers is the number of concurrent metadata operations served.
+	MetaServers int
+	// MetaService is the service time of one metadata operation.
+	MetaService time.Duration
+	// DataStreams is the number of concurrent full-rate data streams.
+	DataStreams int
+	// BytesPerSec is the per-stream data bandwidth.
+	BytesPerSec float64
+}
+
+// NewShared creates a shared filesystem model.
+func NewShared(sim *event.Sim, cfg SharedConfig) (*SharedFS, error) {
+	if cfg.MetaServers <= 0 || cfg.DataStreams <= 0 {
+		return nil, fmt.Errorf("fsim: invalid server counts %+v", cfg)
+	}
+	if cfg.BytesPerSec <= 0 {
+		return nil, fmt.Errorf("fsim: invalid bandwidth %v", cfg.BytesPerSec)
+	}
+	return &SharedFS{
+		name:        cfg.Name,
+		sim:         sim,
+		meta:        event.NewStation(sim, cfg.MetaServers),
+		data:        event.NewStation(sim, cfg.DataStreams),
+		BytesPerSec: cfg.BytesPerSec,
+		MetaService: cfg.MetaService,
+	}, nil
+}
+
+// Name implements FS.
+func (f *SharedFS) Name() string { return f.name }
+
+// Open implements FS: one metadata service.
+func (f *SharedFS) Open(done func()) {
+	f.opens++
+	f.meta.Request(f.MetaService, done)
+}
+
+// Read implements FS: metadata then data transfer.
+func (f *SharedFS) Read(size int, done func()) {
+	f.reads++
+	f.meta.Request(f.MetaService, func() {
+		f.data.Request(f.xfer(size), done)
+	})
+}
+
+// Write implements FS: metadata then data transfer.
+func (f *SharedFS) Write(size int, done func()) {
+	f.writes++
+	f.meta.Request(f.MetaService, func() {
+		f.data.Request(f.xfer(size), done)
+	})
+}
+
+func (f *SharedFS) xfer(size int) time.Duration {
+	if size < 0 {
+		size = 0
+	}
+	return time.Duration(float64(size) / f.BytesPerSec * float64(time.Second))
+}
+
+// Ops reports (reads, writes, opens) so experiments can assert I/O volume.
+func (f *SharedFS) Ops() (reads, writes, opens int) { return f.reads, f.writes, f.opens }
+
+// MetaQueueMax reports the metadata station's wait-queue high-water mark —
+// the congestion signal for the small-file analyses.
+func (f *SharedFS) MetaQueueMax() int { return f.meta.MaxQueue }
+
+// LocalFS models node-local RAM storage: constant small latency, no
+// cross-client contention (each node has its own device, so one instance is
+// shared safely across simulated nodes).
+type LocalFS struct {
+	name    string
+	sim     *event.Sim
+	Latency time.Duration
+	// BytesPerSec is effectively memory bandwidth.
+	BytesPerSec float64
+}
+
+// NewLocal creates a node-local storage model.
+func NewLocal(sim *event.Sim, latency time.Duration, bytesPerSec float64) (*LocalFS, error) {
+	if bytesPerSec <= 0 {
+		return nil, fmt.Errorf("fsim: invalid bandwidth %v", bytesPerSec)
+	}
+	return &LocalFS{name: "local-ram", sim: sim, Latency: latency, BytesPerSec: bytesPerSec}, nil
+}
+
+// Name implements FS.
+func (f *LocalFS) Name() string { return f.name }
+
+func nop() {}
+
+func orNop(done func()) func() {
+	if done == nil {
+		return nop
+	}
+	return done
+}
+
+// Open implements FS.
+func (f *LocalFS) Open(done func()) { f.sim.After(f.Latency, orNop(done)) }
+
+// Read implements FS.
+func (f *LocalFS) Read(size int, done func()) {
+	if size < 0 {
+		size = 0
+	}
+	f.sim.After(f.Latency+time.Duration(float64(size)/f.BytesPerSec*float64(time.Second)), orNop(done))
+}
+
+// Write implements FS.
+func (f *LocalFS) Write(size int, done func()) {
+	if size < 0 {
+		size = 0
+	}
+	f.sim.After(f.Latency+time.Duration(float64(size)/f.BytesPerSec*float64(time.Second)), orNop(done))
+}
+
+// GPFS returns a model calibrated to the paper's GPFS installations:
+// metadata ops cost ~3 ms each with modest parallelism; aggregate streaming
+// bandwidth is high but shared.
+func GPFS(sim *event.Sim) *SharedFS {
+	f, err := NewShared(sim, SharedConfig{
+		Name:        "gpfs",
+		MetaServers: 8,
+		MetaService: 3 * time.Millisecond,
+		DataStreams: 8,
+		BytesPerSec: 80e6, // ~640 MB/s aggregate
+	})
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// PVFS returns a model of the Surveyor PVFS volume used by the NAMD runs.
+func PVFS(sim *event.Sim) *SharedFS {
+	f, err := NewShared(sim, SharedConfig{
+		Name:        "pvfs",
+		MetaServers: 4,
+		MetaService: 2 * time.Millisecond,
+		DataStreams: 16,
+		BytesPerSec: 300e6,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// RAMDisk returns the ZeptoOS node-local RAM filesystem model.
+func RAMDisk(sim *event.Sim) *LocalFS {
+	f, err := NewLocal(sim, 30*time.Microsecond, 1.5e9)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,142 @@
+package fsim
+
+import (
+	"testing"
+	"time"
+
+	"jets/internal/event"
+)
+
+func TestLocalFSTiming(t *testing.T) {
+	sim := event.New(1)
+	fs, err := NewLocal(sim, time.Millisecond, 1e6) // 1 MB/s for easy math
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneAt time.Duration
+	fs.Read(500_000, func() { doneAt = sim.Now() }) // 0.5s transfer + 1ms
+	sim.Run(0)
+	want := 501 * time.Millisecond
+	if doneAt != want {
+		t.Fatalf("doneAt=%v want %v", doneAt, want)
+	}
+}
+
+func TestLocalFSNoContention(t *testing.T) {
+	sim := event.New(1)
+	fs, _ := NewLocal(sim, time.Millisecond, 1e6)
+	var finishes []time.Duration
+	for i := 0; i < 10; i++ {
+		fs.Read(1_000_000, func() { finishes = append(finishes, sim.Now()) })
+	}
+	sim.Run(0)
+	for _, f := range finishes {
+		if f != 1001*time.Millisecond {
+			t.Fatalf("local reads should not contend: %v", finishes)
+		}
+	}
+}
+
+func TestSharedFSMetadataContention(t *testing.T) {
+	sim := event.New(1)
+	fs, err := NewShared(sim, SharedConfig{
+		Name: "t", MetaServers: 1, MetaService: 10 * time.Millisecond,
+		DataStreams: 100, BytesPerSec: 1e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last time.Duration
+	const n = 20
+	for i := 0; i < n; i++ {
+		fs.Open(func() { last = sim.Now() })
+	}
+	sim.Run(0)
+	if last != n*10*time.Millisecond {
+		t.Fatalf("metadata serialized wrong: last=%v", last)
+	}
+	if fs.MetaQueueMax() != n-1 {
+		t.Fatalf("queue max=%d", fs.MetaQueueMax())
+	}
+}
+
+func TestSharedFSDataContention(t *testing.T) {
+	sim := event.New(1)
+	fs, _ := NewShared(sim, SharedConfig{
+		Name: "t", MetaServers: 100, MetaService: 0,
+		DataStreams: 2, BytesPerSec: 1e6,
+	})
+	var last time.Duration
+	// 4 reads of 1 MB on 2 streams at 1 MB/s each: two waves => 2s.
+	for i := 0; i < 4; i++ {
+		fs.Read(1_000_000, func() { last = sim.Now() })
+	}
+	sim.Run(0)
+	if last != 2*time.Second {
+		t.Fatalf("last=%v want 2s", last)
+	}
+}
+
+func TestOpsCounting(t *testing.T) {
+	sim := event.New(1)
+	fs := GPFS(sim)
+	fs.Read(10, nil)
+	fs.Read(10, nil)
+	fs.Write(10, nil)
+	fs.Open(nil)
+	sim.Run(0)
+	r, w, o := fs.Ops()
+	if r != 2 || w != 1 || o != 1 {
+		t.Fatalf("ops=(%d,%d,%d)", r, w, o)
+	}
+}
+
+func TestNilDoneCallbacks(t *testing.T) {
+	sim := event.New(1)
+	fs := RAMDisk(sim)
+	fs.Read(100, nil)
+	fs.Write(100, nil)
+	fs.Open(nil)
+	sim.Run(0) // must not panic
+}
+
+func TestConfigValidation(t *testing.T) {
+	sim := event.New(1)
+	if _, err := NewShared(sim, SharedConfig{MetaServers: 0, DataStreams: 1, BytesPerSec: 1}); err == nil {
+		t.Error("zero meta servers accepted")
+	}
+	if _, err := NewShared(sim, SharedConfig{MetaServers: 1, DataStreams: 1, BytesPerSec: 0}); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := NewLocal(sim, 0, 0); err == nil {
+		t.Error("zero local bandwidth accepted")
+	}
+}
+
+func TestLocalFasterThanSharedSmallFiles(t *testing.T) {
+	// The paper's local-storage optimization exists because node-local
+	// lookups are much cheaper than GPFS lookups; verify the models agree.
+	sim := event.New(1)
+	shared := GPFS(sim)
+	local := RAMDisk(sim)
+	var sharedDone, localDone time.Duration
+	for i := 0; i < 64; i++ { // 64 concurrent small reads (binary loads)
+		shared.Read(4096, func() { sharedDone = sim.Now() })
+		local.Read(4096, func() { localDone = sim.Now() })
+	}
+	sim.Run(0)
+	if localDone*5 > sharedDone {
+		t.Fatalf("local=%v shared=%v; local should be much faster under load", localDone, sharedDone)
+	}
+}
+
+func TestNegativeSizeClamped(t *testing.T) {
+	sim := event.New(1)
+	fs := GPFS(sim)
+	fired := false
+	fs.Read(-100, func() { fired = true })
+	sim.Run(0)
+	if !fired {
+		t.Fatal("negative size read never completed")
+	}
+}

@@ -1,0 +1,177 @@
+// Package hydra reimplements the role MPICH2's Hydra process manager plays
+// in JETS. The paper's key enabling change was a Hydra bootstrap mode,
+// launcher=manual, in which mpiexec does not launch proxies itself: it
+// reports the proxy commands and keeps providing its ordinary network
+// services (PMI, stdout routing), so that an external scheduler — JETS —
+// can place the proxies on whatever nodes it has available.
+//
+// Here, MPIExec is the background mpiexec process: starting one yields a
+// set of per-rank proxy task specifications (ProxyTasks) that the JETS
+// dispatcher sends to workers. Each worker executes the proxy (RunProxy in
+// proxy.go), which dials back to the MPIExec control endpoint, sets up the
+// PMI environment, and launches the user process. MPIExec observes job
+// completion through PMI finalization.
+package hydra
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jets/internal/pmi"
+	"jets/internal/proto"
+)
+
+// JobSpec describes one MPI job: the unit of the paper's input files
+// ("MPI: 4 namd2.sh input-1.pdb output-1.log").
+type JobSpec struct {
+	JobID     string
+	NProcs    int
+	Cmd       string
+	Args      []string
+	Env       []string // extra KEY=VALUE pairs for the user process
+	Dir       string
+	WallLimit time.Duration
+}
+
+// Validate reports whether the spec is runnable.
+func (s *JobSpec) Validate() error {
+	if s.NProcs <= 0 {
+		return fmt.Errorf("hydra: job %q has nonpositive process count %d", s.JobID, s.NProcs)
+	}
+	if s.Cmd == "" {
+		return fmt.Errorf("hydra: job %q has empty command", s.JobID)
+	}
+	return nil
+}
+
+var mpiexecSeq atomic.Uint64
+
+// MPIExec is one background mpiexec instance managing a single MPI job.
+// JETS runs many of these concurrently; the paper notes that hundreds of
+// mpiexec processes place no noticeable load on the submit site.
+type MPIExec struct {
+	Spec JobSpec
+
+	kvsName string
+	addr    string
+	srv     *pmi.Server
+
+	mu      sync.Mutex
+	aborted bool
+	err     error
+}
+
+// StartMPIExec launches the mpiexec network services for the job: a PMI
+// server bound to a loopback ephemeral port. It corresponds to JETS forking
+// `mpiexec -launcher manual` in the background.
+func StartMPIExec(spec JobSpec) (*MPIExec, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	kvs := fmt.Sprintf("kvs_%s_%d", sanitizeToken(spec.JobID), mpiexecSeq.Add(1))
+	srv, err := pmi.NewServer(kvs, spec.NProcs)
+	if err != nil {
+		return nil, err
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	return &MPIExec{Spec: spec, kvsName: kvs, addr: addr, srv: srv}, nil
+}
+
+func sanitizeToken(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "job"
+	}
+	return string(out)
+}
+
+// ControlAddr returns the endpoint proxies dial back to (the merged
+// control/PMI channel).
+func (m *MPIExec) ControlAddr() string { return m.addr }
+
+// KVSName returns the job's PMI key-value-space name.
+func (m *MPIExec) KVSName() string { return m.kvsName }
+
+// ProxyTasks renders the launcher=manual output: one proxy task per rank,
+// ready for the dispatcher to hand to workers.
+func (m *MPIExec) ProxyTasks() []proto.Task {
+	tasks := make([]proto.Task, m.Spec.NProcs)
+	for rank := 0; rank < m.Spec.NProcs; rank++ {
+		tasks[rank] = proto.Task{
+			TaskID:    fmt.Sprintf("%s/rank%d", m.Spec.JobID, rank),
+			JobID:     m.Spec.JobID,
+			Cmd:       m.Spec.Cmd,
+			Args:      append([]string(nil), m.Spec.Args...),
+			Env:       append([]string(nil), m.Spec.Env...),
+			Dir:       m.Spec.Dir,
+			Rank:      rank,
+			Size:      m.Spec.NProcs,
+			Control:   m.addr,
+			KVS:       m.kvsName,
+			WallLimit: m.Spec.WallLimit,
+		}
+	}
+	return tasks
+}
+
+// Wait blocks until every rank has finalized through PMI or the timeout
+// elapses. On timeout the job is aborted so stuck ranks unblock with
+// errors (TCP fault recoverability, §6.1.3).
+func (m *MPIExec) Wait(timeout time.Duration) error {
+	select {
+	case <-m.srv.Done():
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.err
+	case <-time.After(timeout):
+		m.AbortErr(fmt.Errorf("hydra: job %s timed out after %v", m.Spec.JobID, timeout))
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.err
+	}
+}
+
+// Done exposes the PMI completion channel.
+func (m *MPIExec) Done() <-chan struct{} { return m.srv.Done() }
+
+// Abort tears down the mpiexec network services; user processes blocked in
+// PMI operations fail promptly. It is called when a worker running one of
+// the job's proxies dies.
+func (m *MPIExec) Abort() { m.AbortErr(fmt.Errorf("hydra: job %s aborted", m.Spec.JobID)) }
+
+// AbortErr aborts with a specific cause.
+func (m *MPIExec) AbortErr(cause error) {
+	m.mu.Lock()
+	if m.aborted {
+		m.mu.Unlock()
+		return
+	}
+	m.aborted = true
+	m.err = cause
+	m.mu.Unlock()
+	m.srv.Close()
+}
+
+// Aborted reports whether the job was aborted.
+func (m *MPIExec) Aborted() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.aborted
+}
+
+// Close releases mpiexec resources after the job completes.
+func (m *MPIExec) Close() error { return m.srv.Close() }

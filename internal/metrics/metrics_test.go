@@ -1,0 +1,291 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestUtilizationEq1(t *testing.T) {
+	// Eq (1): duration*jobs*n / (alloc*time).
+	// 10s jobs, 20 jobs, 4 procs each, on 8 procs for 100s: 10*20*4/(8*100)=1.0
+	u := Utilization(10*time.Second, 20, 4, 8, 100*time.Second)
+	if u != 1.0 {
+		t.Fatalf("got %v want 1.0", u)
+	}
+	u = Utilization(10*time.Second, 10, 4, 8, 100*time.Second)
+	if math.Abs(u-0.5) > 1e-12 {
+		t.Fatalf("got %v want 0.5", u)
+	}
+}
+
+func TestUtilizationClampsAndGuards(t *testing.T) {
+	if u := Utilization(time.Second, 1000, 1000, 1, time.Second); u != 1 {
+		t.Errorf("over-unity not clamped: %v", u)
+	}
+	if u := Utilization(time.Second, 1, 1, 0, time.Second); u != 0 {
+		t.Errorf("zero allocation: %v", u)
+	}
+	if u := Utilization(time.Second, 1, 1, 1, 0); u != 0 {
+		t.Errorf("zero total: %v", u)
+	}
+}
+
+func TestWeightedUtilization(t *testing.T) {
+	jobs := []JobRecord{
+		{Procs: 4, Start: 0, Stop: 10 * time.Second},
+		{Procs: 2, Start: 0, Stop: 5 * time.Second},
+	}
+	// busy = 40 + 10 = 50 proc-s; held = 10 procs * 10 s = 100
+	u := WeightedUtilization(jobs, 10, 10*time.Second)
+	if math.Abs(u-0.5) > 1e-12 {
+		t.Fatalf("got %v want 0.5", u)
+	}
+}
+
+func TestJobRecordDuration(t *testing.T) {
+	j := JobRecord{Start: 5 * time.Second, Stop: 3 * time.Second}
+	if d := j.Duration(); d != 0 {
+		t.Fatalf("inverted record should report 0, got %v", d)
+	}
+}
+
+func TestLoadLevel(t *testing.T) {
+	jobs := []JobRecord{
+		{Procs: 4, Start: 0, Stop: 10 * time.Second},
+		{Procs: 4, Start: 5 * time.Second, Stop: 15 * time.Second},
+	}
+	s := LoadLevel(jobs)
+	if got := s.At(1 * time.Second); got != 4 {
+		t.Errorf("t=1s: got %v want 4", got)
+	}
+	if got := s.At(7 * time.Second); got != 8 {
+		t.Errorf("t=7s: got %v want 8", got)
+	}
+	if got := s.At(12 * time.Second); got != 4 {
+		t.Errorf("t=12s: got %v want 4", got)
+	}
+	if got := s.At(20 * time.Second); got != 0 {
+		t.Errorf("t=20s: got %v want 0", got)
+	}
+	if got := s.Max(); got != 8 {
+		t.Errorf("max: got %v want 8", got)
+	}
+}
+
+func TestLoadLevelStopBeforeStartAtSameInstant(t *testing.T) {
+	jobs := []JobRecord{
+		{Procs: 4, Start: 0, Stop: 10 * time.Second},
+		{Procs: 4, Start: 10 * time.Second, Stop: 20 * time.Second},
+	}
+	s := LoadLevel(jobs)
+	// At t=10s the stop is applied before the start, so the level never
+	// exceeds 4.
+	if got := s.Max(); got != 4 {
+		t.Fatalf("max: got %v want 4", got)
+	}
+}
+
+func TestSeriesAtBeforeFirst(t *testing.T) {
+	s := &Series{T: []time.Duration{time.Second}, V: []float64{7}}
+	if got := s.At(0); got != 0 {
+		t.Fatalf("before first point: got %v want 0", got)
+	}
+}
+
+func TestSeriesMean(t *testing.T) {
+	s := &Series{
+		T: []time.Duration{0, 10 * time.Second},
+		V: []float64{4, 0},
+	}
+	// 4 for 10s then 0 for 10s => mean 2 over 20s
+	if got := s.Mean(20 * time.Second); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("got %v want 2", got)
+	}
+}
+
+func TestSeriesMeanEmpty(t *testing.T) {
+	s := &Series{}
+	if got := s.Mean(time.Second); got != 0 {
+		t.Fatalf("got %v want 0", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(100, 160, 6)
+	for _, x := range []float64{100, 105, 110, 119.9, 120, 159, 160, 99, 50} {
+		h.Add(x)
+	}
+	if h.N != 9 {
+		t.Fatalf("N=%d", h.N)
+	}
+	if h.Counts[0] != 2 { // 100..110 -> 100,105
+		t.Errorf("bucket0=%d want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 2 { // 110..120 -> 110,119.9
+		t.Errorf("bucket1=%d want 2", h.Counts[1])
+	}
+	if h.Under != 2 || h.Over != 1 {
+		t.Errorf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Min() != 50 || h.Max() != 160 {
+		t.Errorf("min=%v max=%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramUpperEdgeRounding(t *testing.T) {
+	h := NewHistogram(0, 0.3, 3)
+	h.Add(0.3 - 1e-16) // float rounding can index past the last bucket
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total+h.Over != 1 {
+		t.Fatalf("sample lost: counts=%v over=%d", h.Counts, h.Over)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, tc := range []struct {
+		lo, hi float64
+		n      int
+	}{{0, 1, 0}, {1, 1, 4}, {2, 1, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v,%v,%d) did not panic", tc.lo, tc.hi, tc.n)
+				}
+			}()
+			NewHistogram(tc.lo, tc.hi, tc.n)
+		}()
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, x := range []float64{2, 4, 6, 8} {
+		h.Add(x)
+	}
+	if m := h.Mean(); math.Abs(m-5) > 1e-12 {
+		t.Errorf("mean=%v", m)
+	}
+	if sd := h.Stddev(); math.Abs(sd-math.Sqrt(5)) > 1e-9 {
+		t.Errorf("stddev=%v want %v", sd, math.Sqrt(5))
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(s, 0); q != 1 {
+		t.Errorf("q0=%v", q)
+	}
+	if q := Quantile(s, 1); q != 5 {
+		t.Errorf("q1=%v", q)
+	}
+	if q := Quantile(s, 0.5); q != 3 {
+		t.Errorf("q0.5=%v", q)
+	}
+	if q := Quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty=%v", q)
+	}
+	// input must not be reordered
+	s2 := []float64{5, 1, 3}
+	Quantile(s2, 0.5)
+	if s2[0] != 5 || s2[1] != 1 || s2[2] != 3 {
+		t.Errorf("input mutated: %v", s2)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	jobs := []JobRecord{
+		{Procs: 4, Start: 0, Stop: 10 * time.Second},
+		{Procs: 4, Start: 2 * time.Second, Stop: 12 * time.Second},
+	}
+	s := Summarize(jobs, 8)
+	if s.Jobs != 2 || s.Procs != 8 {
+		t.Errorf("jobs=%d procs=%d", s.Jobs, s.Procs)
+	}
+	if s.Makespan != 12*time.Second {
+		t.Errorf("makespan=%v", s.Makespan)
+	}
+	if s.MeanRun != 10*time.Second {
+		t.Errorf("meanrun=%v", s.MeanRun)
+	}
+	// busy = 80 proc-s over 8*12 = 96 proc-s
+	if math.Abs(s.Utilization-80.0/96.0) > 1e-12 {
+		t.Errorf("util=%v", s.Utilization)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, 8)
+	if s.Jobs != 0 || s.Utilization != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+// Property: utilization is always in [0,1] for arbitrary inputs.
+func TestUtilizationRangeProperty(t *testing.T) {
+	f := func(durMS uint16, jobs, n uint8, alloc uint8, totalMS uint16) bool {
+		u := Utilization(time.Duration(durMS)*time.Millisecond, int(jobs), int(n),
+			int(alloc), time.Duration(totalMS)*time.Millisecond)
+		return u >= 0 && u <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LoadLevel never goes negative and ends at zero for well-formed
+// records.
+func TestLoadLevelProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var jobs []JobRecord
+		for i := 0; i+2 < len(raw); i += 3 {
+			start := time.Duration(raw[i]) * time.Millisecond
+			dur := time.Duration(raw[i+1]%1000) * time.Millisecond
+			procs := int(raw[i+2]%16) + 1
+			jobs = append(jobs, JobRecord{Procs: procs, Start: start, Stop: start + dur})
+		}
+		s := LoadLevel(jobs)
+		for _, v := range s.V {
+			if v < 0 {
+				return false
+			}
+		}
+		if len(s.V) > 0 && s.V[len(s.V)-1] != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantile is monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, a, b float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		qa, qb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if math.IsNaN(qa) || math.IsNaN(qb) {
+			return true
+		}
+		lo, hi := qa, qb
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return Quantile(xs, lo) <= Quantile(xs, hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,362 @@
+package mpi
+
+import "fmt"
+
+// Collectives are implemented over point-to-point messages in a reserved
+// (negative) tag space, using the standard binomial-tree and dissemination
+// algorithms. All ranks of a communicator must call each collective in the
+// same order, as in MPI.
+
+// Barrier blocks until every rank has entered it (dissemination algorithm:
+// ceil(log2(size)) rounds of pairwise exchange).
+func (c *Comm) Barrier() error {
+	base := c.nextCollTag()
+	if c.size == 1 {
+		return nil
+	}
+	for k, round := 1, 0; k < c.size; k, round = k<<1, round+1 {
+		to := (c.rank + k) % c.size
+		from := (c.rank - k + c.size) % c.size
+		tag := base - round
+		if err := c.isend(to, tag, nil); err != nil {
+			return err
+		}
+		if _, err := c.irecv(from, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast distributes root's data to every rank along a binomial tree and
+// returns the received (or original, on root) payload.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	if root < 0 || root >= c.size {
+		return nil, fmt.Errorf("mpi: bcast invalid root %d", root)
+	}
+	tag := c.nextCollTag()
+	if c.size == 1 {
+		return data, nil
+	}
+	rel := (c.rank - root + c.size) % c.size
+	// Receive phase: a non-root rank receives from its tree parent.
+	mask := 1
+	for mask < c.size {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % c.size
+			m, err := c.irecv(src, tag)
+			if err != nil {
+				return nil, err
+			}
+			data = m.Data
+			break
+		}
+		mask <<= 1
+	}
+	// Send phase: forward down the tree.
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < c.size {
+			dst := (rel + mask + root) % c.size
+			if err := c.isend(dst, tag, data); err != nil {
+				return nil, err
+			}
+		}
+		mask >>= 1
+	}
+	return data, nil
+}
+
+// Gather collects each rank's data at root. Root receives a slice indexed by
+// rank; other ranks receive nil.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	if root < 0 || root >= c.size {
+		return nil, fmt.Errorf("mpi: gather invalid root %d", root)
+	}
+	tag := c.nextCollTag()
+	if c.rank != root {
+		return nil, c.isend(root, tag, data)
+	}
+	out := make([][]byte, c.size)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	out[c.rank] = cp
+	for i := 0; i < c.size-1; i++ {
+		m, err := c.irecv(AnySource, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[m.Src] = m.Data
+	}
+	return out, nil
+}
+
+// Allgather collects each rank's data at every rank.
+func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	parts, err := c.Gather(0, data)
+	if err != nil {
+		return nil, err
+	}
+	// Broadcast the gathered set from root. Encode as length-prefixed
+	// concatenation.
+	var blob []byte
+	if c.rank == 0 {
+		blob = packParts(parts)
+	}
+	blob, err = c.Bcast(0, blob)
+	if err != nil {
+		return nil, err
+	}
+	return unpackParts(blob, c.size)
+}
+
+// Scatter distributes parts[i] from root to rank i and returns this rank's
+// part. Only root's parts argument is consulted; it must have length Size.
+func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	if root < 0 || root >= c.size {
+		return nil, fmt.Errorf("mpi: scatter invalid root %d", root)
+	}
+	tag := c.nextCollTag()
+	if c.rank == root {
+		if len(parts) != c.size {
+			return nil, fmt.Errorf("mpi: scatter needs %d parts, got %d", c.size, len(parts))
+		}
+		for dst := 0; dst < c.size; dst++ {
+			if dst == root {
+				continue
+			}
+			if err := c.isend(dst, tag, parts[dst]); err != nil {
+				return nil, err
+			}
+		}
+		cp := make([]byte, len(parts[root]))
+		copy(cp, parts[root])
+		return cp, nil
+	}
+	m, err := c.irecv(root, tag)
+	if err != nil {
+		return nil, err
+	}
+	return m.Data, nil
+}
+
+// Alltoall sends parts[j] to rank j and returns the slice of received
+// payloads indexed by source rank. parts must have length Size on every
+// rank.
+func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
+	if len(parts) != c.size {
+		return nil, fmt.Errorf("mpi: alltoall needs %d parts, got %d", c.size, len(parts))
+	}
+	tag := c.nextCollTag()
+	out := make([][]byte, c.size)
+	cp := make([]byte, len(parts[c.rank]))
+	copy(cp, parts[c.rank])
+	out[c.rank] = cp
+	for dst := 0; dst < c.size; dst++ {
+		if dst == c.rank {
+			continue
+		}
+		if err := c.isend(dst, tag, parts[dst]); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < c.size-1; i++ {
+		m, err := c.irecv(AnySource, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[m.Src] = m.Data
+	}
+	return out, nil
+}
+
+// Op is a reduction operator.
+type Op int
+
+// Supported reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+	OpProd
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	case OpProd:
+		return "prod"
+	}
+	return fmt.Sprintf("Op(%d)", int(op))
+}
+
+func reduceFloat64(op Op, acc, in []float64) error {
+	if len(acc) != len(in) {
+		return fmt.Errorf("mpi: reduce length mismatch %d vs %d", len(acc), len(in))
+	}
+	switch op {
+	case OpSum:
+		for i := range acc {
+			acc[i] += in[i]
+		}
+	case OpMax:
+		for i := range acc {
+			if in[i] > acc[i] {
+				acc[i] = in[i]
+			}
+		}
+	case OpMin:
+		for i := range acc {
+			if in[i] < acc[i] {
+				acc[i] = in[i]
+			}
+		}
+	case OpProd:
+		for i := range acc {
+			acc[i] *= in[i]
+		}
+	default:
+		return fmt.Errorf("mpi: unknown op %v", op)
+	}
+	return nil
+}
+
+func reduceInt64(op Op, acc, in []int64) error {
+	if len(acc) != len(in) {
+		return fmt.Errorf("mpi: reduce length mismatch %d vs %d", len(acc), len(in))
+	}
+	switch op {
+	case OpSum:
+		for i := range acc {
+			acc[i] += in[i]
+		}
+	case OpMax:
+		for i := range acc {
+			if in[i] > acc[i] {
+				acc[i] = in[i]
+			}
+		}
+	case OpMin:
+		for i := range acc {
+			if in[i] < acc[i] {
+				acc[i] = in[i]
+			}
+		}
+	case OpProd:
+		for i := range acc {
+			acc[i] *= in[i]
+		}
+	default:
+		return fmt.Errorf("mpi: unknown op %v", op)
+	}
+	return nil
+}
+
+// ReduceFloat64 combines in element-wise across ranks with op, delivering
+// the result at root (other ranks get nil). Binomial-tree reduction.
+func (c *Comm) ReduceFloat64(root int, op Op, in []float64) ([]float64, error) {
+	if root < 0 || root >= c.size {
+		return nil, fmt.Errorf("mpi: reduce invalid root %d", root)
+	}
+	tag := c.nextCollTag()
+	acc := append([]float64(nil), in...)
+	rel := (c.rank - root + c.size) % c.size
+	for mask := 1; mask < c.size; mask <<= 1 {
+		if rel&mask != 0 {
+			dst := ((rel & ^mask) + root) % c.size
+			if err := c.isend(dst, tag, Float64sToBytes(acc)); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		src := rel | mask
+		if src < c.size {
+			m, err := c.irecv((src+root)%c.size, tag)
+			if err != nil {
+				return nil, err
+			}
+			other, err := BytesToFloat64s(m.Data)
+			if err != nil {
+				return nil, err
+			}
+			if err := reduceFloat64(op, acc, other); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return acc, nil
+}
+
+// AllreduceFloat64 is ReduceFloat64 to rank 0 followed by a broadcast; every
+// rank receives the combined result.
+func (c *Comm) AllreduceFloat64(op Op, in []float64) ([]float64, error) {
+	acc, err := c.ReduceFloat64(0, op, in)
+	if err != nil {
+		return nil, err
+	}
+	var blob []byte
+	if c.rank == 0 {
+		blob = Float64sToBytes(acc)
+	}
+	blob, err = c.Bcast(0, blob)
+	if err != nil {
+		return nil, err
+	}
+	return BytesToFloat64s(blob)
+}
+
+// ReduceInt64 is the int64 variant of ReduceFloat64.
+func (c *Comm) ReduceInt64(root int, op Op, in []int64) ([]int64, error) {
+	if root < 0 || root >= c.size {
+		return nil, fmt.Errorf("mpi: reduce invalid root %d", root)
+	}
+	tag := c.nextCollTag()
+	acc := append([]int64(nil), in...)
+	rel := (c.rank - root + c.size) % c.size
+	for mask := 1; mask < c.size; mask <<= 1 {
+		if rel&mask != 0 {
+			dst := ((rel & ^mask) + root) % c.size
+			if err := c.isend(dst, tag, Int64sToBytes(acc)); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		src := rel | mask
+		if src < c.size {
+			m, err := c.irecv((src+root)%c.size, tag)
+			if err != nil {
+				return nil, err
+			}
+			other, err := BytesToInt64s(m.Data)
+			if err != nil {
+				return nil, err
+			}
+			if err := reduceInt64(op, acc, other); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return acc, nil
+}
+
+// AllreduceInt64 is the int64 variant of AllreduceFloat64.
+func (c *Comm) AllreduceInt64(op Op, in []int64) ([]int64, error) {
+	acc, err := c.ReduceInt64(0, op, in)
+	if err != nil {
+		return nil, err
+	}
+	var blob []byte
+	if c.rank == 0 {
+		blob = Int64sToBytes(acc)
+	}
+	blob, err = c.Bcast(0, blob)
+	if err != nil {
+		return nil, err
+	}
+	return BytesToInt64s(blob)
+}

@@ -1,0 +1,96 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Payload encoding helpers. MPI messages are byte slices; these convert the
+// numeric vectors used by reductions and by applications.
+
+// Float64sToBytes encodes a float64 vector little-endian.
+func Float64sToBytes(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+// BytesToFloat64s decodes a vector produced by Float64sToBytes.
+func BytesToFloat64s(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("mpi: float64 payload length %d not a multiple of 8", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// Int64sToBytes encodes an int64 vector little-endian.
+func Int64sToBytes(v []int64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(x))
+	}
+	return out
+}
+
+// BytesToInt64s decodes a vector produced by Int64sToBytes.
+func BytesToInt64s(b []byte) ([]int64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("mpi: int64 payload length %d not a multiple of 8", len(b))
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// packParts encodes a slice of byte slices as length-prefixed concatenation.
+func packParts(parts [][]byte) []byte {
+	n := 4
+	for _, p := range parts {
+		n += 4 + len(p)
+	}
+	out := make([]byte, 0, n)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(parts)))
+	out = append(out, hdr[:]...)
+	for _, p := range parts {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p)))
+		out = append(out, hdr[:]...)
+		out = append(out, p...)
+	}
+	return out
+}
+
+// unpackParts decodes packParts output, validating the expected count.
+func unpackParts(blob []byte, want int) ([][]byte, error) {
+	if len(blob) < 4 {
+		return nil, fmt.Errorf("mpi: truncated parts blob")
+	}
+	n := int(binary.LittleEndian.Uint32(blob))
+	if n != want {
+		return nil, fmt.Errorf("mpi: parts count %d, want %d", n, want)
+	}
+	blob = blob[4:]
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		if len(blob) < 4 {
+			return nil, fmt.Errorf("mpi: truncated part header at %d", i)
+		}
+		l := int(binary.LittleEndian.Uint32(blob))
+		blob = blob[4:]
+		if len(blob) < l {
+			return nil, fmt.Errorf("mpi: truncated part %d: need %d have %d", i, l, len(blob))
+		}
+		out[i] = append([]byte(nil), blob[:l]...)
+		blob = blob[l:]
+	}
+	return out, nil
+}

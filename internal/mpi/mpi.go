@@ -1,0 +1,322 @@
+// Package mpi is a from-scratch message-passing library with MPI semantics,
+// standing in for the modified MPICH2 the paper uses. It provides blocking
+// point-to-point operations with (source, tag) matching, the standard
+// collectives, and MPI_Wtime, over two interchangeable transports:
+//
+//   - a TCP loopback transport bootstrapped through PMI (internal/pmi),
+//     reproducing the MPICH2-over-ZeptoOS-sockets path JETS launches; and
+//   - an in-process channel transport reproducing the vendor-native fabric
+//     ("native" mode in the paper's Fig. 8 comparison).
+//
+// A JETS-launched user process calls InitEnv, which reads the PMI_* variables
+// the Hydra proxy provides, wires up with its peers, and returns the world
+// communicator.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"jets/internal/pmi"
+)
+
+// Wildcards for Recv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// internal tags are negative; user tags must be non-negative.
+var errBadTag = errors.New("mpi: user message tags must be >= 0")
+
+// Comm is a communicator: the process's endpoint in a job. The world
+// communicator owns the transport; subcommunicators created by Split share
+// it under a distinct context ID.
+type Comm struct {
+	rank  int
+	size  int
+	ctx   uint32
+	q     *matchQueue
+	tr    transport
+	start time.Time
+
+	// group maps local rank -> world rank; nil means identity (world).
+	group   []int
+	toLocal map[int]int // world rank -> local rank; nil for world
+
+	// owned marks the communicator that tears down the transport on Close.
+	owned bool
+
+	mu       sync.Mutex
+	collSeq  int
+	splitSeq int
+	closed   bool
+
+	// pc is set for PMI-bootstrapped communicators and finalized on Close.
+	pc *pmi.Client
+}
+
+// worldRank translates a local rank to the transport's world rank space.
+func (c *Comm) worldRank(local int) int {
+	if c.group == nil {
+		return local
+	}
+	return c.group[local]
+}
+
+// localRank translates a world rank back into this communicator.
+func (c *Comm) localRank(world int) int {
+	if c.toLocal == nil {
+		return world
+	}
+	return c.toLocal[world]
+}
+
+// Rank returns this process's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of processes in the communicator.
+func (c *Comm) Size() int { return c.size }
+
+// Wtime returns elapsed seconds since the communicator was created,
+// mirroring MPI_Wtime.
+func (c *Comm) Wtime() float64 { return time.Since(c.start).Seconds() }
+
+// Send delivers data to rank dst with the given tag. Sends are eager: they
+// buffer at the receiver and do not block waiting for a matching Recv.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	if tag < 0 {
+		return errBadTag
+	}
+	if dst < 0 || dst >= c.size {
+		return fmt.Errorf("mpi: send to invalid rank %d", dst)
+	}
+	return c.tr.send(c.ctx, c.worldRank(dst), tag, data)
+}
+
+// Recv blocks until a message matching (src, tag) arrives. Use AnySource
+// and/or AnyTag as wildcards.
+func (c *Comm) Recv(src, tag int) (Message, error) {
+	if tag < 0 && tag != AnyTag {
+		return Message{}, errBadTag
+	}
+	if src != AnySource && (src < 0 || src >= c.size) {
+		return Message{}, fmt.Errorf("mpi: recv from invalid rank %d", src)
+	}
+	return c.irecv(src, tag)
+}
+
+// Sendrecv sends data to dst and receives a message from src in one call,
+// the classic exchange primitive. Because sends are eager this cannot
+// deadlock in symmetric exchanges.
+func (c *Comm) Sendrecv(dst, dtag int, data []byte, src, stag int) (Message, error) {
+	if err := c.Send(dst, dtag, data); err != nil {
+		return Message{}, err
+	}
+	return c.Recv(src, stag)
+}
+
+// Probe reports whether a matching message is already queued, without
+// removing it.
+func (c *Comm) Probe(src, tag int) bool {
+	wsrc := src
+	if src != AnySource {
+		if src < 0 || src >= c.size {
+			return false
+		}
+		wsrc = c.worldRank(src)
+	}
+	return c.q.peek(c.ctx, wsrc, tag)
+}
+
+// internal send/recv shared by the public operations and the collectives
+// (which use the negative tag space). Ranks are local to this communicator;
+// translation to the world rank space happens here.
+func (c *Comm) isend(dst, tag int, data []byte) error {
+	return c.tr.send(c.ctx, c.worldRank(dst), tag, data)
+}
+
+func (c *Comm) irecv(src, tag int) (Message, error) {
+	wsrc := src
+	if src != AnySource {
+		wsrc = c.worldRank(src)
+	}
+	m, err := c.q.pop(c.ctx, wsrc, tag)
+	if err != nil {
+		return m, err
+	}
+	m.Src = c.localRank(m.Src)
+	return m, nil
+}
+
+// nextCollTag reserves a fresh negative tag block for one collective
+// operation. MPI requires all ranks to invoke collectives in the same order,
+// so sequence numbers agree across the communicator.
+func (c *Comm) nextCollTag() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.collSeq++
+	return -(c.collSeq * 64)
+}
+
+// Close finalizes the communicator: the transport is torn down and, for
+// PMI-bootstrapped communicators, the rank reports finalize to the process
+// manager.
+func (c *Comm) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	if !c.owned {
+		// Subcommunicators share the parent's transport; freeing them is a
+		// no-op on the wire, as with MPI_Comm_free.
+		return nil
+	}
+	err := c.tr.close()
+	if c.pc != nil {
+		if ferr := c.pc.Finalize(); err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap
+
+// InitPMI wires up a TCP-transport communicator through an established PMI
+// client (address publish, barrier, lazy connect).
+func InitPMI(pc *pmi.Client) (*Comm, error) {
+	q := newMatchQueue()
+	tr, err := newTCPTransport(pc, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Comm{
+		rank:  pc.Rank(),
+		size:  pc.Size(),
+		q:     q,
+		tr:    tr,
+		start: time.Now(),
+		owned: true,
+		pc:    pc,
+	}, nil
+}
+
+// InitEnv bootstraps from the PMI_* environment variables set by the Hydra
+// proxy, as a JETS-launched executable would.
+func InitEnv() (*Comm, error) {
+	pc, err := pmi.DialEnv()
+	if err != nil {
+		return nil, err
+	}
+	return InitPMI(pc)
+}
+
+// InitEnvFrom bootstraps from an explicit environment map. In-process app
+// functions (hydra.FuncRunner) receive their environment this way instead of
+// inheriting a process environment.
+func InitEnvFrom(env map[string]string) (*Comm, error) {
+	addr := env[pmi.EnvPort]
+	if addr == "" {
+		return nil, errors.New("mpi: " + pmi.EnvPort + " not set")
+	}
+	rank, err := strconv.Atoi(env[pmi.EnvRank])
+	if err != nil {
+		return nil, fmt.Errorf("mpi: bad %s: %v", pmi.EnvRank, err)
+	}
+	return Init(addr, rank)
+}
+
+// Init dials the PMI server at addr for the given rank and wires up. It is
+// the programmatic form of InitEnv.
+func Init(addr string, rank int) (*Comm, error) {
+	pc, err := pmi.Dial(addr, rank)
+	if err != nil {
+		return nil, err
+	}
+	return InitPMI(pc)
+}
+
+// RunLocal executes fn as an n-process job over the in-process channel
+// transport ("native" fabric). It blocks until every rank returns and
+// reports the first non-nil error. Communicators are closed automatically.
+func RunLocal(n int, fn func(c *Comm) error) error {
+	if n <= 0 {
+		return fmt.Errorf("mpi: RunLocal size %d", n)
+	}
+	fabric := newLocalFabric(n)
+	start := time.Now()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		comm := &Comm{
+			rank:  rank,
+			size:  n,
+			q:     fabric.queues[rank],
+			tr:    &localTransport{fabric: fabric, rank: rank},
+			start: start,
+			owned: true,
+		}
+		wg.Add(1)
+		go func(rank int, comm *Comm) {
+			defer wg.Done()
+			defer comm.Close()
+			errs[rank] = fn(comm)
+		}(rank, comm)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			return fmt.Errorf("mpi: rank %d: %w", rank, err)
+		}
+	}
+	return nil
+}
+
+// RunTCP executes fn as an n-process job over the TCP/PMI path: it stands up
+// a PMI server (the mpiexec role), runs n ranks as goroutines each doing the
+// full socket wire-up, and reports the first error. This is the test and
+// benchmark harness for the "MPICH/sockets" mode.
+func RunTCP(n int, fn func(c *Comm) error) error {
+	if n <= 0 {
+		return fmt.Errorf("mpi: RunTCP size %d", n)
+	}
+	srv, err := pmi.NewServer(fmt.Sprintf("kvs_%d", time.Now().UnixNano()), n)
+	if err != nil {
+		return err
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			comm, err := Init(addr, rank)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer comm.Close()
+			errs[rank] = fn(comm)
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			return fmt.Errorf("mpi: rank %d: %w", rank, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Collective I/O in the style of MPI-IO's two-phase optimization. The paper
+// motivates MPTC partly through this (§1.2): "for 16-process MPTC tasks
+// using MPI-IO, the number of [filesystem] clients would be N/16" — a
+// subset of ranks act as aggregators, coalescing the job's extents into
+// large contiguous accesses, and only they touch the storage system. §7
+// lists experimenting with MPI-IO from JETS-initiated workloads as future
+// work; this file implements that layer.
+
+// IOStats reports what a collective operation did at this rank.
+type IOStats struct {
+	// Aggregator reports whether this rank performed filesystem accesses.
+	Aggregator bool
+	// Accesses is the number of Write/Read calls issued by this rank.
+	Accesses int
+	// Bytes moved to or from storage by this rank.
+	Bytes int64
+}
+
+// aggregatorFor maps a rank to its aggregator: ranks are striped into
+// naggs contiguous groups and the first rank of each group aggregates.
+func aggregatorInfo(rank, size, naggs int) (agg int, groupLo, groupHi int) {
+	if naggs > size {
+		naggs = size
+	}
+	per := size / naggs
+	extra := size % naggs
+	// Groups: the first `extra` groups have per+1 members.
+	lo := 0
+	for g := 0; g < naggs; g++ {
+		n := per
+		if g < extra {
+			n++
+		}
+		if rank < lo+n {
+			return lo, lo, lo + n
+		}
+		lo += n
+	}
+	return lo - 1, lo - 1, size // unreachable for valid input
+}
+
+type extent struct {
+	off  int64
+	data []byte
+}
+
+func packExtent(off int64, data []byte) []byte {
+	out := make([]byte, 8+len(data))
+	binary.LittleEndian.PutUint64(out, uint64(off))
+	copy(out[8:], data)
+	return out
+}
+
+func unpackExtent(b []byte) (int64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("mpi: truncated extent")
+	}
+	return int64(binary.LittleEndian.Uint64(b)), b[8:], nil
+}
+
+// WriteAtAll collectively writes each rank's data at its file offset using
+// naggs aggregator ranks (two-phase I/O): non-aggregators ship their extent
+// to their aggregator, which sorts, coalesces adjacent extents, and issues
+// the minimal number of WriteAt calls. Only aggregator ranks use w; other
+// ranks may pass nil. The call is collective and internally barriered.
+func (c *Comm) WriteAtAll(w io.WriterAt, off int64, data []byte, naggs int) (IOStats, error) {
+	var st IOStats
+	if naggs < 1 {
+		return st, fmt.Errorf("mpi: need at least one aggregator, got %d", naggs)
+	}
+	tag := c.nextCollTag()
+	agg, lo, hi := aggregatorInfo(c.rank, c.size, naggs)
+
+	if c.rank != agg {
+		if err := c.isend(agg, tag, packExtent(off, data)); err != nil {
+			return st, err
+		}
+		return st, c.Barrier()
+	}
+
+	// Aggregator: collect the group's extents (including its own).
+	st.Aggregator = true
+	extents := []extent{{off: off, data: data}}
+	for i := 0; i < hi-lo-1; i++ {
+		m, err := c.irecv(AnySource, tag)
+		if err != nil {
+			return st, err
+		}
+		eoff, edata, err := unpackExtent(m.Data)
+		if err != nil {
+			return st, err
+		}
+		extents = append(extents, extent{off: eoff, data: edata})
+	}
+	sort.Slice(extents, func(i, j int) bool { return extents[i].off < extents[j].off })
+
+	// Coalesce adjacent extents into single accesses.
+	for i := 0; i < len(extents); {
+		run := append([]byte(nil), extents[i].data...)
+		start := extents[i].off
+		j := i + 1
+		for j < len(extents) && extents[j].off == start+int64(len(run)) {
+			run = append(run, extents[j].data...)
+			j++
+		}
+		if w == nil {
+			return st, fmt.Errorf("mpi: aggregator rank %d has no writer", c.rank)
+		}
+		if _, err := w.WriteAt(run, start); err != nil {
+			return st, fmt.Errorf("mpi: collective write at %d: %w", start, err)
+		}
+		st.Accesses++
+		st.Bytes += int64(len(run))
+		i = j
+	}
+	return st, c.Barrier()
+}
+
+// ReadAtAll collectively reads n bytes at each rank's offset: aggregators
+// read one span covering their group's extents and scatter the pieces. Only
+// aggregator ranks use r. The call is collective.
+func (c *Comm) ReadAtAll(r io.ReaderAt, off int64, n int, naggs int) ([]byte, IOStats, error) {
+	var st IOStats
+	if naggs < 1 {
+		return nil, st, fmt.Errorf("mpi: need at least one aggregator, got %d", naggs)
+	}
+	if n < 0 {
+		return nil, st, fmt.Errorf("mpi: negative read size %d", n)
+	}
+	reqTag := c.nextCollTag()
+	repTag := c.nextCollTag()
+	agg, lo, hi := aggregatorInfo(c.rank, c.size, naggs)
+
+	if c.rank != agg {
+		// Request: (offset, length) to the aggregator, then await the data.
+		var req [16]byte
+		binary.LittleEndian.PutUint64(req[0:8], uint64(off))
+		binary.LittleEndian.PutUint64(req[8:16], uint64(int64(n)))
+		if err := c.isend(agg, reqTag, req[:]); err != nil {
+			return nil, st, err
+		}
+		m, err := c.irecv(agg, repTag)
+		if err != nil {
+			return nil, st, err
+		}
+		return m.Data, st, nil
+	}
+
+	st.Aggregator = true
+	type request struct {
+		src int
+		off int64
+		n   int
+	}
+	reqs := []request{{src: c.rank, off: off, n: n}}
+	for i := 0; i < hi-lo-1; i++ {
+		m, err := c.irecv(AnySource, reqTag)
+		if err != nil {
+			return nil, st, err
+		}
+		if len(m.Data) != 16 {
+			return nil, st, fmt.Errorf("mpi: corrupt read request from %d", m.Src)
+		}
+		reqs = append(reqs, request{
+			src: m.Src,
+			off: int64(binary.LittleEndian.Uint64(m.Data[0:8])),
+			n:   int(int64(binary.LittleEndian.Uint64(m.Data[8:16]))),
+		})
+	}
+	// One spanning read covering all requests.
+	lo64, hi64 := reqs[0].off, reqs[0].off+int64(reqs[0].n)
+	for _, q := range reqs[1:] {
+		if q.off < lo64 {
+			lo64 = q.off
+		}
+		if end := q.off + int64(q.n); end > hi64 {
+			hi64 = end
+		}
+	}
+	span := make([]byte, hi64-lo64)
+	if len(span) > 0 {
+		if r == nil {
+			return nil, st, fmt.Errorf("mpi: aggregator rank %d has no reader", c.rank)
+		}
+		if _, err := r.ReadAt(span, lo64); err != nil && err != io.EOF {
+			return nil, st, fmt.Errorf("mpi: collective read at %d: %w", lo64, err)
+		}
+		st.Accesses++
+		st.Bytes += int64(len(span))
+	}
+	var mine []byte
+	for _, q := range reqs {
+		piece := span[q.off-lo64 : q.off-lo64+int64(q.n)]
+		if q.src == c.rank {
+			mine = append([]byte(nil), piece...)
+			continue
+		}
+		if err := c.isend(q.src, repTag, piece); err != nil {
+			return nil, st, err
+		}
+	}
+	return mine, st, nil
+}

@@ -1,0 +1,111 @@
+package mpi
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrCommClosed is returned by operations on a finalized communicator.
+var ErrCommClosed = errors.New("mpi: communicator closed")
+
+// Message is one received point-to-point message. Src is expressed in the
+// receiving communicator's rank space. Ctx is the communicator context
+// identifier that isolates subcommunicators created by Split; users never
+// set it.
+type Message struct {
+	Ctx  uint32
+	Src  int
+	Tag  int
+	Data []byte
+}
+
+// matchQueue is the unexpected-message queue of one process: incoming
+// messages are pushed by transport readers and popped by Recv with
+// (source, tag) matching, preserving per-(src,tag) FIFO order as MPI
+// requires.
+type matchQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	msgs   []Message
+	closed bool
+}
+
+func newMatchQueue() *matchQueue {
+	q := &matchQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *matchQueue) push(m Message) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.msgs = append(q.msgs, m)
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func matches(m Message, ctx uint32, src, tag int) bool {
+	return m.Ctx == ctx && (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag)
+}
+
+// pop blocks until a message matching (src, tag) is available and removes
+// it. It returns ErrCommClosed once the queue is closed and drained of
+// matching messages.
+func (q *matchQueue) pop(ctx uint32, src, tag int) (Message, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for i, m := range q.msgs {
+			if matches(m, ctx, src, tag) {
+				q.msgs = append(q.msgs[:i], q.msgs[i+1:]...)
+				return m, nil
+			}
+		}
+		if q.closed {
+			return Message{}, ErrCommClosed
+		}
+		q.cond.Wait()
+	}
+}
+
+// peek reports whether a message matching (src, tag) is queued, without
+// removing it.
+func (q *matchQueue) peek(ctx uint32, src, tag int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, m := range q.msgs {
+		if matches(m, ctx, src, tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// tryPop is pop without blocking; ok reports whether a match was found.
+func (q *matchQueue) tryPop(ctx uint32, src, tag int) (Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, m := range q.msgs {
+		if matches(m, ctx, src, tag) {
+			q.msgs = append(q.msgs[:i], q.msgs[i+1:]...)
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+func (q *matchQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *matchQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.msgs)
+}

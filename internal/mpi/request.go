@@ -1,0 +1,95 @@
+package mpi
+
+import "sync"
+
+// Nonblocking operations in the MPI_Isend/MPI_Irecv style. Go's goroutines
+// make the implementation trivial compared to real MPI progress engines,
+// but the API matters: applications ported from MPI expect to post
+// receives early and overlap communication with computation.
+
+// Request tracks one outstanding nonblocking operation.
+type Request struct {
+	once sync.Once
+	done chan struct{}
+	msg  Message
+	err  error
+}
+
+func newRequest() *Request { return &Request{done: make(chan struct{})} }
+
+func (r *Request) complete(m Message, err error) {
+	r.once.Do(func() {
+		r.msg = m
+		r.err = err
+		close(r.done)
+	})
+}
+
+// Wait blocks until the operation completes, returning the received message
+// (zero for sends).
+func (r *Request) Wait() (Message, error) {
+	<-r.done
+	return r.msg, r.err
+}
+
+// Test reports whether the operation has completed, without blocking.
+func (r *Request) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Isend starts a nonblocking send. Because sends are eager the operation
+// completes quickly, but the Request form lets callers issue batches and
+// collect errors uniformly.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	r := newRequest()
+	// Copy before returning so the caller may immediately reuse the buffer,
+	// as with a completed MPI_Isend.
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	go func() {
+		r.complete(Message{}, c.Send(dst, tag, cp))
+	}()
+	return r
+}
+
+// Irecv posts a nonblocking receive.
+func (c *Comm) Irecv(src, tag int) *Request {
+	r := newRequest()
+	go func() {
+		m, err := c.Recv(src, tag)
+		r.complete(m, err)
+	}()
+	return r
+}
+
+// WaitAll waits for every request and returns the first error.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WaitAny waits until at least one request completes and returns its index.
+func WaitAny(reqs ...*Request) int {
+	if len(reqs) == 0 {
+		return -1
+	}
+	type hit struct{ i int }
+	ch := make(chan hit, len(reqs))
+	for i, r := range reqs {
+		go func(i int, r *Request) {
+			<-r.done
+			ch <- hit{i}
+		}(i, r)
+	}
+	return (<-ch).i
+}

@@ -1,0 +1,136 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestIsendIrecvBasic(t *testing.T) {
+	forEachTransport(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req := c.Isend(1, 3, []byte("async"))
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+			return nil
+		}
+		req := c.Irecv(0, 3)
+		m, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if string(m.Data) != "async" || m.Src != 0 {
+			return fmt.Errorf("got %+v", m)
+		}
+		return nil
+	})
+}
+
+func TestIrecvPostedBeforeSend(t *testing.T) {
+	// The defining use of Irecv: post early, compute, send arrives later.
+	if err := RunLocal(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			req := c.Irecv(0, 1)
+			if req.Test() {
+				return fmt.Errorf("request complete before any send")
+			}
+			if err := c.Send(0, 2, nil); err != nil { // signal readiness
+				return err
+			}
+			m, err := req.Wait()
+			if err != nil {
+				return err
+			}
+			if string(m.Data) != "late" {
+				return fmt.Errorf("got %q", m.Data)
+			}
+			return nil
+		}
+		if _, err := c.Recv(1, 2); err != nil {
+			return err
+		}
+		return c.Send(1, 1, []byte("late"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendBufferReuse(t *testing.T) {
+	if err := RunLocal(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []byte{1, 2, 3}
+			req := c.Isend(1, 1, buf)
+			buf[0] = 99 // immediately scribble
+			_, err := req.Wait()
+			return err
+		}
+		m, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if m.Data[0] != 1 {
+			return fmt.Errorf("isend did not copy: %v", m.Data)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	if err := RunLocal(4, func(c *Comm) error {
+		if c.Rank() == 0 {
+			var reqs []*Request
+			for dst := 1; dst < c.Size(); dst++ {
+				reqs = append(reqs, c.Isend(dst, 5, []byte{byte(dst)}))
+			}
+			for dst := 1; dst < c.Size(); dst++ {
+				reqs = append(reqs, c.Irecv(dst, 6))
+			}
+			return WaitAll(reqs...)
+		}
+		m, err := c.Recv(0, 5)
+		if err != nil {
+			return err
+		}
+		return c.Send(0, 6, m.Data)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAllPropagatesError(t *testing.T) {
+	if err := RunLocal(1, func(c *Comm) error {
+		bad := c.Isend(7, 1, nil) // invalid rank
+		if err := WaitAll(bad); err == nil {
+			return fmt.Errorf("invalid send not reported")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAny(t *testing.T) {
+	if err := RunLocal(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			time.Sleep(20 * time.Millisecond)
+			return c.Send(1, 9, []byte("second"))
+		}
+		never := c.Irecv(0, 100) // no one sends tag 100
+		soon := c.Irecv(0, 9)
+		i := WaitAny(never, soon)
+		if i != 1 {
+			return fmt.Errorf("WaitAny picked %d", i)
+		}
+		// Unblock the never request by closing; RunLocal closes the comm on
+		// return, which errors the pending Irecv goroutine harmlessly.
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if WaitAny() != -1 {
+		t.Fatal("empty WaitAny")
+	}
+}

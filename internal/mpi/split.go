@@ -1,0 +1,112 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// UndefinedColor excludes the calling rank from any resulting communicator
+// (MPI_UNDEFINED).
+const UndefinedColor = -1
+
+// Split partitions the communicator: ranks passing the same non-negative
+// color form a new communicator, ordered by (key, old rank), exactly as
+// MPI_Comm_split. Ranks passing UndefinedColor participate in the collective
+// exchange but receive a nil communicator.
+//
+// Subcommunicators share the parent's transport under a fresh context ID,
+// so traffic never crosses between them; Close on a subcommunicator is a
+// local no-op.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	if color < 0 && color != UndefinedColor {
+		return nil, fmt.Errorf("mpi: invalid split color %d", color)
+	}
+	// The split sequence number advances identically on every rank because
+	// Split is a collective; the derived context ID therefore agrees.
+	c.mu.Lock()
+	c.splitSeq++
+	seq := c.splitSeq
+	c.mu.Unlock()
+	newCtx := deriveCtx(c.ctx, seq)
+
+	// Exchange (color, key) across the parent communicator.
+	var mine [16]byte
+	binary.LittleEndian.PutUint64(mine[0:8], uint64(int64(color)))
+	binary.LittleEndian.PutUint64(mine[8:16], uint64(int64(key)))
+	parts, err := c.Allgather(mine[:])
+	if err != nil {
+		return nil, err
+	}
+	if color == UndefinedColor {
+		return nil, nil
+	}
+	type member struct {
+		key       int
+		localRank int
+	}
+	var members []member
+	for r, p := range parts {
+		if len(p) != 16 {
+			return nil, fmt.Errorf("mpi: corrupt split exchange from rank %d", r)
+		}
+		pcolor := int(int64(binary.LittleEndian.Uint64(p[0:8])))
+		pkey := int(int64(binary.LittleEndian.Uint64(p[8:16])))
+		if pcolor == color {
+			members = append(members, member{key: pkey, localRank: r})
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].localRank < members[j].localRank
+	})
+
+	group := make([]int, len(members))
+	toLocal := make(map[int]int, len(members))
+	myNewRank := -1
+	for newRank, m := range members {
+		world := c.worldRank(m.localRank)
+		group[newRank] = world
+		toLocal[world] = newRank
+		if m.localRank == c.rank {
+			myNewRank = newRank
+		}
+	}
+	if myNewRank < 0 {
+		return nil, fmt.Errorf("mpi: split lost the calling rank")
+	}
+	return &Comm{
+		rank:    myNewRank,
+		size:    len(members),
+		ctx:     newCtx,
+		q:       c.q,
+		tr:      c.tr,
+		start:   c.start,
+		group:   group,
+		toLocal: toLocal,
+	}, nil
+}
+
+// deriveCtx produces a context ID that every member computes identically.
+func deriveCtx(parent uint32, seq int) uint32 {
+	h := fnv.New32a()
+	var buf [12]byte
+	binary.LittleEndian.PutUint32(buf[0:4], parent)
+	binary.LittleEndian.PutUint64(buf[4:12], uint64(seq))
+	h.Write(buf[:])
+	v := h.Sum32()
+	if v == 0 { // 0 is reserved for the world communicator
+		v = 1
+	}
+	return v
+}
+
+// Dup returns a communicator with the same group under a fresh context, the
+// MPI_Comm_dup analogue: libraries use it to keep their traffic separate
+// from application traffic.
+func (c *Comm) Dup() (*Comm, error) {
+	return c.Split(0, c.rank)
+}

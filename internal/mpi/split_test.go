@@ -1,0 +1,332 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSplitEvenOdd(t *testing.T) {
+	forEachTransport(t, 6, func(c *Comm) error {
+		sub, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size %d", sub.Size())
+		}
+		// New rank = position among same-color ranks ordered by key.
+		wantRank := c.Rank() / 2
+		if sub.Rank() != wantRank {
+			return fmt.Errorf("world %d: sub rank %d want %d", c.Rank(), sub.Rank(), wantRank)
+		}
+		// Collective inside the subcommunicator only.
+		sum, err := sub.AllreduceInt64(OpSum, []int64{int64(c.Rank())})
+		if err != nil {
+			return err
+		}
+		want := int64(0 + 2 + 4)
+		if c.Rank()%2 == 1 {
+			want = 1 + 3 + 5
+		}
+		if sum[0] != want {
+			return fmt.Errorf("world %d: sum %d want %d", c.Rank(), sum[0], want)
+		}
+		return sub.Close()
+	})
+}
+
+func TestSplitKeyReordersRanks(t *testing.T) {
+	if err := RunLocal(4, func(c *Comm) error {
+		// Reverse ordering via keys.
+		sub, err := c.Split(0, -c.Rank())
+		if err != nil {
+			return err
+		}
+		want := c.Size() - 1 - c.Rank()
+		if sub.Rank() != want {
+			return fmt.Errorf("world %d got sub rank %d want %d", c.Rank(), sub.Rank(), want)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	if err := RunLocal(4, func(c *Comm) error {
+		color := 0
+		if c.Rank() == 3 {
+			color = UndefinedColor
+		}
+		sub, err := c.Split(color, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 3 {
+			if sub != nil {
+				return fmt.Errorf("undefined color got a communicator")
+			}
+			return nil
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size %d", sub.Size())
+		}
+		return sub.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitTrafficIsolation(t *testing.T) {
+	// Same tags in parent and child must not cross-match.
+	if err := RunLocal(2, func(c *Comm) error {
+		sub, err := c.Dup()
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := c.Send(1, 5, []byte("parent")); err != nil {
+				return err
+			}
+			if err := sub.Send(1, 5, []byte("child")); err != nil {
+				return err
+			}
+			return nil
+		}
+		// Receive from the child context first; it must NOT deliver the
+		// parent's message even though it was sent first with the same tag.
+		m, err := sub.Recv(0, 5)
+		if err != nil {
+			return err
+		}
+		if string(m.Data) != "child" {
+			return fmt.Errorf("child recv got %q", m.Data)
+		}
+		m, err = c.Recv(0, 5)
+		if err != nil {
+			return err
+		}
+		if string(m.Data) != "parent" {
+			return fmt.Errorf("parent recv got %q", m.Data)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitOfSplit(t *testing.T) {
+	if err := RunLocal(8, func(c *Comm) error {
+		half, err := c.Split(c.Rank()/4, c.Rank()) // two halves of 4
+		if err != nil {
+			return err
+		}
+		quarter, err := half.Split(half.Rank()/2, half.Rank()) // pairs
+		if err != nil {
+			return err
+		}
+		if quarter.Size() != 2 {
+			return fmt.Errorf("quarter size %d", quarter.Size())
+		}
+		sum, err := quarter.AllreduceInt64(OpSum, []int64{int64(c.Rank())})
+		if err != nil {
+			return err
+		}
+		// Pairs are (0,1),(2,3),(4,5),(6,7) in world ranks.
+		base := (c.Rank() / 2) * 2
+		if sum[0] != int64(base+base+1) {
+			return fmt.Errorf("world %d: pair sum %d", c.Rank(), sum[0])
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitInvalidColor(t *testing.T) {
+	if err := RunLocal(1, func(c *Comm) error {
+		if _, err := c.Split(-7, 0); err == nil {
+			return fmt.Errorf("negative color accepted")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveCtxDisjoint(t *testing.T) {
+	seen := map[uint32]bool{0: true}
+	for seq := 1; seq <= 100; seq++ {
+		v := deriveCtx(0, seq)
+		if seen[v] {
+			t.Fatalf("ctx collision at seq %d", seq)
+		}
+		seen[v] = true
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Collective I/O
+
+// countingFile is an in-memory WriterAt/ReaderAt that counts accesses and
+// distinct clients across ranks.
+type countingFile struct {
+	mu       sync.Mutex
+	data     []byte
+	accesses atomic.Int64
+}
+
+func (f *countingFile) WriteAt(p []byte, off int64) (int, error) {
+	f.accesses.Add(1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	end := off + int64(len(p))
+	for int64(len(f.data)) < end {
+		f.data = append(f.data, 0)
+	}
+	copy(f.data[off:end], p)
+	return len(p), nil
+}
+
+func (f *countingFile) ReadAt(p []byte, off int64) (int, error) {
+	f.accesses.Add(1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off >= int64(len(f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func TestWriteAtAllCoalesces(t *testing.T) {
+	const n, block = 16, 64
+	file := &countingFile{}
+	var aggs atomic.Int64
+	if err := RunLocal(n, func(c *Comm) error {
+		data := bytes.Repeat([]byte{byte(c.Rank() + 1)}, block)
+		st, err := c.WriteAtAll(file, int64(c.Rank()*block), data, 2)
+		if err != nil {
+			return err
+		}
+		if st.Aggregator {
+			aggs.Add(1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// N/8 clients: 2 aggregators for 16 ranks.
+	if aggs.Load() != 2 {
+		t.Fatalf("aggregators=%d", aggs.Load())
+	}
+	// Contiguous extents coalesce into exactly one access per aggregator.
+	if file.accesses.Load() != 2 {
+		t.Fatalf("file accesses=%d want 2", file.accesses.Load())
+	}
+	// Content correct.
+	if len(file.data) != n*block {
+		t.Fatalf("file size %d", len(file.data))
+	}
+	for r := 0; r < n; r++ {
+		for i := 0; i < block; i++ {
+			if file.data[r*block+i] != byte(r+1) {
+				t.Fatalf("byte %d of rank %d block = %d", i, r, file.data[r*block+i])
+			}
+		}
+	}
+}
+
+func TestWriteAtAllNonContiguous(t *testing.T) {
+	// Gaps between extents must produce separate accesses, not corruption.
+	file := &countingFile{}
+	if err := RunLocal(4, func(c *Comm) error {
+		data := []byte{byte(c.Rank())}
+		_, err := c.WriteAtAll(file, int64(c.Rank()*10), data, 1)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if file.accesses.Load() != 4 {
+		t.Fatalf("accesses=%d want 4 (no coalescing across gaps)", file.accesses.Load())
+	}
+	for r := 0; r < 4; r++ {
+		if file.data[r*10] != byte(r) {
+			t.Fatalf("rank %d byte=%d", r, file.data[r*10])
+		}
+	}
+}
+
+func TestReadAtAll(t *testing.T) {
+	const n, block = 8, 32
+	file := &countingFile{}
+	for r := 0; r < n; r++ {
+		file.WriteAt(bytes.Repeat([]byte{byte(r + 10)}, block), int64(r*block))
+	}
+	file.accesses.Store(0)
+	if err := RunLocal(n, func(c *Comm) error {
+		got, st, err := c.ReadAtAll(file, int64(c.Rank()*block), block, 2)
+		if err != nil {
+			return err
+		}
+		_ = st
+		want := bytes.Repeat([]byte{byte(c.Rank() + 10)}, block)
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("rank %d got %v...", c.Rank(), got[:4])
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Two spanning reads, one per aggregator.
+	if file.accesses.Load() != 2 {
+		t.Fatalf("accesses=%d want 2", file.accesses.Load())
+	}
+}
+
+func TestCollectiveIOValidation(t *testing.T) {
+	if err := RunLocal(1, func(c *Comm) error {
+		if _, err := c.WriteAtAll(nil, 0, []byte("x"), 0); err == nil {
+			return fmt.Errorf("zero aggregators accepted")
+		}
+		if _, err := c.WriteAtAll(nil, 0, []byte("x"), 1); err == nil {
+			return fmt.Errorf("nil writer on aggregator accepted")
+		}
+		if _, _, err := c.ReadAtAll(nil, 0, -1, 1); err == nil {
+			return fmt.Errorf("negative read accepted")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregatorInfoPartition(t *testing.T) {
+	for _, tc := range []struct{ size, naggs int }{{16, 2}, {7, 3}, {5, 5}, {4, 9}} {
+		seen := map[int]bool{}
+		for rank := 0; rank < tc.size; rank++ {
+			agg, lo, hi := aggregatorInfo(rank, tc.size, tc.naggs)
+			if agg != lo {
+				t.Fatalf("size=%d naggs=%d rank=%d: agg %d != lo %d", tc.size, tc.naggs, rank, agg, lo)
+			}
+			if rank < lo || rank >= hi {
+				t.Fatalf("rank %d outside its group [%d,%d)", rank, lo, hi)
+			}
+			seen[agg] = true
+		}
+		wantAggs := tc.naggs
+		if wantAggs > tc.size {
+			wantAggs = tc.size
+		}
+		if len(seen) != wantAggs {
+			t.Fatalf("size=%d naggs=%d: %d aggregators", tc.size, tc.naggs, len(seen))
+		}
+	}
+}

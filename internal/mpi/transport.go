@@ -1,0 +1,265 @@
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"jets/internal/pmi"
+)
+
+// maxMessage bounds a single MPI message; larger payloads indicate stream
+// corruption.
+const maxMessage = 256 << 20
+
+// transport moves framed messages between ranks. Implementations must allow
+// concurrent sends from multiple goroutines.
+type transport interface {
+	// send delivers data to dst (world rank) in communicator context ctx;
+	// it is eager (buffered) and does not wait for a matching receive.
+	send(ctx uint32, dst, tag int, data []byte) error
+	// close tears the transport down; pending receivers are woken with
+	// ErrCommClosed.
+	close() error
+}
+
+// ---------------------------------------------------------------------------
+// local transport: in-process delivery straight into the peer's match queue.
+// This models the vendor-native fabric (Blue Gene DCMF) in the Fig. 8
+// comparison: no serialization, no kernel crossings.
+
+type localFabric struct {
+	queues []*matchQueue
+}
+
+// newLocalFabric creates the shared state for an n-process in-memory job.
+func newLocalFabric(n int) *localFabric {
+	f := &localFabric{queues: make([]*matchQueue, n)}
+	for i := range f.queues {
+		f.queues[i] = newMatchQueue()
+	}
+	return f
+}
+
+type localTransport struct {
+	fabric *localFabric
+	rank   int
+}
+
+func (t *localTransport) send(ctx uint32, dst, tag int, data []byte) error {
+	if dst < 0 || dst >= len(t.fabric.queues) {
+		return fmt.Errorf("mpi: send to invalid rank %d", dst)
+	}
+	// Copy so the sender may reuse its buffer, matching MPI semantics.
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	t.fabric.queues[dst].push(Message{Ctx: ctx, Src: t.rank, Tag: tag, Data: cp})
+	return nil
+}
+
+func (t *localTransport) close() error {
+	t.fabric.queues[t.rank].close()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport: every rank listens on a loopback socket; addresses are
+// exchanged through PMI (put, barrier, lazy get+dial), exactly the wire-up
+// the modified MPICH2 performs over ZeptoOS sockets in the paper.
+
+type tcpTransport struct {
+	rank int
+	size int
+	q    *matchQueue
+	pc   *pmi.Client
+
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns map[int]*tcpConn
+	done  bool
+
+	wg sync.WaitGroup
+}
+
+type tcpConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	w    *bufio.Writer
+}
+
+// frame layout: [4 len][4 ctx][4 tag][payload]; the sender rank is
+// established by a 4-byte handshake when the connection opens.
+func (c *tcpConn) writeFrame(ctx uint32, tag int, data []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(data)))
+	binary.BigEndian.PutUint32(hdr[4:8], ctx)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(int32(tag)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(data); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func pmiAddrKey(rank int) string { return fmt.Sprintf("mpiaddr-%d", rank) }
+
+// newTCPTransport performs the socket wire-up for one rank: listen, publish
+// the address via PMI, and barrier so every rank's address is visible.
+func newTCPTransport(pc *pmi.Client, q *matchQueue) (*tcpTransport, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("mpi: listen: %w", err)
+	}
+	t := &tcpTransport{
+		rank:  pc.Rank(),
+		size:  pc.Size(),
+		q:     q,
+		pc:    pc,
+		ln:    ln,
+		conns: make(map[int]*tcpConn),
+	}
+	go t.acceptLoop()
+	if err := pc.Put(pmiAddrKey(t.rank), ln.Addr().String()); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	if err := pc.Barrier(); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *tcpTransport) acceptLoop() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *tcpTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 64<<10)
+	var peer [4]byte
+	if _, err := io.ReadFull(r, peer[:]); err != nil {
+		return
+	}
+	src := int(int32(binary.BigEndian.Uint32(peer[:])))
+	for {
+		var hdr [12]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		ctx := binary.BigEndian.Uint32(hdr[4:8])
+		tag := int(int32(binary.BigEndian.Uint32(hdr[8:12])))
+		if n > maxMessage {
+			return
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return
+		}
+		t.q.push(Message{Ctx: ctx, Src: src, Tag: tag, Data: data})
+	}
+}
+
+// dial returns (establishing if needed) the outbound connection to dst.
+func (t *tcpTransport) dial(dst int) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return nil, ErrCommClosed
+	}
+	if c, ok := t.conns[dst]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+
+	addr, err := t.pc.Get(pmiAddrKey(dst))
+	if err != nil {
+		return nil, fmt.Errorf("mpi: no address for rank %d: %w", dst, err)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: dial rank %d: %w", dst, err)
+	}
+	c := &tcpConn{conn: conn, w: bufio.NewWriterSize(conn, 64<<10)}
+	var hs [4]byte
+	binary.BigEndian.PutUint32(hs[:], uint32(int32(t.rank)))
+	c.wmu.Lock()
+	_, err = c.w.Write(hs[:])
+	if err == nil {
+		err = c.w.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		conn.Close()
+		return nil, ErrCommClosed
+	}
+	if existing, ok := t.conns[dst]; ok { // lost a dial race; reuse winner
+		conn.Close()
+		return existing, nil
+	}
+	t.conns[dst] = c
+	return c, nil
+}
+
+func (t *tcpTransport) send(ctx uint32, dst, tag int, data []byte) error {
+	if dst == t.rank { // self-send short-circuits the socket layer
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		t.q.push(Message{Ctx: ctx, Src: t.rank, Tag: tag, Data: cp})
+		return nil
+	}
+	if dst < 0 || dst >= t.size {
+		return fmt.Errorf("mpi: send to invalid rank %d", dst)
+	}
+	c, err := t.dial(dst)
+	if err != nil {
+		return err
+	}
+	return c.writeFrame(ctx, tag, data)
+}
+
+func (t *tcpTransport) close() error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return nil
+	}
+	t.done = true
+	conns := make([]*tcpConn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	t.ln.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	t.q.close()
+	return nil
+}

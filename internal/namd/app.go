@@ -1,0 +1,155 @@
+package namd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"jets/internal/hydra"
+	"jets/internal/mpi"
+)
+
+// This file packages the MD engine as a JETS-launchable application
+// ("namd2"), the role the namd2.sh wrapper plays in the paper's input files:
+//
+//	MPI: 4 namd2 -atoms 44992 -steps 10 -seed 7 -in prev.state -out next.state
+//
+// State files are JSON renderings of State, standing in for NAMD's
+// coordinate/velocity/extended-system triple.
+
+// AppName is the command name RegisterApp installs.
+const AppName = "namd2"
+
+// RegisterApp installs the namd2 application in a FuncRunner. workScale
+// tunes the compute kernel (1.0 ~ 100 ms for a 4-proc NMA segment; tests use
+// much smaller values).
+func RegisterApp(runner *hydra.FuncRunner, workScale float64) {
+	runner.Register(AppName, func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		return appMain(args, env, stdout, workScale)
+	})
+}
+
+func appMain(args []string, env map[string]string, stdout io.Writer, workScale float64) int {
+	cfg, inPath, outPath, err := parseArgs(args)
+	if err != nil {
+		fmt.Fprintf(stdout, "namd2: %v\n", err)
+		return 2
+	}
+	if cfg.WorkScale == 0 {
+		cfg.WorkScale = workScale
+	}
+
+	comm, err := mpi.InitEnvFrom(env)
+	if err != nil {
+		fmt.Fprintf(stdout, "namd2: MPI init: %v\n", err)
+		return 1
+	}
+	defer comm.Close()
+
+	var restart *State
+	if inPath != "" {
+		st, err := LoadState(inPath)
+		if err != nil {
+			fmt.Fprintf(stdout, "namd2: restart: %v\n", err)
+			return 1
+		}
+		restart = st
+	}
+
+	res, state, err := Run(comm, cfg, restart, stdout)
+	if err != nil {
+		fmt.Fprintf(stdout, "namd2: run: %v\n", err)
+		return 1
+	}
+	if comm.Rank() == 0 {
+		fmt.Fprintf(stdout, "WallClock: %.6f  Energy: %.4f  Steps: %d\n",
+			res.Elapsed.Seconds(), res.Energy, res.Steps)
+		if outPath != "" {
+			if err := SaveState(outPath, state); err != nil {
+				fmt.Fprintf(stdout, "namd2: save: %v\n", err)
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+func parseArgs(args []string) (cfg Config, inPath, outPath string, err error) {
+	cfg = Config{Atoms: NMAAtoms, Steps: 10, Temperature: 300, Seed: 1}
+	for i := 0; i < len(args); i++ {
+		flag := args[i]
+		if !strings.HasPrefix(flag, "-") {
+			return cfg, "", "", fmt.Errorf("unexpected argument %q", flag)
+		}
+		if i+1 >= len(args) {
+			return cfg, "", "", fmt.Errorf("flag %s needs a value", flag)
+		}
+		val := args[i+1]
+		i++
+		switch flag {
+		case "-conf":
+			// NAMD-style configuration file; flags appearing after -conf
+			// override its values.
+			f, ferr := os.Open(val)
+			if ferr != nil {
+				return cfg, "", "", fmt.Errorf("conf: %v", ferr)
+			}
+			conf, perr := ParseConf(f)
+			f.Close()
+			if perr != nil {
+				return cfg, "", "", perr
+			}
+			ws := cfg.WorkScale
+			cfg = conf.Config
+			if cfg.WorkScale == 0 {
+				cfg.WorkScale = ws
+			}
+		case "-atoms":
+			cfg.Atoms, err = strconv.Atoi(val)
+		case "-steps":
+			cfg.Steps, err = strconv.Atoi(val)
+		case "-temp":
+			cfg.Temperature, err = strconv.ParseFloat(val, 64)
+		case "-seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "-scale":
+			cfg.WorkScale, err = strconv.ParseFloat(val, 64)
+		case "-in":
+			inPath = val
+		case "-out":
+			outPath = val
+		default:
+			return cfg, "", "", fmt.Errorf("unknown flag %s", flag)
+		}
+		if err != nil {
+			return cfg, "", "", fmt.Errorf("bad value for %s: %v", flag, err)
+		}
+	}
+	return cfg, inPath, outPath, nil
+}
+
+// SaveState writes a state file (the exchangeable replica snapshot).
+func SaveState(path string, st *State) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadState reads a state file written by SaveState.
+func LoadState(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var st State
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("namd: corrupt state file %s: %w", path, err)
+	}
+	return &st, nil
+}

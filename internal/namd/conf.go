@@ -1,0 +1,115 @@
+package namd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// NAMD-style configuration files: whitespace-separated keyword/value lines
+// with '#' comments, as the real application consumes ("structure nma.psf",
+// "temperature 300", ...). The REM workflows of the paper drive NAMD by
+// rewriting these files between segments.
+
+// Conf is a parsed configuration: the simulation parameters this engine
+// understands plus every other keyword preserved verbatim (file references
+// like structure/coordinates/parameters, which the paper's 5-input-file I/O
+// profile comes from).
+type Conf struct {
+	Config Config
+	// Extra holds keywords not interpreted by the engine, e.g. structure,
+	// coordinates, parameters, outputname.
+	Extra map[string]string
+}
+
+// ParseConf reads a NAMD-style configuration.
+func ParseConf(r io.Reader) (*Conf, error) {
+	c := &Conf{
+		Config: Config{Atoms: NMAAtoms, Steps: 10, Temperature: 300, Seed: 1},
+		Extra:  map[string]string{},
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("namd: conf line %d: keyword %q without value", lineNo, fields[0])
+		}
+		key := strings.ToLower(fields[0])
+		val := strings.Join(fields[1:], " ")
+		var err error
+		switch key {
+		case "numatoms", "atoms":
+			c.Config.Atoms, err = strconv.Atoi(val)
+		case "numsteps", "steps":
+			c.Config.Steps, err = strconv.Atoi(val)
+		case "temperature":
+			c.Config.Temperature, err = strconv.ParseFloat(val, 64)
+		case "seed":
+			c.Config.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "workscale":
+			c.Config.WorkScale, err = strconv.ParseFloat(val, 64)
+		default:
+			c.Extra[key] = val
+		}
+		if err != nil {
+			return nil, fmt.Errorf("namd: conf line %d: bad value for %s: %v", lineNo, key, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.Config.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// WriteConf renders the configuration in NAMD keyword/value form with
+// deterministic ordering.
+func WriteConf(w io.Writer, c *Conf) error {
+	if _, err := fmt.Fprintf(w, "numatoms     %d\nnumsteps     %d\ntemperature  %g\nseed         %d\n",
+		c.Config.Atoms, c.Config.Steps, c.Config.Temperature, c.Config.Seed); err != nil {
+		return err
+	}
+	if c.Config.WorkScale != 0 {
+		if _, err := fmt.Fprintf(w, "workscale    %g\n", c.Config.WorkScale); err != nil {
+			return err
+		}
+	}
+	keys := make([]string, 0, len(c.Extra))
+	for k := range c.Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%-12s %s\n", k, c.Extra[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InputFiles lists the file references a configuration names (the keywords
+// real NAMD loads as inputs), used to model the 5-file input profile.
+func (c *Conf) InputFiles() []string {
+	var out []string
+	for _, k := range []string{"structure", "coordinates", "parameters", "velocities", "extendedsystem"} {
+		if v, ok := c.Extra[k]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package namd
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleConf = `
+# NMA benchmark segment
+structure       nma.psf
+coordinates     nma.pdb
+parameters      par_all27.prm
+temperature     310
+numsteps        10
+numatoms        44992
+seed            7919
+outputname      out/nma-seg1
+`
+
+func TestParseConf(t *testing.T) {
+	c, err := ParseConf(strings.NewReader(sampleConf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Config.Atoms != 44992 || c.Config.Steps != 10 ||
+		c.Config.Temperature != 310 || c.Config.Seed != 7919 {
+		t.Fatalf("config %+v", c.Config)
+	}
+	if c.Extra["structure"] != "nma.psf" || c.Extra["outputname"] != "out/nma-seg1" {
+		t.Fatalf("extra %v", c.Extra)
+	}
+	files := c.InputFiles()
+	if len(files) != 3 { // structure, coordinates, parameters
+		t.Fatalf("input files %v", files)
+	}
+}
+
+func TestParseConfDefaults(t *testing.T) {
+	c, err := ParseConf(strings.NewReader("temperature 305\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Config.Atoms != NMAAtoms || c.Config.Steps != 10 {
+		t.Fatalf("defaults not applied: %+v", c.Config)
+	}
+}
+
+func TestParseConfErrors(t *testing.T) {
+	for _, in := range []string{
+		"numsteps\n",         // keyword without value
+		"numatoms notanum\n", // bad int
+		"temperature hot\n",  // bad float
+		"numatoms 0\n",       // fails validation
+		"temperature -4\n",   // fails validation
+	} {
+		if _, err := ParseConf(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestConfRoundTrip(t *testing.T) {
+	c1, err := ParseConf(strings.NewReader(sampleConf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteConf(&buf, c1); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseConf(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if c2.Config != c1.Config {
+		t.Fatalf("config drift: %+v vs %+v", c1.Config, c2.Config)
+	}
+	for k, v := range c1.Extra {
+		if c2.Extra[k] != v {
+			t.Fatalf("extra %q drift: %q vs %q", k, c1.Extra[k], v)
+		}
+	}
+}
+
+func TestConfFlagInApp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg.conf")
+	if err := os.WriteFile(path, []byte("numatoms 128\nnumsteps 3\ntemperature 320\nseed 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, _, err := parseArgs([]string{"-scale", "0.5", "-conf", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Atoms != 128 || cfg.Steps != 3 || cfg.Temperature != 320 {
+		t.Fatalf("conf not applied: %+v", cfg)
+	}
+	// -scale before -conf survives (conf has no workscale).
+	if cfg.WorkScale != 0.5 {
+		t.Fatalf("workscale %v", cfg.WorkScale)
+	}
+	// Flags after -conf override it.
+	cfg, _, _, err = parseArgs([]string{"-conf", path, "-steps", "9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Steps != 9 || cfg.Atoms != 128 {
+		t.Fatalf("override failed: %+v", cfg)
+	}
+	if _, _, _, err := parseArgs([]string{"-conf", filepath.Join(dir, "missing.conf")}); err == nil {
+		t.Fatal("missing conf accepted")
+	}
+}

@@ -1,0 +1,219 @@
+// Package namd is a synthetic stand-in for the NAMD molecular dynamics code
+// used by the paper's REM application (§6.1.6, §6.2.2). The paper needs only
+// NAMD's external behaviour: an N-process MPI job that simulates a fixed
+// number of timesteps over a molecular system (the 44,992-atom NMA case),
+// reads ~14.8 MB of input, writes ~2.2 MB of output plus ~11 KB of standard
+// output, exhibits the heavy-tailed wall-time distribution of Fig. 11, and
+// restarts from coordinate/velocity/extended-system files so replicas can
+// exchange state.
+//
+// The implementation does real floating-point work: each rank integrates its
+// partition of the atoms with a deterministic pairwise-interaction kernel
+// and the ranks allreduce the system energy every timestep, so launching it
+// through JETS exercises exactly the communication pattern of the real
+// application.
+package namd
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"jets/internal/mpi"
+)
+
+// NMAAtoms is the atom count of the paper's NMA benchmark system.
+const NMAAtoms = 44992
+
+// Paper I/O volumes (§6.1.6).
+const (
+	InputBytes  = 14_800_000 // 5 files totaling 14.8 MB
+	OutputBytes = 2_200_000  // 3 files totaling 2.2 MB
+	StdoutBytes = 11_000     // ~11 KB application statistics
+)
+
+// Config describes one NAMD segment invocation.
+type Config struct {
+	Atoms       int
+	Steps       int
+	Temperature float64 // Kelvin
+	Seed        int64
+	// WorkScale multiplies the per-step compute kernel size; 1.0 is
+	// calibrated so a 4-process NMA segment takes O(100 ms) on a laptop —
+	// the paper's ~100 s scaled by 1000x for testability.
+	WorkScale float64
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Atoms <= 0 {
+		return fmt.Errorf("namd: atoms must be positive, got %d", c.Atoms)
+	}
+	if c.Steps <= 0 {
+		return fmt.Errorf("namd: steps must be positive, got %d", c.Steps)
+	}
+	if c.Temperature <= 0 {
+		return fmt.Errorf("namd: temperature must be positive, got %v", c.Temperature)
+	}
+	return nil
+}
+
+// State is the restartable part of a replica trajectory: the conventional
+// NAMD coordinates/velocities/extended-system triple, reduced to the values
+// the exchange actually needs.
+type State struct {
+	Step        int
+	Energy      float64
+	Temperature float64
+	// Coords summarizes per-rank coordinates (checksum vector); real NAMD
+	// writes full binary restart files — we carry enough to make exchanges
+	// observable and deterministic.
+	Coords []float64
+}
+
+// Result reports one segment execution.
+type Result struct {
+	Energy   float64
+	Steps    int
+	Atoms    int
+	Elapsed  time.Duration
+	Stdout   int // bytes of statistics emitted
+	FinalTmp float64
+}
+
+// Run executes one MD segment across the communicator. Every rank computes
+// forces for its atom partition; energies are combined with an allreduce per
+// timestep (the dominant NAMD communication pattern at small scale). The
+// returned Result is identical on every rank.
+func Run(comm *mpi.Comm, cfg Config, restart *State, stdout io.Writer) (Result, *State, error) {
+	var res Result
+	if err := cfg.Validate(); err != nil {
+		return res, nil, err
+	}
+	start := time.Now()
+	rank, size := comm.Rank(), comm.Size()
+
+	// Partition atoms.
+	per := cfg.Atoms / size
+	lo := rank * per
+	hi := lo + per
+	if rank == size-1 {
+		hi = cfg.Atoms
+	}
+	n := hi - lo
+
+	// Deterministic initial conditions (or restart).
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(rank)*7919))
+	pos := make([]float64, n)
+	vel := make([]float64, n)
+	for i := range pos {
+		pos[i] = rng.NormFloat64()
+		vel[i] = rng.NormFloat64() * math.Sqrt(cfg.Temperature/300.0)
+	}
+	startStep := 0
+	if restart != nil {
+		startStep = restart.Step
+		// Perturb from the restart checksum so exchanged trajectories
+		// diverge, as resuming from a neighbour's files would.
+		if len(restart.Coords) > 0 {
+			seed := restart.Coords[rank%len(restart.Coords)]
+			for i := range pos {
+				pos[i] += 1e-3 * math.Sin(seed+float64(i))
+			}
+		}
+	}
+
+	// Kernel size calibration: interactions per atom per step.
+	workScale := cfg.WorkScale
+	if workScale <= 0 {
+		workScale = 1
+	}
+	k := int(64 * workScale)
+	if k < 1 {
+		k = 1
+	}
+
+	if err := comm.Barrier(); err != nil {
+		return res, nil, err
+	}
+	var energy float64
+	dt := 0.002
+	for step := 0; step < cfg.Steps; step++ {
+		local := 0.0
+		for i := 0; i < n; i++ {
+			f := 0.0
+			x := pos[i]
+			// Pairwise-style kernel against k pseudo-neighbours.
+			for j := 1; j <= k; j++ {
+				r := x - pos[(i+j)%n]
+				r2 := r*r + 0.01
+				f += r / (r2 * r2) // Lennard-Jones-ish repulsion gradient
+				local += 1.0 / r2
+			}
+			vel[i] += dt * f
+			pos[i] += dt * vel[i]
+			local += 0.5 * vel[i] * vel[i]
+		}
+		sum, err := comm.AllreduceFloat64(mpi.OpSum, []float64{local})
+		if err != nil {
+			return res, nil, err
+		}
+		energy = sum[0]
+		if rank == 0 && stdout != nil {
+			fmt.Fprintf(stdout, "ENERGY: %6d %18.4f %10.2f\n", startStep+step, energy, cfg.Temperature)
+		}
+	}
+	if err := comm.Barrier(); err != nil {
+		return res, nil, err
+	}
+
+	// Per-rank coordinate checksum gathered so rank 0's state matches the
+	// files real NAMD would write; broadcast back so all ranks return it.
+	chk := 0.0
+	for i, x := range pos {
+		chk += x * math.Cos(float64(i))
+	}
+	all, err := comm.Allgather(mpi.Float64sToBytes([]float64{chk}))
+	if err != nil {
+		return res, nil, err
+	}
+	coords := make([]float64, size)
+	for i, b := range all {
+		v, err := mpi.BytesToFloat64s(b)
+		if err != nil || len(v) != 1 {
+			return res, nil, fmt.Errorf("namd: bad checksum from rank %d", i)
+		}
+		coords[i] = v[0]
+	}
+
+	state := &State{
+		Step:        startStep + cfg.Steps,
+		Energy:      energy,
+		Temperature: cfg.Temperature,
+		Coords:      coords,
+	}
+	res = Result{
+		Energy:   energy,
+		Steps:    cfg.Steps,
+		Atoms:    cfg.Atoms,
+		Elapsed:  time.Since(start),
+		FinalTmp: cfg.Temperature,
+	}
+	return res, state, nil
+}
+
+// SampleWallTime draws a segment wall time from the Fig. 11 distribution:
+// the bulk of 4-processor NMA segments take 100-120 s with a tail running to
+// ~160 s. Used by the discrete-event simulator's NAMD model.
+func SampleWallTime(rng *rand.Rand) time.Duration {
+	base := 100 + 20*rng.Float64()
+	if rng.Float64() < 0.30 {
+		base += rng.ExpFloat64() * 12
+	}
+	if base > 165 {
+		base = 165
+	}
+	return time.Duration(base * float64(time.Second))
+}

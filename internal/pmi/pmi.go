@@ -1,0 +1,511 @@
+// Package pmi implements a PMI-1-style Process Management Interface: the
+// protocol an MPI process uses to talk to its process manager during startup.
+// MPICH2's Hydra proxies carry exactly this service in the systems the paper
+// builds on; here the server side is embedded in our mpiexec equivalent
+// (internal/hydra) and the client side in our MPI library (internal/mpi).
+//
+// The wire format follows PMI-1: newline-terminated records of
+// space-separated key=value pairs, beginning with cmd=<name>. One server
+// instance serves exactly one job (one key-value space, one barrier group),
+// mirroring the one-mpiexec-per-job structure of JETS.
+package pmi
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Environment variable names used to bootstrap a PMI client, following the
+// PMI_RANK convention the paper exposes to wrapper scripts (§5.2).
+const (
+	EnvPort = "PMI_PORT"
+	EnvRank = "PMI_RANK"
+	EnvSize = "PMI_SIZE"
+	EnvKVS  = "PMI_KVSNAME"
+)
+
+// ErrKeyNotFound is returned by Get when the key has not been Put. Clients
+// are expected to Barrier between the put and get phases of wire-up.
+var ErrKeyNotFound = errors.New("pmi: key not found")
+
+// ErrClosed is returned on operations after Finalize or server shutdown.
+var ErrClosed = errors.New("pmi: connection closed")
+
+// record is one parsed wire line.
+type record map[string]string
+
+func (r record) cmd() string { return r["cmd"] }
+
+func parseRecord(line string) (record, error) {
+	r := record{}
+	for _, f := range strings.Fields(line) {
+		i := strings.IndexByte(f, '=')
+		if i < 0 {
+			return nil, fmt.Errorf("pmi: malformed field %q", f)
+		}
+		r[f[:i]] = f[i+1:]
+	}
+	if _, ok := r["cmd"]; !ok {
+		return nil, fmt.Errorf("pmi: record missing cmd: %q", line)
+	}
+	return r, nil
+}
+
+func formatRecord(r record) string {
+	// cmd first, then sorted keys for determinism.
+	var b strings.Builder
+	b.WriteString("cmd=")
+	b.WriteString(r["cmd"])
+	keys := make([]string, 0, len(r))
+	for k := range r {
+		if k != "cmd" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteByte(' ')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(r[k])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func validToken(s string) bool {
+	return s != "" && !strings.ContainsAny(s, " \t\n=")
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+// Server is the process-manager side of PMI for a single job.
+type Server struct {
+	kvsName string
+	size    int
+
+	ln net.Listener
+
+	mu        sync.Mutex
+	kvs       map[string]string
+	barrierN  int
+	conns     map[int]*serverConn // by rank
+	finalized int
+	closed    bool
+
+	doneCh chan struct{} // closed when all ranks finalize
+	once   sync.Once
+}
+
+type serverConn struct {
+	rank int
+	conn net.Conn
+	wmu  sync.Mutex
+	w    *bufio.Writer
+}
+
+func (sc *serverConn) send(r record) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	if _, err := sc.w.WriteString(formatRecord(r)); err != nil {
+		return err
+	}
+	return sc.w.Flush()
+}
+
+// NewServer creates a PMI server for a job of the given size. kvsName must
+// be a token without spaces.
+func NewServer(kvsName string, size int) (*Server, error) {
+	if !validToken(kvsName) {
+		return nil, fmt.Errorf("pmi: invalid kvs name %q", kvsName)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("pmi: invalid size %d", size)
+	}
+	return &Server{
+		kvsName: kvsName,
+		size:    size,
+		kvs:     make(map[string]string),
+		conns:   make(map[int]*serverConn),
+		doneCh:  make(chan struct{}),
+	}, nil
+}
+
+// Listen binds the server to addr (use "127.0.0.1:0" for an ephemeral port)
+// and starts accepting clients. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn handles one client connection until EOF or finalize.
+func (s *Server) serveConn(conn net.Conn) {
+	sc := &serverConn{rank: -1, conn: conn, w: bufio.NewWriter(conn)}
+	r := bufio.NewReader(conn)
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		if sc.rank >= 0 && s.conns[sc.rank] == sc {
+			delete(s.conns, sc.rank)
+		}
+		s.mu.Unlock()
+	}()
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		rec, err := parseRecord(strings.TrimSuffix(line, "\n"))
+		if err != nil {
+			sc.send(record{"cmd": "error", "msg": err.Error()})
+			return
+		}
+		if done := s.dispatch(sc, rec); done {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(sc *serverConn, rec record) (done bool) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		// The job was aborted; drop the connection so the client's next
+		// read fails instead of waiting on a barrier that can never
+		// complete.
+		return true
+	}
+	switch rec.cmd() {
+	case "init":
+		rank, err := strconv.Atoi(rec["pmiid"])
+		if err != nil || rank < 0 || rank >= s.size {
+			sc.send(record{"cmd": "response_to_init", "rc": "-1", "msg": "bad pmiid"})
+			return true
+		}
+		sc.rank = rank
+		s.mu.Lock()
+		s.conns[rank] = sc
+		s.mu.Unlock()
+		sc.send(record{"cmd": "response_to_init", "rc": "0",
+			"size": strconv.Itoa(s.size), "rank": strconv.Itoa(rank)})
+	case "get_maxes":
+		sc.send(record{"cmd": "maxes", "kvsname_max": "256", "keylen_max": "256", "vallen_max": "1024"})
+	case "get_appnum":
+		sc.send(record{"cmd": "appnum", "appnum": "0"})
+	case "get_my_kvsname":
+		sc.send(record{"cmd": "my_kvsname", "kvsname": s.kvsName})
+	case "get_universe_size":
+		sc.send(record{"cmd": "universe_size", "size": strconv.Itoa(s.size)})
+	case "put":
+		if rec["kvsname"] != s.kvsName {
+			sc.send(record{"cmd": "put_result", "rc": "-1", "msg": "unknown kvs"})
+			return false
+		}
+		s.mu.Lock()
+		s.kvs[rec["key"]] = rec["value"]
+		s.mu.Unlock()
+		sc.send(record{"cmd": "put_result", "rc": "0"})
+	case "get":
+		s.mu.Lock()
+		v, ok := s.kvs[rec["key"]]
+		s.mu.Unlock()
+		if rec["kvsname"] != s.kvsName || !ok {
+			sc.send(record{"cmd": "get_result", "rc": "-1"})
+			return false
+		}
+		sc.send(record{"cmd": "get_result", "rc": "0", "value": v})
+	case "barrier_in":
+		s.barrierIn()
+	case "finalize":
+		sc.send(record{"cmd": "finalize_ack"})
+		s.mu.Lock()
+		s.finalized++
+		all := s.finalized >= s.size
+		s.mu.Unlock()
+		if all {
+			s.once.Do(func() { close(s.doneCh) })
+		}
+		return true
+	default:
+		sc.send(record{"cmd": "error", "msg": "unknown command " + rec.cmd()})
+	}
+	return false
+}
+
+func (s *Server) barrierIn() {
+	s.mu.Lock()
+	s.barrierN++
+	if s.barrierN < s.size {
+		s.mu.Unlock()
+		return
+	}
+	s.barrierN = 0
+	conns := make([]*serverConn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.send(record{"cmd": "barrier_out"})
+	}
+}
+
+// Done returns a channel closed once every rank has finalized.
+func (s *Server) Done() <-chan struct{} { return s.doneCh }
+
+// Wait blocks until all ranks finalize or the timeout elapses.
+func (s *Server) Wait(timeout time.Duration) error {
+	select {
+	case <-s.doneCh:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("pmi: server wait timed out after %v", timeout)
+	}
+}
+
+// KVSLen reports the number of keys in the key-value space (for tests and
+// diagnostics).
+func (s *Server) KVSLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.kvs)
+}
+
+// Close shuts the listener and all client connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*serverConn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+// Client is the MPI-process side of PMI.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	wmu  sync.Mutex
+	w    *bufio.Writer
+
+	rank    int
+	size    int
+	kvsName string
+
+	mu       sync.Mutex
+	pending  []record // non-barrier responses that arrived while waiting
+	barriers int      // barrier_out records banked while waiting for other replies
+	closed   bool
+}
+
+// Dial connects to a PMI server and performs the init handshake for the
+// given rank.
+func Dial(addr string, rank int) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), rank: rank}
+	resp, err := c.call(record{"cmd": "init", "pmiid": strconv.Itoa(rank)}, "response_to_init")
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if resp["rc"] != "0" {
+		conn.Close()
+		return nil, fmt.Errorf("pmi: init rejected: %s", resp["msg"])
+	}
+	c.size, err = strconv.Atoi(resp["size"])
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("pmi: bad size in init response: %v", err)
+	}
+	kvs, err := c.call(record{"cmd": "get_my_kvsname"}, "my_kvsname")
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.kvsName = kvs["kvsname"]
+	return c, nil
+}
+
+// DialEnv connects using the PMI_* environment variables, as a user process
+// launched by a Hydra proxy would.
+func DialEnv() (*Client, error) {
+	port := os.Getenv(EnvPort)
+	if port == "" {
+		return nil, errors.New("pmi: " + EnvPort + " not set")
+	}
+	rank, err := strconv.Atoi(os.Getenv(EnvRank))
+	if err != nil {
+		return nil, fmt.Errorf("pmi: bad %s: %v", EnvRank, err)
+	}
+	return Dial(port, rank)
+}
+
+// Env renders the client bootstrap environment for a child process.
+func Env(addr string, rank, size int, kvsName string) []string {
+	return []string{
+		EnvPort + "=" + addr,
+		EnvRank + "=" + strconv.Itoa(rank),
+		EnvSize + "=" + strconv.Itoa(size),
+		EnvKVS + "=" + kvsName,
+	}
+}
+
+func (c *Client) send(r record) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.w.WriteString(formatRecord(r)); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// call sends a request and waits for a response with the given cmd,
+// banking any barrier_out records that arrive in between (the server may
+// broadcast a barrier release while this client is mid-request).
+func (c *Client) call(req record, wantCmd string) (record, error) {
+	if err := c.send(req); err != nil {
+		return nil, err
+	}
+	return c.await(wantCmd)
+}
+
+func (c *Client) await(wantCmd string) (record, error) {
+	c.mu.Lock()
+	if wantCmd == "barrier_out" && c.barriers > 0 {
+		c.barriers--
+		c.mu.Unlock()
+		return record{"cmd": "barrier_out"}, nil
+	}
+	for i, p := range c.pending {
+		if p.cmd() == wantCmd {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			c.mu.Unlock()
+			return p, nil
+		}
+	}
+	c.mu.Unlock()
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("pmi: read: %w", err)
+		}
+		rec, err := parseRecord(strings.TrimSuffix(line, "\n"))
+		if err != nil {
+			return nil, err
+		}
+		if rec.cmd() == wantCmd {
+			return rec, nil
+		}
+		c.mu.Lock()
+		if rec.cmd() == "barrier_out" {
+			c.barriers++
+		} else {
+			c.pending = append(c.pending, rec)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Rank returns this process's rank in the job.
+func (c *Client) Rank() int { return c.rank }
+
+// Size returns the number of processes in the job.
+func (c *Client) Size() int { return c.size }
+
+// KVSName returns the job's key-value-space name.
+func (c *Client) KVSName() string { return c.kvsName }
+
+// Put stores key=value in the job KVS. Keys and values must be tokens
+// without whitespace or '='.
+func (c *Client) Put(key, value string) error {
+	if !validToken(key) || !validToken(value) {
+		return fmt.Errorf("pmi: invalid token in put %q=%q", key, value)
+	}
+	resp, err := c.call(record{"cmd": "put", "kvsname": c.kvsName, "key": key, "value": value}, "put_result")
+	if err != nil {
+		return err
+	}
+	if resp["rc"] != "0" {
+		return fmt.Errorf("pmi: put rejected: %s", resp["msg"])
+	}
+	return nil
+}
+
+// Get fetches a key from the job KVS, returning ErrKeyNotFound if no rank
+// has put it yet.
+func (c *Client) Get(key string) (string, error) {
+	resp, err := c.call(record{"cmd": "get", "kvsname": c.kvsName, "key": key}, "get_result")
+	if err != nil {
+		return "", err
+	}
+	if resp["rc"] != "0" {
+		return "", ErrKeyNotFound
+	}
+	return resp["value"], nil
+}
+
+// Barrier blocks until all ranks in the job have entered the barrier.
+func (c *Client) Barrier() error {
+	if err := c.send(record{"cmd": "barrier_in"}); err != nil {
+		return err
+	}
+	_, err := c.await("barrier_out")
+	return err
+}
+
+// Finalize tells the server this rank is done and closes the connection.
+func (c *Client) Finalize() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.closed = true
+	c.mu.Unlock()
+	_, err := c.call(record{"cmd": "finalize"}, "finalize_ack")
+	c.conn.Close()
+	return err
+}

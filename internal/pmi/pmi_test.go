@@ -1,0 +1,296 @@
+package pmi
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func startServer(t *testing.T, size int) (*Server, string) {
+	t.Helper()
+	s, err := NewServer("kvs_test", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, addr
+}
+
+func TestRecordParseFormat(t *testing.T) {
+	r, err := parseRecord("cmd=put kvsname=k key=a value=b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.cmd() != "put" || r["key"] != "a" || r["value"] != "b" {
+		t.Fatalf("parsed %v", r)
+	}
+	out := formatRecord(r)
+	if !strings.HasPrefix(out, "cmd=put ") || !strings.HasSuffix(out, "\n") {
+		t.Fatalf("formatted %q", out)
+	}
+	// round trip
+	r2, err := parseRecord(strings.TrimSuffix(out, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range r {
+		if r2[k] != v {
+			t.Fatalf("round trip lost %s=%s: %v", k, v, r2)
+		}
+	}
+}
+
+func TestRecordParseErrors(t *testing.T) {
+	if _, err := parseRecord("cmd=x bad-field"); err == nil {
+		t.Error("want error on field without =")
+	}
+	if _, err := parseRecord("key=value"); err == nil {
+		t.Error("want error on record without cmd")
+	}
+}
+
+func TestInitHandshake(t *testing.T) {
+	_, addr := startServer(t, 1)
+	c, err := Dial(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rank() != 0 || c.Size() != 1 || c.KVSName() != "kvs_test" {
+		t.Fatalf("rank=%d size=%d kvs=%q", c.Rank(), c.Size(), c.KVSName())
+	}
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitBadRank(t *testing.T) {
+	_, addr := startServer(t, 2)
+	if _, err := Dial(addr, 5); err == nil {
+		t.Fatal("want rejection for out-of-range rank")
+	}
+	if _, err := Dial(addr, -1); err == nil {
+		t.Fatal("want rejection for negative rank")
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	_, addr := startServer(t, 1)
+	c, err := Dial(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Finalize()
+	if err := c.Put("addr-0", "10.0.0.1:9999"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("addr-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "10.0.0.1:9999" {
+		t.Fatalf("got %q", v)
+	}
+	if _, err := c.Get("missing"); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("got %v want ErrKeyNotFound", err)
+	}
+}
+
+func TestPutRejectsInvalidTokens(t *testing.T) {
+	_, addr := startServer(t, 1)
+	c, err := Dial(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Finalize()
+	for _, kv := range [][2]string{{"a b", "v"}, {"k", "v v"}, {"", "v"}, {"k", ""}, {"k=x", "v"}} {
+		if err := c.Put(kv[0], kv[1]); err == nil {
+			t.Errorf("Put(%q,%q) accepted", kv[0], kv[1])
+		}
+	}
+}
+
+// TestWireUp exercises the full MPI bootstrap pattern: every rank puts its
+// address, barriers, then gets every other rank's address.
+func TestWireUp(t *testing.T) {
+	const n = 8
+	_, addr := startServer(t, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, err := Dial(addr, rank)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Finalize()
+			if err := c.Put(fmt.Sprintf("addr-%d", rank), fmt.Sprintf("host%d:100%d", rank, rank)); err != nil {
+				errs <- err
+				return
+			}
+			if err := c.Barrier(); err != nil {
+				errs <- err
+				return
+			}
+			for peer := 0; peer < n; peer++ {
+				v, err := c.Get(fmt.Sprintf("addr-%d", peer))
+				if err != nil {
+					errs <- fmt.Errorf("rank %d get addr-%d: %w", rank, peer, err)
+					return
+				}
+				want := fmt.Sprintf("host%d:100%d", peer, peer)
+				if v != want {
+					errs <- fmt.Errorf("rank %d got %q want %q", rank, v, want)
+					return
+				}
+			}
+		}(rank)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestMultipleBarriers(t *testing.T) {
+	const n, rounds = 4, 5
+	_, addr := startServer(t, n)
+	var wg sync.WaitGroup
+	var counter sync.Map
+	errs := make(chan error, n)
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, err := Dial(addr, rank)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Finalize()
+			for round := 0; round < rounds; round++ {
+				key := fmt.Sprintf("r%d-rank%d", round, rank)
+				if err := c.Put(key, "x"); err != nil {
+					errs <- err
+					return
+				}
+				if err := c.Barrier(); err != nil {
+					errs <- err
+					return
+				}
+				// After the barrier every rank's key for this round must exist.
+				for p := 0; p < n; p++ {
+					if _, err := c.Get(fmt.Sprintf("r%d-rank%d", round, p)); err != nil {
+						errs <- fmt.Errorf("round %d rank %d: peer %d key missing: %w", round, rank, p, err)
+						return
+					}
+				}
+				counter.Store(fmt.Sprintf("%d-%d", round, rank), true)
+			}
+		}(rank)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestServerDone(t *testing.T) {
+	s, addr := startServer(t, 2)
+	for rank := 0; rank < 2; rank++ {
+		go func(rank int) {
+			c, err := Dial(addr, rank)
+			if err != nil {
+				return
+			}
+			c.Finalize()
+		}(rank)
+	}
+	if err := s.Wait(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-s.Done():
+	default:
+		t.Fatal("Done channel not closed")
+	}
+}
+
+func TestServerWaitTimeout(t *testing.T) {
+	s, _ := startServer(t, 2)
+	if err := s.Wait(50 * time.Millisecond); err == nil {
+		t.Fatal("want timeout error")
+	}
+}
+
+func TestFinalizeTwice(t *testing.T) {
+	_, addr := startServer(t, 1)
+	c, err := Dial(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Finalize(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second finalize: got %v want ErrClosed", err)
+	}
+}
+
+func TestEnvRendering(t *testing.T) {
+	env := Env("127.0.0.1:1234", 3, 8, "kvs_9")
+	want := []string{"PMI_PORT=127.0.0.1:1234", "PMI_RANK=3", "PMI_SIZE=8", "PMI_KVSNAME=kvs_9"}
+	if len(env) != len(want) {
+		t.Fatalf("env=%v", env)
+	}
+	for i := range want {
+		if env[i] != want[i] {
+			t.Errorf("env[%d]=%q want %q", i, env[i], want[i])
+		}
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer("has space", 4); err == nil {
+		t.Error("want error for kvs name with space")
+	}
+	if _, err := NewServer("ok", 0); err == nil {
+		t.Error("want error for size 0")
+	}
+}
+
+// Property: any valid token pair survives a put/get cycle.
+func TestKVSRoundTripProperty(t *testing.T) {
+	_, addr := startServer(t, 1)
+	c, err := Dial(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Finalize()
+	i := 0
+	f := func(suffix uint16, val uint32) bool {
+		i++
+		key := fmt.Sprintf("k%d-%d", i, suffix)
+		value := fmt.Sprintf("v%d", val)
+		if err := c.Put(key, value); err != nil {
+			return false
+		}
+		got, err := c.Get(key)
+		return err == nil && got == value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

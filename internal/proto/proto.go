@@ -1,0 +1,225 @@
+// Package proto defines the JETS wire protocol: a length-prefixed JSON
+// message framing used on every TCP connection in the system — worker agents
+// talking to the central dispatcher, Hydra proxies talking to the mpiexec
+// control process, and Coasters clients talking to the CoasterService.
+//
+// The paper's architecture principle 2 ("separate service pipeline processes
+// through simple interfaces") is realized here: socket management is a thin,
+// uniform layer and every higher component exchanges typed messages through
+// it.
+package proto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxFrame is the largest frame the codec accepts. Oversized frames indicate
+// a corrupt stream or a protocol mismatch, not legitimate traffic.
+const MaxFrame = 64 << 20
+
+// ErrFrameTooLarge is returned when a peer announces a frame larger than
+// MaxFrame.
+var ErrFrameTooLarge = errors.New("proto: frame exceeds maximum size")
+
+// Kind identifies a message type on the wire.
+type Kind string
+
+// Message kinds. The dispatcher/worker cycle follows the paper's Fig. 4:
+// workers register, report readiness (work request), receive proxy tasks,
+// stream output, and report completion.
+const (
+	KindRegister    Kind = "register"     // worker -> dispatcher: here I am
+	KindRegistered  Kind = "registered"   // dispatcher -> worker: accepted
+	KindWorkRequest Kind = "work-request" // worker -> dispatcher: ready for a task
+	KindTask        Kind = "task"         // dispatcher -> worker: run this
+	KindNoWork      Kind = "no-work"      // dispatcher -> worker: drained, retry or exit
+	KindResult      Kind = "result"       // worker -> dispatcher: task finished
+	KindOutput      Kind = "output"       // worker -> dispatcher: task stdout/stderr chunk
+	KindHeartbeat   Kind = "heartbeat"    // worker -> dispatcher: liveness
+	KindShutdown    Kind = "shutdown"     // dispatcher -> worker: exit cleanly
+	KindStage       Kind = "stage"        // dispatcher -> worker: cache file locally
+	KindStaged      Kind = "staged"       // worker -> dispatcher: cache ack
+	KindError       Kind = "error"        // either direction: protocol-level failure
+)
+
+// Envelope is the frame carried on every connection. Exactly one payload
+// field is populated according to Kind.
+type Envelope struct {
+	Kind Kind   `json:"kind"`
+	Seq  uint64 `json:"seq,omitempty"`
+
+	Register  *Register  `json:"register,omitempty"`
+	Task      *Task      `json:"task,omitempty"`
+	Result    *Result    `json:"result,omitempty"`
+	Output    *Output    `json:"output,omitempty"`
+	Heartbeat *Heartbeat `json:"heartbeat,omitempty"`
+	Stage     *Stage     `json:"stage,omitempty"`
+	Error     string     `json:"error,omitempty"`
+}
+
+// Register announces a worker to the dispatcher.
+type Register struct {
+	WorkerID string `json:"worker_id"`
+	Host     string `json:"host"`
+	Cores    int    `json:"cores"`
+	// Rank coordinates on the interconnect, used by topology-aware grouping.
+	Coord []int `json:"coord,omitempty"`
+}
+
+// Task is one unit of work sent to a worker: either a plain sequential
+// command or one Hydra proxy of a decomposed MPI job.
+type Task struct {
+	TaskID string   `json:"task_id"`
+	JobID  string   `json:"job_id"`
+	Cmd    string   `json:"cmd"`
+	Args   []string `json:"args,omitempty"`
+	Env    []string `json:"env,omitempty"` // KEY=VALUE pairs
+	Dir    string   `json:"dir,omitempty"`
+
+	// MPI-decomposition fields (zero for sequential tasks).
+	Rank    int    `json:"rank,omitempty"`
+	Size    int    `json:"size,omitempty"`
+	Control string `json:"control,omitempty"` // mpiexec control endpoint to dial back
+	KVS     string `json:"kvs,omitempty"`     // PMI key-value-space name
+
+	// WallLimit, when positive, is the time after which the worker kills
+	// the task and reports failure.
+	WallLimit time.Duration `json:"wall_limit,omitempty"`
+}
+
+// Result reports task completion.
+type Result struct {
+	TaskID   string        `json:"task_id"`
+	JobID    string        `json:"job_id"`
+	ExitCode int           `json:"exit_code"`
+	Err      string        `json:"err,omitempty"`
+	Elapsed  time.Duration `json:"elapsed"`
+}
+
+// Output carries a chunk of task stdout or stderr back through the service,
+// mirroring the paper's standard-output routing (application -> proxy ->
+// mpiexec -> JETS -> file).
+type Output struct {
+	TaskID string `json:"task_id"`
+	Stream string `json:"stream"` // "stdout" or "stderr"
+	Data   []byte `json:"data"`
+}
+
+// Heartbeat is a periodic liveness report.
+type Heartbeat struct {
+	WorkerID string        `json:"worker_id"`
+	Busy     bool          `json:"busy"`
+	Uptime   time.Duration `json:"uptime"`
+}
+
+// Stage asks a worker to copy a file into node-local storage (the paper's
+// local-storage optimization for proxy/user binaries and data).
+type Stage struct {
+	Name string `json:"name"`
+	Data []byte `json:"data,omitempty"`
+	Path string `json:"path,omitempty"` // destination hint inside the cache
+}
+
+// Codec frames Envelopes over an io.ReadWriter with a 4-byte big-endian
+// length prefix. A Codec is safe for one concurrent reader and one
+// concurrent writer; writes are additionally serialized internally so many
+// goroutines may Send.
+type Codec struct {
+	r  *bufio.Reader
+	w  *bufio.Writer
+	wc io.Closer
+
+	mu  sync.Mutex // guards w
+	seq uint64
+}
+
+// NewCodec wraps a connection. If rw implements io.Closer, Close will close
+// it.
+func NewCodec(rw io.ReadWriter) *Codec {
+	c := &Codec{
+		r: bufio.NewReaderSize(rw, 32<<10),
+		w: bufio.NewWriterSize(rw, 32<<10),
+	}
+	if cl, ok := rw.(io.Closer); ok {
+		c.wc = cl
+	}
+	return c
+}
+
+// Send marshals and writes one envelope, assigning it the next sequence
+// number, and flushes.
+func (c *Codec) Send(e *Envelope) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	e.Seq = c.seq
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("proto: marshal: %w", err)
+	}
+	if len(buf) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(buf)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(buf); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Recv reads one envelope, blocking until a full frame arrives.
+func (c *Codec) Recv() (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return nil, err
+	}
+	var e Envelope
+	if err := json.Unmarshal(buf, &e); err != nil {
+		return nil, fmt.Errorf("proto: unmarshal: %w", err)
+	}
+	return &e, nil
+}
+
+// Close closes the underlying connection if it is closable.
+func (c *Codec) Close() error {
+	if c.wc != nil {
+		return c.wc.Close()
+	}
+	return nil
+}
+
+// Dial connects to a JETS endpoint and returns a codec over the connection.
+func Dial(addr string, timeout time.Duration) (*Codec, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewCodec(conn), nil
+}
+
+// Pipe returns a connected pair of codecs over an in-memory duplex pipe,
+// used by tests and the in-process runtime.
+func Pipe() (*Codec, *Codec) {
+	a, b := net.Pipe()
+	return NewCodec(a), NewCodec(b)
+}

@@ -1,0 +1,260 @@
+// Package rem implements the replica exchange method (REM) of the paper's
+// motivating use case (§3, Fig. 2): an ensemble of molecular dynamics
+// trajectories at different temperatures that are periodically stopped,
+// compared under the Metropolis criterion, and restarted from neighbouring
+// replicas' snapshots.
+//
+// Two drivers use this package: the stand-alone bag-of-tasks form
+// (RunStandalone, §6.1.6) and the Swift dataflow form (examples/rem,
+// §6.2.2), which expresses the same exchange logic as a mini-Swift script.
+package rem
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"time"
+
+	"jets/internal/core"
+	"jets/internal/dispatch"
+	"jets/internal/hydra"
+	"jets/internal/namd"
+)
+
+// Replica is one trajectory in the ensemble.
+type Replica struct {
+	ID          int
+	Temperature float64
+	State       *namd.State
+}
+
+// Ensemble is the set of replicas plus exchange statistics.
+type Ensemble struct {
+	Replicas []*Replica
+	rng      *rand.Rand
+
+	Attempted int
+	Accepted  int
+}
+
+// NewEnsemble builds n replicas on a geometric temperature ladder from tmin
+// to tmax (the standard REM spacing).
+func NewEnsemble(n int, tmin, tmax float64, seed int64) (*Ensemble, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("rem: ensemble needs >= 2 replicas, got %d", n)
+	}
+	if tmin <= 0 || tmax <= tmin {
+		return nil, fmt.Errorf("rem: invalid temperature range [%v, %v]", tmin, tmax)
+	}
+	e := &Ensemble{rng: rand.New(rand.NewSource(seed))}
+	ratio := math.Pow(tmax/tmin, 1/float64(n-1))
+	temp := tmin
+	for i := 0; i < n; i++ {
+		e.Replicas = append(e.Replicas, &Replica{ID: i, Temperature: temp})
+		temp *= ratio
+	}
+	return e, nil
+}
+
+// Pairs returns the neighbour pairs exchanged in the given round: even
+// rounds pair (0,1),(2,3),...; odd rounds pair (1,2),(3,4),... including the
+// wrap-around pair (n-1, 0) when n is even — the "%%"-driven alternation of
+// the paper's Swift script (Fig. 17).
+func Pairs(n, round int) [][2]int {
+	var out [][2]int
+	if n < 2 {
+		return out
+	}
+	if round%2 == 0 {
+		for i := 0; i+1 < n; i += 2 {
+			out = append(out, [2]int{i, i + 1})
+		}
+		return out
+	}
+	for i := 1; i+1 < n; i += 2 {
+		out = append(out, [2]int{i, i + 1})
+	}
+	if n%2 == 0 && n > 2 {
+		out = append(out, [2]int{n - 1, 0}) // odd exchanges wrap around
+	}
+	return out
+}
+
+// Accept evaluates the Metropolis exchange criterion for two replicas with
+// energies e1, e2 at temperatures t1, t2 (reduced units, kB = 1): the
+// exchange is accepted with probability min(1, exp(-Δ)) where
+// Δ = (1/t1 - 1/t2)(e2 - e1).
+func Accept(e1, t1, e2, t2 float64, u float64) bool {
+	delta := (1/t1 - 1/t2) * (e2 - e1)
+	if delta <= 0 {
+		return true
+	}
+	return u < math.Exp(-delta)
+}
+
+// ExchangeRound attempts the round's neighbour exchanges, swapping replica
+// states on acceptance. It returns the number accepted. Replicas without
+// state (never run) are skipped.
+func (e *Ensemble) ExchangeRound(round int) int {
+	accepted := 0
+	for _, p := range Pairs(len(e.Replicas), round) {
+		a, b := e.Replicas[p[0]], e.Replicas[p[1]]
+		if a.State == nil || b.State == nil {
+			continue
+		}
+		e.Attempted++
+		if Accept(a.State.Energy, a.Temperature, b.State.Energy, b.Temperature, e.rng.Float64()) {
+			a.State, b.State = b.State, a.State
+			e.Accepted++
+			accepted++
+		}
+	}
+	return accepted
+}
+
+// AcceptanceRate reports the fraction of attempted exchanges accepted.
+func (e *Ensemble) AcceptanceRate() float64 {
+	if e.Attempted == 0 {
+		return 0
+	}
+	return float64(e.Accepted) / float64(e.Attempted)
+}
+
+// ---------------------------------------------------------------------------
+// Stand-alone driver (§6.1.6 style): synchronous rounds of NAMD segments
+// followed by an exchange step.
+
+// DriverConfig parameterizes a stand-alone REM run.
+type DriverConfig struct {
+	Replicas        int
+	Exchanges       int // rounds of segment+exchange
+	ProcsPerReplica int
+	Atoms           int
+	StepsPerSegment int
+	WorkScale       float64
+	TMin, TMax      float64
+	Seed            int64
+	// Dir holds the replica state files; empty uses in-memory states only.
+	Dir string
+}
+
+func (c *DriverConfig) defaults() {
+	if c.Atoms == 0 {
+		c.Atoms = namd.NMAAtoms
+	}
+	if c.StepsPerSegment == 0 {
+		c.StepsPerSegment = 10
+	}
+	if c.ProcsPerReplica == 0 {
+		c.ProcsPerReplica = 4
+	}
+	if c.TMin == 0 {
+		c.TMin = 300
+	}
+	if c.TMax == 0 {
+		c.TMax = 400
+	}
+	if c.WorkScale == 0 {
+		c.WorkScale = 0.05
+	}
+}
+
+// Report summarizes a stand-alone REM run.
+type Report struct {
+	Rounds         int
+	SegmentsRun    int
+	Accepted       int
+	Attempted      int
+	AcceptanceRate float64
+	Elapsed        time.Duration
+	// FinalEnergies per replica, in ladder order.
+	FinalEnergies []float64
+}
+
+// RunStandalone executes the synchronous REM workflow on a JETS engine whose
+// runner has namd2 registered (namd.RegisterApp). Each round submits one
+// NAMD segment per replica as an MPI job, waits for the batch, then performs
+// the exchanges — the structure of Fig. 2.
+func RunStandalone(ctx context.Context, eng *core.Engine, cfg DriverConfig) (*Report, error) {
+	cfg.defaults()
+	if cfg.Replicas < 2 {
+		return nil, fmt.Errorf("rem: need >= 2 replicas")
+	}
+	if cfg.Exchanges < 1 {
+		return nil, fmt.Errorf("rem: need >= 1 exchange round")
+	}
+	ens, err := NewEnsemble(cfg.Replicas, cfg.TMin, cfg.TMax, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("rem: state directory required for the stand-alone driver")
+	}
+
+	start := time.Now()
+	rep := &Report{}
+	for round := 0; round < cfg.Exchanges; round++ {
+		var jobs []dispatch.Job
+		for _, r := range ens.Replicas {
+			out := statePath(cfg.Dir, r.ID, round)
+			args := []string{
+				"-atoms", fmt.Sprint(cfg.Atoms),
+				"-steps", fmt.Sprint(cfg.StepsPerSegment),
+				"-temp", fmt.Sprintf("%.4f", r.Temperature),
+				"-seed", fmt.Sprint(cfg.Seed + int64(r.ID) + int64(round)*1000),
+				"-scale", fmt.Sprintf("%.6f", cfg.WorkScale),
+				"-out", out,
+			}
+			if round > 0 {
+				args = append(args, "-in", statePath(cfg.Dir, r.ID, round-1))
+			}
+			jobs = append(jobs, dispatch.Job{
+				Spec: hydra.JobSpec{
+					JobID:  fmt.Sprintf("rem-r%d-seg%d", r.ID, round),
+					NProcs: cfg.ProcsPerReplica,
+					Cmd:    namd.AppName,
+					Args:   args,
+				},
+				Type: dispatch.MPI,
+			})
+		}
+		batch, err := eng.RunBatch(ctx, jobs)
+		if err != nil {
+			return rep, err
+		}
+		if n := batch.Failed(); n > 0 {
+			return rep, fmt.Errorf("rem: round %d: %d segments failed", round, n)
+		}
+		rep.SegmentsRun += len(jobs)
+		// Load the fresh states and exchange.
+		for _, r := range ens.Replicas {
+			st, err := namd.LoadState(statePath(cfg.Dir, r.ID, round))
+			if err != nil {
+				return rep, fmt.Errorf("rem: round %d replica %d: %w", round, r.ID, err)
+			}
+			r.State = st
+		}
+		ens.ExchangeRound(round)
+		// Persist exchanged states so the next round restarts from them.
+		for _, r := range ens.Replicas {
+			if err := namd.SaveState(statePath(cfg.Dir, r.ID, round), r.State); err != nil {
+				return rep, err
+			}
+		}
+		rep.Rounds++
+	}
+	rep.Accepted = ens.Accepted
+	rep.Attempted = ens.Attempted
+	rep.AcceptanceRate = ens.AcceptanceRate()
+	rep.Elapsed = time.Since(start)
+	for _, r := range ens.Replicas {
+		rep.FinalEnergies = append(rep.FinalEnergies, r.State.Energy)
+	}
+	return rep, nil
+}
+
+func statePath(dir string, replica, round int) string {
+	return filepath.Join(dir, fmt.Sprintf("replica-%d-round-%d.state", replica, round))
+}

@@ -1,0 +1,214 @@
+package rem
+
+import (
+	"context"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"jets/internal/core"
+	"jets/internal/hydra"
+	"jets/internal/namd"
+)
+
+func TestNewEnsembleLadder(t *testing.T) {
+	e, err := NewEnsemble(4, 300, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Replicas) != 4 {
+		t.Fatalf("replicas=%d", len(e.Replicas))
+	}
+	if math.Abs(e.Replicas[0].Temperature-300) > 1e-9 {
+		t.Errorf("t0=%v", e.Replicas[0].Temperature)
+	}
+	if math.Abs(e.Replicas[3].Temperature-400) > 1e-6 {
+		t.Errorf("t3=%v", e.Replicas[3].Temperature)
+	}
+	// geometric: constant ratio
+	r1 := e.Replicas[1].Temperature / e.Replicas[0].Temperature
+	r2 := e.Replicas[2].Temperature / e.Replicas[1].Temperature
+	if math.Abs(r1-r2) > 1e-9 {
+		t.Errorf("ladder not geometric: %v vs %v", r1, r2)
+	}
+}
+
+func TestNewEnsembleValidation(t *testing.T) {
+	if _, err := NewEnsemble(1, 300, 400, 1); err == nil {
+		t.Error("single replica accepted")
+	}
+	if _, err := NewEnsemble(4, 400, 300, 1); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := NewEnsemble(4, 0, 300, 1); err == nil {
+		t.Error("zero tmin accepted")
+	}
+}
+
+func TestPairsAlternation(t *testing.T) {
+	// Even round, 6 replicas: (0,1)(2,3)(4,5)
+	p := Pairs(6, 0)
+	want := [][2]int{{0, 1}, {2, 3}, {4, 5}}
+	if len(p) != len(want) {
+		t.Fatalf("even pairs %v", p)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("even pairs %v", p)
+		}
+	}
+	// Odd round, 6 replicas: (1,2)(3,4)(5,0) — wrap-around.
+	p = Pairs(6, 1)
+	want = [][2]int{{1, 2}, {3, 4}, {5, 0}}
+	if len(p) != len(want) {
+		t.Fatalf("odd pairs %v", p)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("odd pairs %v", p)
+		}
+	}
+}
+
+func TestPairsOddCount(t *testing.T) {
+	// 5 replicas, odd round: (1,2)(3,4), no wrap (n odd).
+	p := Pairs(5, 1)
+	if len(p) != 2 || p[0] != [2]int{1, 2} || p[1] != [2]int{3, 4} {
+		t.Fatalf("pairs %v", p)
+	}
+	if got := Pairs(1, 0); len(got) != 0 {
+		t.Fatalf("single replica pairs %v", got)
+	}
+}
+
+// Property: within a round no replica appears in two pairs, and pair members
+// are adjacent on the ring.
+func TestPairsDisjointProperty(t *testing.T) {
+	f := func(nRaw, roundRaw uint8) bool {
+		n := int(nRaw%16) + 2
+		round := int(roundRaw)
+		seen := map[int]bool{}
+		for _, p := range Pairs(n, round) {
+			if seen[p[0]] || seen[p[1]] {
+				return false
+			}
+			seen[p[0]], seen[p[1]] = true, true
+			d := (p[1] - p[0] + n) % n
+			if d != 1 && (p[0]-p[1]+n)%n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAcceptCriterion(t *testing.T) {
+	// Downhill (higher-T replica has lower energy): always accept.
+	if !Accept(100, 300, 50, 400, 0.999) {
+		t.Error("favourable exchange rejected")
+	}
+	// Same temperatures: delta 0, accept.
+	if !Accept(10, 300, 20, 300, 0.999) {
+		t.Error("zero-delta exchange rejected")
+	}
+	// Strongly unfavourable with u near 1: reject.
+	if Accept(0, 300, 1e9, 301, 0.999) {
+		t.Error("hugely unfavourable exchange accepted")
+	}
+	// Unfavourable but u=0: accept (Metropolis).
+	if !Accept(0, 300, 10, 301, 0.0) {
+		t.Error("metropolis tail rejected at u=0")
+	}
+}
+
+func TestExchangeRoundSwapsStates(t *testing.T) {
+	e, _ := NewEnsemble(2, 300, 400, 1)
+	// Arrange a guaranteed-accept configuration: hot replica has lower
+	// energy.
+	e.Replicas[0].State = &namd.State{Energy: 100}
+	e.Replicas[1].State = &namd.State{Energy: 50}
+	acc := e.ExchangeRound(0)
+	if acc != 1 {
+		t.Fatalf("accepted=%d", acc)
+	}
+	if e.Replicas[0].State.Energy != 50 || e.Replicas[1].State.Energy != 100 {
+		t.Fatal("states not swapped")
+	}
+	if e.AcceptanceRate() != 1 {
+		t.Fatalf("rate=%v", e.AcceptanceRate())
+	}
+}
+
+func TestExchangeRoundSkipsNilStates(t *testing.T) {
+	e, _ := NewEnsemble(2, 300, 400, 1)
+	if n := e.ExchangeRound(0); n != 0 {
+		t.Fatalf("exchanged without states: %d", n)
+	}
+	if e.Attempted != 0 {
+		t.Fatalf("attempted=%d", e.Attempted)
+	}
+}
+
+func TestRunStandaloneEndToEnd(t *testing.T) {
+	runner := hydra.NewFuncRunner()
+	namd.RegisterApp(runner, 0.01)
+	eng, err := core.NewEngine(core.Options{LocalWorkers: 4, Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	dir := t.TempDir()
+	rep, err := RunStandalone(context.Background(), eng, DriverConfig{
+		Replicas:        4,
+		Exchanges:       3,
+		ProcsPerReplica: 2,
+		Atoms:           200,
+		StepsPerSegment: 2,
+		WorkScale:       0.01,
+		Seed:            11,
+		Dir:             dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds != 3 || rep.SegmentsRun != 12 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.Attempted == 0 {
+		t.Fatal("no exchanges attempted")
+	}
+	if len(rep.FinalEnergies) != 4 {
+		t.Fatalf("energies %v", rep.FinalEnergies)
+	}
+	for _, e := range rep.FinalEnergies {
+		if math.IsNaN(e) || e == 0 {
+			t.Fatalf("bad final energy %v", rep.FinalEnergies)
+		}
+	}
+	if rep.Elapsed <= 0 || rep.Elapsed > time.Minute {
+		t.Fatalf("elapsed %v", rep.Elapsed)
+	}
+}
+
+func TestRunStandaloneValidation(t *testing.T) {
+	runner := hydra.NewFuncRunner()
+	namd.RegisterApp(runner, 0.01)
+	eng, err := core.NewEngine(core.Options{LocalWorkers: 2, Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := RunStandalone(context.Background(), eng, DriverConfig{Replicas: 1, Exchanges: 1, Dir: t.TempDir()}); err == nil {
+		t.Error("1 replica accepted")
+	}
+	if _, err := RunStandalone(context.Background(), eng, DriverConfig{Replicas: 2, Exchanges: 0, Dir: t.TempDir()}); err == nil {
+		t.Error("0 exchanges accepted")
+	}
+	if _, err := RunStandalone(context.Background(), eng, DriverConfig{Replicas: 2, Exchanges: 1}); err == nil {
+		t.Error("missing dir accepted")
+	}
+}

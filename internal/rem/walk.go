@@ -1,0 +1,136 @@
+package rem
+
+import "fmt"
+
+// Replica-exchange diagnostics. The quality of an REM simulation is usually
+// judged by how freely replicas random-walk the temperature ladder: a
+// trajectory should visit both ends of the ladder repeatedly ("round
+// trips"). These analytics operate on the exchange history and are used by
+// the REM example and tests to check that the Metropolis machinery actually
+// mixes.
+
+// Walk tracks which temperature slot each trajectory occupies over rounds.
+// In state-exchange REM the trajectory follows its State: when two replicas
+// swap states, the underlying trajectories swap temperature slots.
+type Walk struct {
+	n int
+	// slotOf[traj] = current ladder slot of trajectory traj.
+	slotOf []int
+	// history[round][traj] = slot after that round's exchanges.
+	history [][]int
+}
+
+// NewWalk starts tracking n trajectories, trajectory i starting in slot i.
+func NewWalk(n int) (*Walk, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("rem: walk needs >= 2 trajectories, got %d", n)
+	}
+	w := &Walk{n: n, slotOf: make([]int, n)}
+	for i := range w.slotOf {
+		w.slotOf[i] = i
+	}
+	return w, nil
+}
+
+// ApplySwap records that the trajectories currently in ladder slots a and b
+// exchanged (an accepted Metropolis move).
+func (w *Walk) ApplySwap(a, b int) error {
+	if a < 0 || a >= w.n || b < 0 || b >= w.n || a == b {
+		return fmt.Errorf("rem: invalid swap slots (%d, %d)", a, b)
+	}
+	ta, tb := -1, -1
+	for traj, slot := range w.slotOf {
+		if slot == a {
+			ta = traj
+		}
+		if slot == b {
+			tb = traj
+		}
+	}
+	w.slotOf[ta], w.slotOf[tb] = b, a
+	return nil
+}
+
+// EndRound snapshots the current assignment into the history.
+func (w *Walk) EndRound() {
+	snap := append([]int(nil), w.slotOf...)
+	w.history = append(w.history, snap)
+}
+
+// Rounds reports recorded rounds.
+func (w *Walk) Rounds() int { return len(w.history) }
+
+// SlotOf returns trajectory traj's current ladder slot.
+func (w *Walk) SlotOf(traj int) int { return w.slotOf[traj] }
+
+// TrajectoryAt returns the slot sequence of one trajectory across rounds.
+func (w *Walk) TrajectoryAt(traj int) []int {
+	out := make([]int, len(w.history))
+	for r, snap := range w.history {
+		out[r] = snap[traj]
+	}
+	return out
+}
+
+// RoundTrips counts completed bottom-to-top-to-bottom ladder excursions of
+// one trajectory — the standard REM mixing metric.
+func (w *Walk) RoundTrips(traj int) int {
+	const (
+		seekTop = iota
+		seekBottom
+	)
+	state := seekTop
+	trips := 0
+	for _, slot := range w.TrajectoryAt(traj) {
+		switch state {
+		case seekTop:
+			if slot == w.n-1 {
+				state = seekBottom
+			}
+		case seekBottom:
+			if slot == 0 {
+				state = seekTop
+				trips++
+			}
+		}
+	}
+	return trips
+}
+
+// Occupancy returns how many rounds each (trajectory, slot) pair was
+// observed; a well-mixed run approaches uniform occupancy.
+func (w *Walk) Occupancy() [][]int {
+	occ := make([][]int, w.n)
+	for i := range occ {
+		occ[i] = make([]int, w.n)
+	}
+	for _, snap := range w.history {
+		for traj, slot := range snap {
+			occ[traj][slot]++
+		}
+	}
+	return occ
+}
+
+// TrackedExchangeRound performs an exchange round on the ensemble while
+// recording accepted swaps into the walk, then snapshots the round.
+func (e *Ensemble) TrackedExchangeRound(round int, w *Walk) (int, error) {
+	accepted := 0
+	for _, p := range Pairs(len(e.Replicas), round) {
+		a, b := e.Replicas[p[0]], e.Replicas[p[1]]
+		if a.State == nil || b.State == nil {
+			continue
+		}
+		e.Attempted++
+		if Accept(a.State.Energy, a.Temperature, b.State.Energy, b.Temperature, e.rng.Float64()) {
+			a.State, b.State = b.State, a.State
+			e.Accepted++
+			accepted++
+			if err := w.ApplySwap(p[0], p[1]); err != nil {
+				return accepted, err
+			}
+		}
+	}
+	w.EndRound()
+	return accepted, nil
+}

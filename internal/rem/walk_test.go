@@ -1,0 +1,175 @@
+package rem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jets/internal/namd"
+)
+
+func TestWalkIdentityWithoutSwaps(t *testing.T) {
+	w, err := NewWalk(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.EndRound()
+	w.EndRound()
+	for traj := 0; traj < 4; traj++ {
+		for _, slot := range w.TrajectoryAt(traj) {
+			if slot != traj {
+				t.Fatalf("traj %d moved without swaps: %v", traj, w.TrajectoryAt(traj))
+			}
+		}
+	}
+}
+
+func TestWalkSwapTracksTrajectories(t *testing.T) {
+	w, _ := NewWalk(3)
+	// Trajectory 0 starts in slot 0. Swap slots 0 and 1: trajectory 0 is
+	// now in slot 1 and trajectory 1 in slot 0.
+	if err := w.ApplySwap(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	w.EndRound()
+	if w.SlotOf(0) != 1 || w.SlotOf(1) != 0 || w.SlotOf(2) != 2 {
+		t.Fatalf("slots: %d %d %d", w.SlotOf(0), w.SlotOf(1), w.SlotOf(2))
+	}
+	// Swap slots 1 and 2: trajectory 0 (in slot 1) moves to slot 2.
+	if err := w.ApplySwap(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	w.EndRound()
+	if w.SlotOf(0) != 2 {
+		t.Fatalf("traj 0 slot %d", w.SlotOf(0))
+	}
+	if got := w.TrajectoryAt(0); got[0] != 1 || got[1] != 2 {
+		t.Fatalf("trajectory %v", got)
+	}
+}
+
+func TestWalkInvalidSwap(t *testing.T) {
+	w, _ := NewWalk(2)
+	for _, p := range [][2]int{{0, 0}, {-1, 1}, {0, 5}} {
+		if err := w.ApplySwap(p[0], p[1]); err == nil {
+			t.Errorf("swap %v accepted", p)
+		}
+	}
+	if _, err := NewWalk(1); err == nil {
+		t.Error("1-trajectory walk accepted")
+	}
+}
+
+func TestRoundTrips(t *testing.T) {
+	w, _ := NewWalk(3)
+	// Drive trajectory 0 up the ladder and back down, twice.
+	script := [][2]int{{0, 1}, {1, 2}, {1, 2}, {0, 1}, {0, 1}, {1, 2}, {1, 2}, {0, 1}}
+	for _, s := range script {
+		if err := w.ApplySwap(s[0], s[1]); err != nil {
+			t.Fatal(err)
+		}
+		w.EndRound()
+	}
+	if got := w.RoundTrips(0); got != 2 {
+		t.Fatalf("round trips %d want 2 (trajectory %v)", got, w.TrajectoryAt(0))
+	}
+}
+
+// Property: a walk is always a permutation — every slot occupied by exactly
+// one trajectory.
+func TestWalkPermutationProperty(t *testing.T) {
+	f := func(swaps []uint8, nRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		w, err := NewWalk(n)
+		if err != nil {
+			return false
+		}
+		for _, s := range swaps {
+			a := int(s) % n
+			b := (a + 1) % n
+			if a == b {
+				continue
+			}
+			if err := w.ApplySwap(a, b); err != nil {
+				return false
+			}
+		}
+		seen := make([]bool, n)
+		for traj := 0; traj < n; traj++ {
+			slot := w.SlotOf(traj)
+			if slot < 0 || slot >= n || seen[slot] {
+				return false
+			}
+			seen[slot] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackedExchangeRound(t *testing.T) {
+	e, err := NewEnsemble(4, 300, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := NewWalk(4)
+	// Guarantee acceptance on pair (0,1): hot has lower energy.
+	e.Replicas[0].State = &namd.State{Energy: 100}
+	e.Replicas[1].State = &namd.State{Energy: 10}
+	e.Replicas[2].State = &namd.State{Energy: 10}
+	e.Replicas[3].State = &namd.State{Energy: 1e9} // pair (2,3) strongly unfavourable
+	acc, err := e.TrackedExchangeRound(0, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 1 {
+		t.Fatalf("accepted=%d", acc)
+	}
+	if w.Rounds() != 1 {
+		t.Fatalf("rounds=%d", w.Rounds())
+	}
+	// Trajectory 0 must have moved iff pair (0,1) accepted — it did.
+	if w.SlotOf(0) != 1 || w.SlotOf(1) != 0 {
+		t.Fatalf("walk slots %d %d", w.SlotOf(0), w.SlotOf(1))
+	}
+}
+
+func TestOccupancyMixesOverManyRounds(t *testing.T) {
+	// With identical energies every exchange is accepted (delta = 0), so
+	// trajectories sweep the ladder deterministically; occupancy must be
+	// spread across slots, and round trips occur.
+	const n, rounds = 4, 64
+	e, err := NewEnsemble(n, 300, 400, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range e.Replicas {
+		r.State = &namd.State{Energy: 42}
+	}
+	w, _ := NewWalk(n)
+	for round := 0; round < rounds; round++ {
+		if _, err := e.TrackedExchangeRound(round, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	occ := w.Occupancy()
+	for traj := 0; traj < n; traj++ {
+		visited := 0
+		for slot := 0; slot < n; slot++ {
+			if occ[traj][slot] > 0 {
+				visited++
+			}
+		}
+		if visited < n {
+			t.Fatalf("trajectory %d visited only %d/%d slots: %v", traj, visited, n, occ[traj])
+		}
+	}
+	trips := 0
+	for traj := 0; traj < n; traj++ {
+		trips += w.RoundTrips(traj)
+	}
+	if trips == 0 {
+		t.Fatal("no round trips in a fully-accepting ensemble")
+	}
+}

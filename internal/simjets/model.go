@@ -1,0 +1,427 @@
+// Package simjets runs the JETS scheduling architecture inside the
+// discrete-event simulator at the paper's scales (Blue Gene/P racks,
+// multi-hour batches). The model reproduces the pipeline of Fig. 4: pilot
+// workers request work from a central dispatcher (a queueing station whose
+// service time bounds the task rate), MPI jobs fork an mpiexec on the login
+// node, proxies are dispatched and launched per rank, PMI wire-up couples
+// the processes, the application runs (with optional shared-filesystem
+// I/O), and completions free the workers back into the FIFO idle pool.
+package simjets
+
+import (
+	"fmt"
+	"time"
+
+	"jets/internal/event"
+	"jets/internal/fsim"
+	"jets/internal/metrics"
+)
+
+// SimJob is one application invocation in the model.
+type SimJob struct {
+	ID     string
+	NProcs int // worker (node) count; 1 with Sequential
+	PPN    int // processes per node (>=1); total MPI size = NProcs*PPN
+	Think  time.Duration
+	// Sequential bypasses the mpiexec/wire-up path (Falkon-style mode).
+	Sequential bool
+
+	// Shared-FS I/O performed by the job (zero values skip the phase):
+	// ReadBytes before Think, WriteBytes after, MetaOps opens spread across
+	// both, and one binary read of Profile.BinaryBytes per process when the
+	// profile places binaries on the shared FS.
+	ReadBytes  int
+	WriteBytes int
+	MetaOps    int
+
+	// SwiftManaged applies the profile's Swift/Coasters per-task overhead
+	// before dispatch (§6.2 experiments).
+	SwiftManaged bool
+
+	// OnDone, if set, runs when the job completes or aborts.
+	OnDone func(j *SimJob, failed bool)
+
+	group   []int
+	start   time.Duration
+	started bool
+	done    bool
+	aborted bool
+	ready   int
+}
+
+func (j *SimJob) procs() int {
+	ppn := j.PPN
+	if ppn < 1 {
+		ppn = 1
+	}
+	return j.NProcs * ppn
+}
+
+// Model is one simulated JETS deployment.
+type Model struct {
+	Sim  *event.Sim
+	Prof Profile
+	FS   *fsim.SharedFS
+
+	dispatch *event.Station
+	login    *event.Station
+	// swift serializes Swift/Coasters task processing (the engine is a
+	// single JVM pipeline); only SwiftManaged jobs pass through it.
+	swift *event.Station
+
+	workers int
+	alive   []bool
+	busy    []*SimJob
+	idle    []int
+	queue   []*SimJob
+
+	// Records holds completed jobs; AllRecords additionally includes
+	// aborted jobs with their abort time as Stop.
+	Records    []metrics.JobRecord
+	AllRecords []metrics.JobRecord
+	Completed  int
+	Failed     int
+	// usefulProcSec accumulates Think x procs over completed jobs — the
+	// numerator of Eq. (1), which counts only application time as useful.
+	usefulProcSec float64
+
+	aliveCount  int
+	runningJobs int
+	AliveSeries metrics.Series
+	RunSeries   metrics.Series
+
+	// BootSpread staggers worker arrival at start (allocation boot skew).
+	BootSpread time.Duration
+}
+
+// NewModel builds a model with workersPerNode pilot agents per node.
+func NewModel(sim *event.Sim, prof Profile, workersPerNode int) *Model {
+	if workersPerNode < 1 {
+		workersPerNode = 1
+	}
+	m := &Model{
+		Sim:        sim,
+		Prof:       prof,
+		dispatch:   event.NewStation(sim, 1),
+		login:      event.NewStation(sim, prof.LoginCores),
+		swift:      event.NewStation(sim, 1),
+		workers:    prof.Nodes * workersPerNode,
+		BootSpread: time.Second,
+	}
+	if prof.NewSharedFS != nil {
+		m.FS = prof.NewSharedFS(sim)
+	}
+	m.alive = make([]bool, m.workers)
+	m.busy = make([]*SimJob, m.workers)
+	return m
+}
+
+// Workers reports the worker count.
+func (m *Model) Workers() int { return m.workers }
+
+// Start boots the workers: each registers and requests work after a
+// uniformly random boot skew.
+func (m *Model) Start() {
+	for w := 0; w < m.workers; w++ {
+		w := w
+		delay := time.Duration(0)
+		if m.BootSpread > 0 {
+			delay = time.Duration(m.Sim.Rand().Int63n(int64(m.BootSpread)))
+		}
+		m.Sim.After(delay, func() {
+			m.alive[w] = true
+			m.aliveCount++
+			m.sampleAlive()
+			m.requestWork(w)
+		})
+	}
+}
+
+func (m *Model) sampleAlive() {
+	m.AliveSeries.T = append(m.AliveSeries.T, m.Sim.Now())
+	m.AliveSeries.V = append(m.AliveSeries.V, float64(m.aliveCount))
+}
+
+func (m *Model) sampleRunning() {
+	m.RunSeries.T = append(m.RunSeries.T, m.Sim.Now())
+	m.RunSeries.V = append(m.RunSeries.V, float64(m.runningJobs))
+}
+
+// Submit queues a job (optionally after the Swift/Coasters stage).
+func (m *Model) Submit(j *SimJob) {
+	if j.NProcs < 1 {
+		panic(fmt.Sprintf("simjets: job %s has %d procs", j.ID, j.NProcs))
+	}
+	enqueue := func() {
+		m.queue = append(m.queue, j)
+		m.trySchedule()
+	}
+	if j.SwiftManaged && m.Prof.SwiftOverhead > 0 {
+		m.swift.Request(m.Prof.SwiftOverhead, enqueue)
+	} else {
+		enqueue()
+	}
+}
+
+// requestWork models the worker's work-request message: one dispatcher
+// service, after which the worker sits in the FIFO idle pool.
+func (m *Model) requestWork(w int) {
+	m.Sim.After(m.Prof.RTT/2, func() {
+		m.dispatch.Request(m.Prof.DispatchService, func() {
+			if !m.alive[w] {
+				return
+			}
+			m.idle = append(m.idle, w)
+			m.trySchedule()
+		})
+	})
+}
+
+// trySchedule launches queued jobs FIFO while the head fits the idle pool.
+func (m *Model) trySchedule() {
+	for len(m.queue) > 0 && m.queue[0].NProcs <= len(m.idle) {
+		j := m.queue[0]
+		m.queue = m.queue[1:]
+		group := append([]int(nil), m.idle[:j.NProcs]...)
+		m.idle = m.idle[j.NProcs:]
+		m.launch(j, group)
+	}
+}
+
+func (m *Model) launch(j *SimJob, group []int) {
+	j.group = group
+	j.start = m.Sim.Now()
+	j.started = true
+	for _, w := range group {
+		m.busy[w] = j
+	}
+	m.runningJobs++
+	m.sampleRunning()
+
+	if j.Sequential {
+		// Dispatch the single task: one dispatcher message, network, fork.
+		m.dispatch.Request(m.Prof.DispatchService, func() {
+			m.Sim.After(m.Prof.RTT+m.Prof.ProxyLaunch, func() {
+				m.runBody(j)
+			})
+		})
+		return
+	}
+	// MPI path: fork mpiexec on the login node, then dispatch one proxy per
+	// node through the central scheduler.
+	m.login.Request(m.Prof.MPIExecSpawn, func() {
+		if j.aborted {
+			return
+		}
+		for range group {
+			m.dispatch.Request(m.Prof.DispatchService, func() {
+				if j.aborted {
+					return
+				}
+				m.Sim.After(m.Prof.RTT+m.Prof.ProxyLaunch, func() {
+					if j.aborted {
+						return
+					}
+					j.ready++
+					if j.ready == len(group) {
+						wire := m.Prof.WireUpBase + time.Duration(j.procs())*m.Prof.WireUpPerRank
+						m.Sim.After(wire, func() { m.runBody(j) })
+					}
+				})
+			})
+		}
+	})
+}
+
+// runBody executes the application: read I/O, think, write I/O.
+func (m *Model) runBody(j *SimJob) {
+	if j.aborted {
+		return
+	}
+	m.readPhase(j, func() {
+		if j.aborted {
+			return
+		}
+		m.Sim.After(j.Think, func() {
+			if j.aborted {
+				return
+			}
+			m.writePhase(j, func() { m.finish(j, false) })
+		})
+	})
+}
+
+// readPhase performs the per-process binary loads and the job's input I/O.
+func (m *Model) readPhase(j *SimJob, done func()) {
+	if m.FS == nil || (m.Prof.BinaryBytes == 0 && j.ReadBytes == 0 && j.MetaOps == 0) {
+		done()
+		return
+	}
+	total := 0
+	finishOne := func() {
+		total--
+		if total == 0 {
+			done()
+		}
+	}
+	if m.Prof.BinaryBytes > 0 {
+		total += j.procs()
+	}
+	if j.ReadBytes > 0 {
+		total++
+	}
+	half := j.MetaOps / 2
+	total += half
+	if total == 0 {
+		done()
+		return
+	}
+	if m.Prof.BinaryBytes > 0 {
+		for i := 0; i < j.procs(); i++ {
+			m.FS.Read(m.Prof.BinaryBytes, finishOne)
+		}
+	}
+	if j.ReadBytes > 0 {
+		m.FS.Read(j.ReadBytes, finishOne)
+	}
+	for i := 0; i < half; i++ {
+		m.FS.Open(finishOne)
+	}
+}
+
+func (m *Model) writePhase(j *SimJob, done func()) {
+	if m.FS == nil || (j.WriteBytes == 0 && j.MetaOps == 0) {
+		done()
+		return
+	}
+	total := 0
+	finishOne := func() {
+		total--
+		if total == 0 {
+			done()
+		}
+	}
+	if j.WriteBytes > 0 {
+		total++
+	}
+	rest := j.MetaOps - j.MetaOps/2
+	total += rest
+	if total == 0 {
+		done()
+		return
+	}
+	if j.WriteBytes > 0 {
+		m.FS.Write(j.WriteBytes, finishOne)
+	}
+	for i := 0; i < rest; i++ {
+		m.FS.Open(finishOne)
+	}
+}
+
+func (m *Model) finish(j *SimJob, failed bool) {
+	if j.done {
+		return
+	}
+	j.done = true
+	rec := metrics.JobRecord{ID: j.ID, Procs: j.procs(), Start: j.start, Stop: m.Sim.Now()}
+	m.AllRecords = append(m.AllRecords, rec)
+	if failed {
+		m.Failed++
+	} else {
+		m.Records = append(m.Records, rec)
+		m.Completed++
+		m.usefulProcSec += j.Think.Seconds() * float64(j.procs())
+	}
+	m.runningJobs--
+	m.sampleRunning()
+	for _, w := range j.group {
+		m.busy[w] = nil
+		if m.alive[w] {
+			// The worker's result message and next work request each cost a
+			// dispatcher service; requestWork charges one, charge the other.
+			m.dispatch.Request(m.Prof.DispatchService, func() {})
+			m.requestWork(w)
+		}
+	}
+	if j.OnDone != nil {
+		j.OnDone(j, failed)
+	}
+}
+
+// KillWorker removes one worker immediately: an idle worker silently leaves
+// the pool; a busy worker aborts its job (the other group members return to
+// the pool), reproducing the §6.1.5 fault semantics.
+func (m *Model) KillWorker(w int) {
+	if w < 0 || w >= m.workers || !m.alive[w] {
+		return
+	}
+	m.alive[w] = false
+	m.aliveCount--
+	m.sampleAlive()
+	for i, idleW := range m.idle {
+		if idleW == w {
+			m.idle = append(m.idle[:i], m.idle[i+1:]...)
+			return
+		}
+	}
+	if j := m.busy[w]; j != nil && !j.done {
+		j.aborted = true
+		m.finish(j, true)
+	}
+}
+
+// KillRandomAlive kills one random live worker, returning false when none
+// remain.
+func (m *Model) KillRandomAlive() bool {
+	live := make([]int, 0, m.workers)
+	for w, a := range m.alive {
+		if a {
+			live = append(live, w)
+		}
+	}
+	if len(live) == 0 {
+		return false
+	}
+	m.KillWorker(live[m.Sim.Rand().Intn(len(live))])
+	return true
+}
+
+// QueueLen reports jobs waiting for workers.
+func (m *Model) QueueLen() int { return len(m.queue) }
+
+// IdleWorkers reports parked workers.
+func (m *Model) IdleWorkers() int { return len(m.idle) }
+
+// Utilization computes Eq. (1) over the completed jobs: useful application
+// proc-seconds (Think x total processes) divided by the allocation's
+// proc-seconds over the batch span (first job start to last job stop, which
+// amortizes boot ramp as the paper does for long runs).
+func (m *Model) Utilization(coresPerWorker int) float64 {
+	span := m.Span()
+	if span <= 0 {
+		return 0
+	}
+	u := m.usefulProcSec / (float64(m.workers*coresPerWorker) * span.Seconds())
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Span reports the batch makespan: first job start to last job stop.
+func (m *Model) Span() time.Duration {
+	if len(m.Records) == 0 {
+		return 0
+	}
+	first := m.Records[0].Start
+	last := m.Records[0].Stop
+	for _, r := range m.Records {
+		if r.Start < first {
+			first = r.Start
+		}
+		if r.Stop > last {
+			last = r.Stop
+		}
+	}
+	return last - first
+}

@@ -1,0 +1,124 @@
+package swiftlang
+
+import (
+	"context"
+	"fmt"
+
+	"jets/internal/dataflow"
+)
+
+// invokeApp performs one app call: wait for input values, resolve output
+// file paths, evaluate the command line in the app's scope, hand the
+// invocation to the executor, and set the output futures.
+func (in *interp) invokeApp(ctx context.Context, ev *env, call *Call, targets []LValue, line int) error {
+	app := in.prog.Apps[call.Name]
+	if len(call.Args) != len(app.Ins) {
+		return rtErrf(line, "app %s takes %d arguments, got %d", app.Name, len(app.Ins), len(call.Args))
+	}
+	if len(targets) != len(app.Outs) {
+		return rtErrf(line, "app %s produces %d outputs, assignment has %d targets", app.Name, len(app.Outs), len(targets))
+	}
+
+	// App scope: parameters shadow the global scope, which stays visible —
+	// Swift app blocks may reference global variables (Fig. 14's script uses
+	// a global in the app's mpi clause).
+	appEnv := newEnv(in.root)
+
+	// Bind inputs: evaluation blocks until each argument's producers finish,
+	// which is the dataflow dependency edge.
+	for i, p := range app.Ins {
+		if p.IsArray {
+			return rtErrf(line, "app %s: array parameters are not supported", app.Name)
+		}
+		v, err := in.eval(ctx, ev, call.Args[i])
+		if err != nil {
+			return err
+		}
+		if p.Type == TFile {
+			if _, ok := v.(FileVal); !ok {
+				return rtErrf(line, "app %s: argument %s must be a file, got %T", app.Name, p.Name, v)
+			}
+		}
+		sl := &slot{typ: p.Type, fut: dataflow.NewFuture(p.Name)}
+		sl.fut.Set(v)
+		if err := appEnv.declare(p.Name, sl); err != nil {
+			return rtErrf(line, "%v", err)
+		}
+	}
+
+	// Bind outputs: the concrete paths come from the caller's target file
+	// variables; their futures are set only after the app completes.
+	outFutures := make([]*dataflow.Future, len(targets))
+	outVals := make([]FileVal, len(targets))
+	var outPaths []string
+	for i, p := range app.Outs {
+		if p.Type != TFile {
+			return rtErrf(line, "app %s: output %s must be a file", app.Name, p.Name)
+		}
+		path, fut, err := in.targetFilePath(ctx, ev, targets[i], line)
+		if err != nil {
+			return err
+		}
+		outFutures[i] = fut
+		outVals[i] = FileVal{Path: path}
+		outPaths = append(outPaths, path)
+		sl := &slot{typ: TFile, fut: dataflow.NewFuture(p.Name)}
+		sl.fut.Set(outVals[i])
+		if err := appEnv.declare(p.Name, sl); err != nil {
+			return rtErrf(line, "%v", err)
+		}
+	}
+
+	inv := AppInvocation{App: app.Name, OutFiles: outPaths}
+
+	// MPI size (may reference the app's parameters, e.g. "mpi n").
+	if app.MPI != nil {
+		v, err := in.eval(ctx, appEnv, app.MPI)
+		if err != nil {
+			return err
+		}
+		n, ok := v.(int64)
+		if !ok || n < 1 {
+			return rtErrf(line, "app %s: mpi size must be a positive int, got %v", app.Name, v)
+		}
+		inv.NProcs = int(n)
+	}
+
+	// Command line.
+	for _, tok := range app.Tokens {
+		switch {
+		case tok.StdoutOf != nil:
+			v, err := in.eval(ctx, appEnv, &FileOf{X: tok.StdoutOf})
+			if err != nil {
+				return err
+			}
+			inv.StdoutFile = v.(string)
+		case tok.FileOf != nil:
+			v, err := in.eval(ctx, appEnv, &FileOf{X: tok.FileOf})
+			if err != nil {
+				return err
+			}
+			inv.Tokens = append(inv.Tokens, v.(string))
+		default:
+			v, err := in.eval(ctx, appEnv, tok.Expr)
+			if err != nil {
+				return err
+			}
+			inv.Tokens = append(inv.Tokens, toDisplay(v))
+		}
+	}
+	if len(inv.Tokens) == 0 {
+		return rtErrf(line, "app %s resolved to an empty command", app.Name)
+	}
+
+	if err := in.cfg.Executor.Execute(ctx, inv); err != nil {
+		return fmt.Errorf("swift: app %s (line %d): %w", app.Name, line, err)
+	}
+
+	for i, fut := range outFutures {
+		if err := fut.Set(outVals[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package swiftlang
+
+// AST node definitions for the mini-Swift language.
+
+// Type is a mini-Swift static type.
+type Type int
+
+// Scalar types; arrays are Type plus the IsArray flag on declarations.
+const (
+	TInt Type = iota
+	TFloat
+	TString
+	TBool
+	TFile
+)
+
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TString:
+		return "string"
+	case TBool:
+		return "boolean"
+	case TFile:
+		return "file"
+	}
+	return "?"
+}
+
+// Program is a parsed script.
+type Program struct {
+	Apps  map[string]*AppDecl
+	Stmts []Stmt
+}
+
+// Param is one formal parameter of an app.
+type Param struct {
+	Type    Type
+	IsArray bool
+	Name    string
+}
+
+// AppDecl declares an external application:
+//
+//	app (file o) namd (file c, int steps) mpi 4 {
+//	    "namd2" "-in" @c "-steps" steps stdout=@o;
+//	}
+type AppDecl struct {
+	Name   string
+	Outs   []Param
+	Ins    []Param
+	MPI    Expr // process count; nil for sequential apps
+	Tokens []CmdToken
+	Line   int
+}
+
+// CmdToken is one token of an app command line.
+type CmdToken struct {
+	// Expr evaluates to the token text (string/int/float/bool).
+	Expr Expr
+	// FileOf, when set, means the token is @ident: the filename of the
+	// referenced file variable.
+	FileOf Expr
+	// StdoutOf, when set, redirects the task's standard output to the
+	// referenced file (stdout=@f).
+	StdoutOf Expr
+}
+
+// Stmt is a statement.
+type Stmt interface{ stmtNode() }
+
+// VarDecl declares (and optionally initializes) a variable:
+//
+//	int x = 3;
+//	file f <"out.txt">;
+//	file c[] <"c_%d.dat">;
+type VarDecl struct {
+	Type    Type
+	IsArray bool
+	Name    string
+	Mapper  Expr // optional path (or %d pattern for arrays)
+	Init    Expr // optional initializer (may be a Call)
+	Line    int
+}
+
+// Assign writes one or more lvalues from an expression or app call:
+//
+//	x = f(1);
+//	(a, b[i]) = twoOutputs(c);
+type Assign struct {
+	Targets []LValue
+	RHS     Expr
+	Line    int
+}
+
+// LValue is an assignable reference.
+type LValue struct {
+	Name  string
+	Index Expr // nil for scalars
+}
+
+// If executes one branch once the condition's inputs are available.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// Foreach iterates a range or an array:
+//
+//	foreach i in [0:n] { ... }
+//	foreach v, i in a { ... }
+type Foreach struct {
+	Var      string
+	IndexVar string // optional second identifier
+	RangeLo  Expr   // range form when non-nil
+	RangeHi  Expr
+	Source   Expr // array form when non-nil
+	Body     []Stmt
+	Line     int
+}
+
+// ExprStmt evaluates an expression for effect (e.g. trace(...)).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*VarDecl) stmtNode()  {}
+func (*Assign) stmtNode()   {}
+func (*If) stmtNode()       {}
+func (*Foreach) stmtNode()  {}
+func (*ExprStmt) stmtNode() {}
+
+// Expr is an expression.
+type Expr interface{ exprNode() }
+
+// Lit is a literal (int64, float64, string, bool).
+type Lit struct{ Val interface{} }
+
+// Ident references a variable.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Index is a[i].
+type Index struct {
+	Arr   Expr
+	Index Expr
+}
+
+// Call invokes an app or builtin.
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// Unary is !x or -x.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is x op y.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// FileOf is @f inside an expression context (the filename of a file value).
+type FileOf struct{ X Expr }
+
+func (*Lit) exprNode()    {}
+func (*Ident) exprNode()  {}
+func (*Index) exprNode()  {}
+func (*Call) exprNode()   {}
+func (*Unary) exprNode()  {}
+func (*Binary) exprNode() {}
+func (*FileOf) exprNode() {}

@@ -1,0 +1,356 @@
+package swiftlang
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expression evaluation. Evaluation blocks on unset single-assignment
+// variables, which is exactly how Swift sequencing works: a statement runs
+// as far as its inputs allow.
+
+func (in *interp) eval(ctx context.Context, ev *env, e Expr) (interface{}, error) {
+	switch x := e.(type) {
+	case *Lit:
+		return x.Val, nil
+	case *Ident:
+		sl := ev.lookup(x.Name)
+		if sl == nil {
+			return nil, rtErrf(x.Line, "undeclared variable %q", x.Name)
+		}
+		if sl.isArray {
+			return nil, rtErrf(x.Line, "array %q used as a scalar", x.Name)
+		}
+		return sl.fut.Get(ctx)
+	case *Index:
+		id, ok := x.Arr.(*Ident)
+		if !ok {
+			return nil, rtErrf(0, "only named arrays can be indexed")
+		}
+		sl := ev.lookup(id.Name)
+		if sl == nil {
+			return nil, rtErrf(id.Line, "undeclared variable %q", id.Name)
+		}
+		if !sl.isArray {
+			return nil, rtErrf(id.Line, "%q is not an array", id.Name)
+		}
+		iv, err := in.eval(ctx, ev, x.Index)
+		if err != nil {
+			return nil, err
+		}
+		i, ok := iv.(int64)
+		if !ok {
+			return nil, rtErrf(id.Line, "array index must be int, got %T", iv)
+		}
+		return sl.arr.Elem(int(i)).Get(ctx)
+	case *Call:
+		return in.evalCallOrExpr(ctx, ev, x, nil, x.Line)
+	case *Unary:
+		v, err := in.eval(ctx, ev, x.X)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "!":
+			b, ok := v.(bool)
+			if !ok {
+				return nil, rtErrf(0, "! needs a boolean, got %T", v)
+			}
+			return !b, nil
+		case "-":
+			switch n := v.(type) {
+			case int64:
+				return -n, nil
+			case float64:
+				return -n, nil
+			}
+			return nil, rtErrf(0, "unary - needs a number, got %T", v)
+		}
+		return nil, rtErrf(0, "unknown unary operator %q", x.Op)
+	case *Binary:
+		l, err := in.eval(ctx, ev, x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := in.eval(ctx, ev, x.R)
+		if err != nil {
+			return nil, err
+		}
+		return binaryOp(x.Op, l, r)
+	case *FileOf:
+		v, err := in.eval(ctx, ev, x.X)
+		if err != nil {
+			return nil, err
+		}
+		f, ok := v.(FileVal)
+		if !ok {
+			return nil, rtErrf(0, "@ needs a file value, got %T", v)
+		}
+		return f.Path, nil
+	}
+	return nil, fmt.Errorf("swift: unknown expression %T", e)
+}
+
+// evalCallOrExpr evaluates an expression that may be an app call used for
+// effect (targets nil) or a builtin.
+func (in *interp) evalCallOrExpr(ctx context.Context, ev *env, e Expr, targets []LValue, line int) (interface{}, error) {
+	call, ok := e.(*Call)
+	if !ok {
+		return in.eval(ctx, ev, e)
+	}
+	if _, isApp := in.prog.Apps[call.Name]; isApp {
+		return nil, in.invokeApp(ctx, ev, call, targets, line)
+	}
+	return in.callBuiltin(ctx, ev, call)
+}
+
+func binaryOp(op string, l, r interface{}) (interface{}, error) {
+	switch op {
+	case "&&", "||":
+		lb, ok1 := l.(bool)
+		rb, ok2 := r.(bool)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("swift: %s needs booleans, got %T and %T", op, l, r)
+		}
+		if op == "&&" {
+			return lb && rb, nil
+		}
+		return lb || rb, nil
+	}
+	// String concatenation and comparisons.
+	if ls, ok := l.(string); ok {
+		rs, ok := r.(string)
+		if !ok {
+			if op == "+" {
+				return ls + toDisplay(r), nil
+			}
+			return nil, fmt.Errorf("swift: %s mixes string and %T", op, r)
+		}
+		switch op {
+		case "+":
+			return ls + rs, nil
+		case "==":
+			return ls == rs, nil
+		case "!=":
+			return ls != rs, nil
+		case "<":
+			return ls < rs, nil
+		case "<=":
+			return ls <= rs, nil
+		case ">":
+			return ls > rs, nil
+		case ">=":
+			return ls >= rs, nil
+		}
+		return nil, fmt.Errorf("swift: operator %s not defined on strings", op)
+	}
+	if _, ok := r.(string); ok && op == "+" {
+		return toDisplay(l) + r.(string), nil
+	}
+	// Numeric: promote to float64 when either side is float.
+	li, lInt := l.(int64)
+	ri, rInt := r.(int64)
+	if lInt && rInt {
+		switch op {
+		case "+":
+			return li + ri, nil
+		case "-":
+			return li - ri, nil
+		case "*":
+			return li * ri, nil
+		case "/":
+			if ri == 0 {
+				return nil, fmt.Errorf("swift: division by zero")
+			}
+			return li / ri, nil
+		case "%%":
+			if ri == 0 {
+				return nil, fmt.Errorf("swift: modulus by zero")
+			}
+			return li % ri, nil
+		case "==":
+			return li == ri, nil
+		case "!=":
+			return li != ri, nil
+		case "<":
+			return li < ri, nil
+		case "<=":
+			return li <= ri, nil
+		case ">":
+			return li > ri, nil
+		case ">=":
+			return li >= ri, nil
+		}
+		return nil, fmt.Errorf("swift: unknown operator %q", op)
+	}
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if !lok || !rok {
+		return nil, fmt.Errorf("swift: %s needs numbers, got %T and %T", op, l, r)
+	}
+	switch op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return nil, fmt.Errorf("swift: division by zero")
+		}
+		return lf / rf, nil
+	case "==":
+		return lf == rf, nil
+	case "!=":
+		return lf != rf, nil
+	case "<":
+		return lf < rf, nil
+	case "<=":
+		return lf <= rf, nil
+	case ">":
+		return lf > rf, nil
+	case ">=":
+		return lf >= rf, nil
+	case "%%":
+		return nil, fmt.Errorf("swift: %%%% needs integers")
+	}
+	return nil, fmt.Errorf("swift: unknown operator %q", op)
+}
+
+func toFloat(v interface{}) (float64, bool) {
+	switch n := v.(type) {
+	case int64:
+		return float64(n), true
+	case float64:
+		return n, true
+	}
+	return 0, false
+}
+
+// toDisplay renders a value for trace/strcat.
+func toDisplay(v interface{}) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(x)
+	case FileVal:
+		return x.Path
+	case nil:
+		return "<nil>"
+	}
+	return fmt.Sprint(v)
+}
+
+// callBuiltin dispatches the builtin library.
+func (in *interp) callBuiltin(ctx context.Context, ev *env, call *Call) (interface{}, error) {
+	evalAll := func() ([]interface{}, error) {
+		out := make([]interface{}, len(call.Args))
+		for i, a := range call.Args {
+			v, err := in.eval(ctx, ev, a)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch call.Name {
+	case "strcat":
+		args, err := evalAll()
+		if err != nil {
+			return nil, err
+		}
+		var b strings.Builder
+		for _, a := range args {
+			b.WriteString(toDisplay(a))
+		}
+		return b.String(), nil
+	case "trace":
+		args, err := evalAll()
+		if err != nil {
+			return nil, err
+		}
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = toDisplay(a)
+		}
+		in.traceMu.Lock()
+		defer in.traceMu.Unlock()
+		if in.cfg.Stdout != nil {
+			fmt.Fprintln(in.cfg.Stdout, strings.Join(parts, " "))
+		}
+		return nil, nil
+	case "toInt":
+		args, err := evalAll()
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 1 {
+			return nil, rtErrf(call.Line, "toInt takes one argument")
+		}
+		switch x := args[0].(type) {
+		case int64:
+			return x, nil
+		case float64:
+			return int64(x), nil
+		case string:
+			n, err := strconv.ParseInt(strings.TrimSpace(x), 10, 64)
+			if err != nil {
+				return nil, rtErrf(call.Line, "toInt: %v", err)
+			}
+			return n, nil
+		}
+		return nil, rtErrf(call.Line, "toInt cannot convert %T", args[0])
+	case "toString":
+		args, err := evalAll()
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 1 {
+			return nil, rtErrf(call.Line, "toString takes one argument")
+		}
+		return toDisplay(args[0]), nil
+	case "arg":
+		// arg(name) or arg(name, default): named script arguments.
+		args, err := evalAll()
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 1 && len(args) != 2 {
+			return nil, rtErrf(call.Line, "arg takes a name and an optional default")
+		}
+		name, ok := args[0].(string)
+		if !ok {
+			return nil, rtErrf(call.Line, "arg name must be a string, got %T", args[0])
+		}
+		if v, ok := in.cfg.Args[name]; ok {
+			return v, nil
+		}
+		if len(args) == 2 {
+			return args[1], nil
+		}
+		return nil, rtErrf(call.Line, "missing required script argument %q", name)
+	case "filename":
+		args, err := evalAll()
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 1 {
+			return nil, rtErrf(call.Line, "filename takes one argument")
+		}
+		f, ok := args[0].(FileVal)
+		if !ok {
+			return nil, rtErrf(call.Line, "filename needs a file, got %T", args[0])
+		}
+		return f.Path, nil
+	}
+	return nil, rtErrf(call.Line, "unknown function %q", call.Name)
+}

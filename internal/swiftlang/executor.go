@@ -1,0 +1,170 @@
+package swiftlang
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"jets/internal/core"
+	"jets/internal/dispatch"
+	"jets/internal/hydra"
+)
+
+// JETSExecutor submits app invocations to a JETS engine — the
+// MPICH/Coasters form of §5.2: Swift produces the task, JETS decomposes and
+// launches it.
+type JETSExecutor struct {
+	eng *core.Engine
+	seq atomic.Int64
+
+	mu      sync.Mutex
+	stdouts map[string]*os.File // jobID -> open redirect target
+}
+
+// NewJETSExecutor wraps an engine. Wire OutputSink into the engine's
+// OnOutput option to make stdout=@file redirection functional:
+//
+//	exec := swiftlang.NewJETSExecutor()
+//	eng, _ := core.NewEngine(core.Options{..., OnOutput: exec.OutputSink})
+//	exec.Bind(eng)
+func NewJETSExecutor() *JETSExecutor {
+	return &JETSExecutor{stdouts: map[string]*os.File{}}
+}
+
+// Bind attaches the engine (two-phase construction because the engine needs
+// the executor's OutputSink at creation).
+func (x *JETSExecutor) Bind(eng *core.Engine) { x.eng = eng }
+
+// OutputSink routes task output chunks into any registered stdout redirect
+// file, reproducing the application -> proxy -> mpiexec -> JETS -> file
+// path.
+func (x *JETSExecutor) OutputSink(taskID, stream string, data []byte) {
+	jobID := taskID
+	if i := indexByte(taskID, '/'); i >= 0 {
+		jobID = taskID[:i]
+	}
+	x.mu.Lock()
+	f := x.stdouts[jobID]
+	x.mu.Unlock()
+	if f != nil {
+		f.Write(data)
+	}
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// Execute implements Executor.
+func (x *JETSExecutor) Execute(ctx context.Context, inv AppInvocation) error {
+	if x.eng == nil {
+		return fmt.Errorf("swift: JETS executor not bound to an engine")
+	}
+	jobID := fmt.Sprintf("swift-%s-%d", inv.App, x.seq.Add(1))
+
+	if inv.StdoutFile != "" {
+		if err := os.MkdirAll(filepath.Dir(inv.StdoutFile), 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(inv.StdoutFile)
+		if err != nil {
+			return err
+		}
+		x.mu.Lock()
+		x.stdouts[jobID] = f
+		x.mu.Unlock()
+		defer func() {
+			x.mu.Lock()
+			delete(x.stdouts, jobID)
+			x.mu.Unlock()
+			f.Close()
+		}()
+	}
+	for _, out := range inv.OutFiles {
+		if dir := filepath.Dir(out); dir != "." && dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+	}
+
+	job := dispatch.Job{
+		Spec: hydra.JobSpec{
+			JobID:  jobID,
+			NProcs: 1,
+			Cmd:    inv.Tokens[0],
+			Args:   inv.Tokens[1:],
+		},
+		Type: dispatch.Sequential,
+	}
+	if inv.NProcs > 0 {
+		job.Type = dispatch.MPI
+		job.Spec.NProcs = inv.NProcs
+	}
+	h, err := x.eng.Submit(job)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-h.Done():
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	res, _ := h.TryResult()
+	if res.Failed {
+		return fmt.Errorf("job %s failed: %s", jobID, res.Err)
+	}
+	return nil
+}
+
+// FuncExecutor runs invocations as registered Go functions, for tests and
+// dry runs of scripts.
+type FuncExecutor struct {
+	mu    sync.Mutex
+	fns   map[string]func(ctx context.Context, inv AppInvocation) error
+	calls []AppInvocation
+}
+
+// NewFuncExecutor creates an empty function executor.
+func NewFuncExecutor() *FuncExecutor {
+	return &FuncExecutor{fns: map[string]func(context.Context, AppInvocation) error{}}
+}
+
+// Register installs fn for invocations whose first command token equals cmd.
+func (x *FuncExecutor) Register(cmd string, fn func(ctx context.Context, inv AppInvocation) error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.fns[cmd] = fn
+}
+
+// Calls returns a copy of every invocation executed, in completion order.
+func (x *FuncExecutor) Calls() []AppInvocation {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return append([]AppInvocation(nil), x.calls...)
+}
+
+// Execute implements Executor.
+func (x *FuncExecutor) Execute(ctx context.Context, inv AppInvocation) error {
+	x.mu.Lock()
+	fn, ok := x.fns[inv.Tokens[0]]
+	x.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("no function registered for command %q", inv.Tokens[0])
+	}
+	if err := fn(ctx, inv); err != nil {
+		return err
+	}
+	x.mu.Lock()
+	x.calls = append(x.calls, inv)
+	x.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,242 @@
+// Package swiftlang implements a compact interpreter for the subset of the
+// Swift parallel scripting language that the paper's workflows use (Figs. 14
+// and 17): single-assignment typed variables (int, float, string, boolean,
+// file), sparse arrays, app declarations that map to JETS-launched (possibly
+// MPI) executables, foreach loops, if/else with the %% modulus operator, and
+// file mappers. Statements execute concurrently under dataflow semantics:
+// each runs as soon as its inputs are closed.
+package swiftlang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokPunct // single/multi char punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of script"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+// SyntaxError reports a lexing or parsing failure with position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("swift: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+// multi-char operators, longest first.
+var operators = []string{
+	"%%", "==", "!=", "<=", ">=", "&&", "||",
+	"(", ")", "{", "}", "[", "]", "<", ">", ",", ";", ":", "=",
+	"+", "-", "*", "/", "!", "@", ".",
+}
+
+func (l *lexer) lex() ([]token, error) {
+	var toks []token
+	for {
+		// Skip whitespace and comments.
+		for l.pos < len(l.src) {
+			r := l.peek()
+			if unicode.IsSpace(r) {
+				l.advance()
+				continue
+			}
+			if r == '/' && l.peek2() == '/' {
+				for l.pos < len(l.src) && l.peek() != '\n' {
+					l.advance()
+				}
+				continue
+			}
+			if r == '#' {
+				for l.pos < len(l.src) && l.peek() != '\n' {
+					l.advance()
+				}
+				continue
+			}
+			if r == '/' && l.peek2() == '*' {
+				l.advance()
+				l.advance()
+				for l.pos < len(l.src) && !(l.peek() == '*' && l.peek2() == '/') {
+					l.advance()
+				}
+				if l.pos >= len(l.src) {
+					return nil, l.errf("unterminated block comment")
+				}
+				l.advance()
+				l.advance()
+				continue
+			}
+			break
+		}
+		if l.pos >= len(l.src) {
+			toks = append(toks, token{kind: tokEOF, line: l.line, col: l.col})
+			return toks, nil
+		}
+		line, col := l.line, l.col
+		r := l.peek()
+		switch {
+		case unicode.IsLetter(r) || r == '_':
+			var b strings.Builder
+			for l.pos < len(l.src) {
+				r := l.peek()
+				if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+					b.WriteRune(l.advance())
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{kind: tokIdent, text: b.String(), line: line, col: col})
+		case unicode.IsDigit(r):
+			var b strings.Builder
+			isFloat := false
+			for l.pos < len(l.src) {
+				r := l.peek()
+				if unicode.IsDigit(r) {
+					b.WriteRune(l.advance())
+					continue
+				}
+				// A '.' starts a fraction only if a digit follows; otherwise
+				// it is member/punctuation.
+				if r == '.' && !isFloat && unicode.IsDigit(l.peek2()) {
+					isFloat = true
+					b.WriteRune(l.advance())
+					continue
+				}
+				break
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			toks = append(toks, token{kind: kind, text: b.String(), line: line, col: col})
+		case r == '"':
+			l.advance()
+			var b strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, l.errf("unterminated string literal")
+				}
+				r := l.advance()
+				if r == '"' {
+					break
+				}
+				if r == '\\' {
+					if l.pos >= len(l.src) {
+						return nil, l.errf("unterminated escape")
+					}
+					esc := l.advance()
+					switch esc {
+					case 'n':
+						b.WriteRune('\n')
+					case 't':
+						b.WriteRune('\t')
+					case '"', '\\':
+						b.WriteRune(esc)
+					default:
+						return nil, l.errf("unknown escape \\%c", esc)
+					}
+					continue
+				}
+				b.WriteRune(r)
+			}
+			toks = append(toks, token{kind: tokString, text: b.String(), line: line, col: col})
+		default:
+			matched := false
+			for _, op := range operators {
+				if l.hasPrefix(op) {
+					for range op {
+						l.advance()
+					}
+					toks = append(toks, token{kind: tokPunct, text: op, line: line, col: col})
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, l.errf("unexpected character %q", r)
+			}
+		}
+	}
+}
+
+func (l *lexer) hasPrefix(s string) bool {
+	if l.pos+len(s) > len(l.src) {
+		return false
+	}
+	for i, r := range s {
+		if l.src[l.pos+i] != r {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,595 @@
+package swiftlang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse compiles a mini-Swift script into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := newLexer(src).lex()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseProgram()
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	t := p.cur()
+	return &SyntaxError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) isPunct(s string) bool {
+	return p.cur().kind == tokPunct && p.cur().text == s
+}
+
+func (p *parser) isIdent(s string) bool {
+	return p.cur().kind == tokIdent && p.cur().text == s
+}
+
+func (p *parser) accept(s string) bool {
+	if p.isPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) error {
+	if !p.accept(s) {
+		return p.errf("expected %q, found %s", s, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	if p.cur().kind != tokIdent {
+		return token{}, p.errf("expected identifier, found %s", p.cur())
+	}
+	return p.next(), nil
+}
+
+var typeNames = map[string]Type{
+	"int": TInt, "float": TFloat, "string": TString,
+	"boolean": TBool, "bool": TBool, "file": TFile,
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{Apps: map[string]*AppDecl{}}
+	for p.cur().kind != tokEOF {
+		switch {
+		case p.isIdent("type"):
+			// "type file;" style declarations: accepted, no effect (file is
+			// built in).
+			p.next()
+			if _, err := p.expectIdent(); err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case p.isIdent("app"):
+			app, err := p.parseApp()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := prog.Apps[app.Name]; dup {
+				return nil, &SyntaxError{Line: app.Line, Msg: fmt.Sprintf("duplicate app %q", app.Name)}
+			}
+			prog.Apps[app.Name] = app
+		default:
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			prog.Stmts = append(prog.Stmts, s)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) parseParams() ([]Param, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var out []Param
+	if p.accept(")") {
+		return out, nil
+	}
+	for {
+		tt, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		typ, ok := typeNames[tt.text]
+		if !ok {
+			return nil, p.errf("unknown type %q", tt.text)
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		param := Param{Type: typ, Name: name.text}
+		if p.accept("[") {
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			param.IsArray = true
+		}
+		out = append(out, param)
+		if p.accept(")") {
+			return out, nil
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseApp() (*AppDecl, error) {
+	line := p.cur().line
+	p.next() // "app"
+	outs, err := p.parseParams()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ins, err := p.parseParams()
+	if err != nil {
+		return nil, err
+	}
+	app := &AppDecl{Name: name.text, Outs: outs, Ins: ins, Line: line}
+	if p.isIdent("mpi") {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		app.MPI = e
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	// Command line: tokens until ';', then '}'.
+	for !p.isPunct(";") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf("unterminated app body")
+		}
+		tok, err := p.parseCmdToken()
+		if err != nil {
+			return nil, err
+		}
+		app.Tokens = append(app.Tokens, tok)
+	}
+	p.next() // ';'
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	if len(app.Tokens) == 0 {
+		return nil, &SyntaxError{Line: line, Msg: fmt.Sprintf("app %q has an empty command", app.Name)}
+	}
+	return app, nil
+}
+
+func (p *parser) parseCmdToken() (CmdToken, error) {
+	// stdout=@expr
+	if p.isIdent("stdout") && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "=" {
+		p.next()
+		p.next()
+		if !p.accept("@") {
+			return CmdToken{}, p.errf("stdout= must name a file with @")
+		}
+		e, err := p.parsePrimary()
+		if err != nil {
+			return CmdToken{}, err
+		}
+		return CmdToken{StdoutOf: e}, nil
+	}
+	if p.accept("@") {
+		e, err := p.parsePostfix()
+		if err != nil {
+			return CmdToken{}, err
+		}
+		return CmdToken{FileOf: e}, nil
+	}
+	// A command token is a full expression, so "-temp" 300+rep*20 works;
+	// adjacent tokens stay separate because no operator joins them.
+	e, err := p.parseExpr()
+	if err != nil {
+		return CmdToken{}, err
+	}
+	return CmdToken{Expr: e}, nil
+}
+
+var stmtKeywords = map[string]bool{"if": true, "foreach": true}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	if p.isIdent("if") {
+		return p.parseIf()
+	}
+	if p.isIdent("foreach") {
+		return p.parseForeach()
+	}
+	if t.kind == tokIdent {
+		if _, ok := typeNames[t.text]; ok {
+			return p.parseVarDecl()
+		}
+	}
+	if p.isPunct("(") {
+		return p.parseTupleAssign()
+	}
+	if t.kind == tokIdent && !stmtKeywords[t.text] {
+		// Could be an assignment (ident [index] =) or an expression
+		// statement (a call).
+		save := p.pos
+		lv, err := p.tryParseLValue()
+		if err == nil && p.accept("=") {
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			return &Assign{Targets: []LValue{lv}, RHS: rhs, Line: t.line}, nil
+		}
+		p.pos = save
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: e, Line: t.line}, nil
+	}
+	return nil, p.errf("unexpected %s at statement start", t)
+}
+
+func (p *parser) tryParseLValue() (LValue, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return LValue{}, err
+	}
+	lv := LValue{Name: name.text}
+	if p.accept("[") {
+		idx, err := p.parseExpr()
+		if err != nil {
+			return LValue{}, err
+		}
+		if err := p.expect("]"); err != nil {
+			return LValue{}, err
+		}
+		lv.Index = idx
+	}
+	return lv, nil
+}
+
+func (p *parser) parseVarDecl() (Stmt, error) {
+	t := p.next() // type keyword
+	typ := typeNames[t.text]
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Type: typ, Name: name.text, Line: t.line}
+	if p.accept("[") {
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		d.IsArray = true
+	}
+	if p.accept("<") {
+		// The mapper is a primary expression (string literal or call such as
+		// strcat(...)) — binary operators would be ambiguous with the
+		// closing '>'.
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		d.Mapper = e
+		if err := p.expect(">"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept("=") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) parseTupleAssign() (Stmt, error) {
+	line := p.cur().line
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var targets []LValue
+	for {
+		lv, err := p.tryParseLValue()
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, lv)
+		if p.accept(")") {
+			break
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &Assign{Targets: targets, RHS: rhs, Line: line}, nil
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.accept("}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	line := p.next().line // "if"
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	node := &If{Cond: cond, Then: then, Line: line}
+	if p.isIdent("else") {
+		p.next()
+		if p.isIdent("if") {
+			s, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = []Stmt{s}
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		}
+	}
+	return node, nil
+}
+
+func (p *parser) parseForeach() (Stmt, error) {
+	line := p.next().line // "foreach"
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	node := &Foreach{Var: v.text, Line: line}
+	if p.accept(",") {
+		iv, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		node.IndexVar = iv.text
+	}
+	if !p.isIdent("in") {
+		return nil, p.errf("expected 'in', found %s", p.cur())
+	}
+	p.next()
+	if p.accept("[") {
+		lo, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		node.RangeLo, node.RangeHi = lo, hi
+	} else {
+		src, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		node.Source = src
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	node.Body = body
+	return node, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, "<=": 4, ">": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%%": 6,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.next().text
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: op, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.isPunct("!") || p.isPunct("-") {
+		op := p.next().text
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: op, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("[") {
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		e = &Index{Arr: e, Index: idx}
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.text)
+		}
+		return &Lit{Val: v}, nil
+	case tokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad float %q", t.text)
+		}
+		return &Lit{Val: v}, nil
+	case tokString:
+		p.next()
+		return &Lit{Val: t.text}, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			p.next()
+			return &Lit{Val: true}, nil
+		case "false":
+			p.next()
+			return &Lit{Val: false}, nil
+		}
+		p.next()
+		if p.isPunct("(") {
+			p.next()
+			call := &Call{Name: t.text, Line: t.line}
+			if !p.accept(")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if p.accept(")") {
+						break
+					}
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return call, nil
+		}
+		return &Ident{Name: t.text, Line: t.line}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "@" {
+			p.next()
+			e, err := p.parsePostfix()
+			if err != nil {
+				return nil, err
+			}
+			return &FileOf{X: e}, nil
+		}
+	}
+	return nil, p.errf("unexpected %s in expression", t)
+}

@@ -1,0 +1,17 @@
+# Fig. 14 — the synthetic Swift/Coasters workload script (§6.2.1), in
+# mini-Swift form: a loop generating MPI tasks that barrier, sleep, write
+# their rank, and barrier again. Nodes-per-job and PPN arrive as script
+# arguments, as the paper's test suite sweeps them.
+
+int njobs = toInt(arg("njobs", "8"));
+int nodes = toInt(arg("nodes", "2"));
+int waitms = toInt(arg("waitms", "10"));
+
+app () synthetic_task (int ms, int jobid) mpi nodes {
+    "synthetic" ms jobid;
+}
+
+foreach i in [1:njobs] {
+    synthetic_task(waitms, i);
+}
+trace("generated", njobs, "MPI jobs of", nodes, "nodes");

@@ -1,0 +1,38 @@
+# Fig. 17 — the REM core loop (§6.2.2), in mini-Swift form. Segment (i,j)
+# depends on its replica's previous segment and on the alternating-parity
+# neighbour exchange; all statements execute concurrently, limited only by
+# these dataflow edges. Segment index: i*100 + j. nreps must be even.
+
+int nreps = toInt(arg("nreps", "4"));
+int total = toInt(arg("rounds", "2"));
+
+app (file co) namd (int rep, int seg, file ci) mpi 2 {
+    "namd" rep seg @ci stdout=@co;
+}
+app (file co) namd_init (int rep) mpi 2 {
+    "namd" rep 0 "cold-start" stdout=@co;
+}
+app (file xa, file xb, file tok) exchange (file a, file b) {
+    "exchange" @a @b stdout=@tok;
+}
+
+file c[] <"c_%d.file">;    # segment outputs
+file x[] <"x_%d.file">;    # post-exchange restart files
+file tk[] <"tok_%d.file">; # exchange tokens
+
+foreach i in [0:nreps-1] {
+    c[i*100] = namd_init(i);
+}
+
+foreach j in [0:total-1] {
+    foreach i in [0:nreps-1] {
+        # The %% operator determines the parity of the exchange; odd
+        # exchanges wrap around the replica ring (paper Fig. 17 narrative).
+        if (i %% 2 == j %% 2) {
+            int neighbor = (i+1) %% nreps;
+            (x[j*1000+i], x[j*1000+neighbor], tk[j*100+i]) =
+                exchange(c[i*100+j], c[neighbor*100+j]);
+        }
+        c[i*100+j+1] = namd(i, j+1, x[j*1000+i]);
+    }
+}

@@ -1,0 +1,119 @@
+package swiftlang
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func loadScript(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestFig14Script runs the §6.2.1 synthetic-workload script shape.
+func TestFig14Script(t *testing.T) {
+	src := loadScript(t, "fig14.swift")
+	exec := NewFuncExecutor()
+	var mu sync.Mutex
+	sizes := map[int]int{}
+	exec.Register("synthetic", func(ctx context.Context, inv AppInvocation) error {
+		mu.Lock()
+		sizes[inv.NProcs]++
+		mu.Unlock()
+		return nil
+	})
+	var out bytes.Buffer
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := RunScript(ctx, src, Config{
+		Executor: exec, Stdout: &out, WorkDir: t.TempDir(),
+		Args: map[string]string{"njobs": "6", "nodes": "3", "waitms": "1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if sizes[3] != 6 {
+		t.Fatalf("sizes=%v; want 6 jobs of 3 nodes", sizes)
+	}
+	if !strings.Contains(out.String(), "generated 6 MPI jobs of 3 nodes") {
+		t.Fatalf("out=%s", out.String())
+	}
+}
+
+// TestFig17Script runs the REM core-loop script and checks the dataflow
+// ordering constraints the paper describes.
+func TestFig17Script(t *testing.T) {
+	src := loadScript(t, "fig17.swift")
+	exec := NewFuncExecutor()
+	var mu sync.Mutex
+	var ops []string
+	exec.Register("namd", func(ctx context.Context, inv AppInvocation) error {
+		mu.Lock()
+		ops = append(ops, "namd "+strings.Join(inv.Tokens[1:], " "))
+		mu.Unlock()
+		return nil
+	})
+	exec.Register("exchange", func(ctx context.Context, inv AppInvocation) error {
+		mu.Lock()
+		ops = append(ops, "exchange "+strings.Join(inv.Tokens[1:], " "))
+		mu.Unlock()
+		return nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	err := RunScript(ctx, src, Config{
+		Executor: exec, WorkDir: t.TempDir(),
+		Args: map[string]string{"nreps": "4", "rounds": "2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// 4 initial segments + per round (2 exchanges + 4 segments) x 2 rounds.
+	wantOps := 4 + 2*(2+4)
+	if len(ops) != wantOps {
+		t.Fatalf("ops=%d want %d: %v", len(ops), wantOps, ops)
+	}
+	pos := map[string]int{}
+	for i, op := range ops {
+		pos[op] = i
+	}
+	// Round-0 exchange of pair (0,1) must come after both initial segments
+	// and before both round-1 segments of those replicas.
+	ex := "exchange c_0.file c_100.file"
+	if _, ok := pos[ex]; !ok {
+		t.Fatalf("missing %q in %v", ex, ops)
+	}
+	for _, before := range []string{"namd 0 0 cold-start", "namd 1 0 cold-start"} {
+		if pos[ex] < pos[before] {
+			t.Fatalf("%q ran before %q", ex, before)
+		}
+	}
+	for _, after := range []string{
+		fmt.Sprintf("namd 0 1 x_%d.file", 0),
+		fmt.Sprintf("namd 1 1 x_%d.file", 1),
+	} {
+		if pos[after] < pos[ex] {
+			t.Fatalf("%q ran before %q", after, ex)
+		}
+	}
+	// Odd round wraps: exchange of pair (3,0) must exist in round 1.
+	wrap := "exchange c_301.file c_1.file"
+	if _, ok := pos[wrap]; !ok {
+		t.Fatalf("missing wrap-around exchange %q in %v", wrap, ops)
+	}
+}

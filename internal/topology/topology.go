@@ -1,0 +1,164 @@
+// Package topology models the interconnects of the paper's machines for the
+// discrete-event simulator: the Blue Gene/P 3-D torus (carrying both the
+// vendor-native DCMF traffic and the ZeptoOS IP-over-torus sockets JETS
+// uses) and flat-switched Ethernet clusters (Breadboard, Eureka).
+//
+// The latency model is the standard linear one: latency + bytes/bandwidth,
+// with per-hop cost on the torus. Parameters are calibrated so the
+// native-vs-sockets comparison reproduces the Fig. 8 shape: TCP adds large
+// fixed per-message overhead; bandwidth is mildly reduced.
+package topology
+
+import (
+	"fmt"
+	"time"
+)
+
+// Network computes message transfer times between nodes.
+type Network interface {
+	// Latency returns the one-way delivery time of a message of size bytes
+	// between nodes a and b.
+	Latency(a, b NodeID, bytes int) time.Duration
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// NodeID identifies a node in a network.
+type NodeID int
+
+// Torus3D is a 3-dimensional torus (Blue Gene/P: 8x8x16 per rack).
+type Torus3D struct {
+	X, Y, Z int
+	// PerHop is the per-hop router latency.
+	PerHop time.Duration
+	// Base is the fixed software overhead per message (injection +
+	// reception).
+	Base time.Duration
+	// BytesPerSec is the link bandwidth.
+	BytesPerSec float64
+	name        string
+}
+
+// NewTorus3D builds a torus network model.
+func NewTorus3D(name string, x, y, z int, base, perHop time.Duration, bytesPerSec float64) (*Torus3D, error) {
+	if x <= 0 || y <= 0 || z <= 0 {
+		return nil, fmt.Errorf("topology: invalid torus dims %dx%dx%d", x, y, z)
+	}
+	if bytesPerSec <= 0 {
+		return nil, fmt.Errorf("topology: invalid bandwidth %v", bytesPerSec)
+	}
+	return &Torus3D{X: x, Y: y, Z: z, PerHop: perHop, Base: base, BytesPerSec: bytesPerSec, name: name}, nil
+}
+
+// Name implements Network.
+func (t *Torus3D) Name() string { return t.name }
+
+// Nodes returns the node count.
+func (t *Torus3D) Nodes() int { return t.X * t.Y * t.Z }
+
+// Coord maps a node ID to torus coordinates.
+func (t *Torus3D) Coord(n NodeID) (x, y, z int) {
+	i := int(n)
+	x = i % t.X
+	y = (i / t.X) % t.Y
+	z = i / (t.X * t.Y)
+	return
+}
+
+// CoordSlice returns the coordinates as a slice, in the form workers report
+// at registration.
+func (t *Torus3D) CoordSlice(n NodeID) []int {
+	x, y, z := t.Coord(n)
+	return []int{x, y, z}
+}
+
+// wrapDist is the distance along one ring dimension.
+func wrapDist(a, b, size int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if w := size - d; w < d {
+		d = w
+	}
+	return d
+}
+
+// Hops returns the minimal routed hop count between two nodes.
+func (t *Torus3D) Hops(a, b NodeID) int {
+	ax, ay, az := t.Coord(a)
+	bx, by, bz := t.Coord(b)
+	return wrapDist(ax, bx, t.X) + wrapDist(ay, by, t.Y) + wrapDist(az, bz, t.Z)
+}
+
+// Latency implements Network.
+func (t *Torus3D) Latency(a, b NodeID, bytes int) time.Duration {
+	if a == b {
+		return t.Base / 2 // loopback: software overhead only
+	}
+	hops := t.Hops(a, b)
+	transfer := time.Duration(float64(bytes) / t.BytesPerSec * float64(time.Second))
+	return t.Base + time.Duration(hops)*t.PerHop + transfer
+}
+
+// Ethernet is a flat switched network: constant base latency plus
+// serialization time, independent of placement.
+type Ethernet struct {
+	Base        time.Duration
+	BytesPerSec float64
+	name        string
+}
+
+// NewEthernet builds a switched-Ethernet model.
+func NewEthernet(name string, base time.Duration, bytesPerSec float64) (*Ethernet, error) {
+	if bytesPerSec <= 0 {
+		return nil, fmt.Errorf("topology: invalid bandwidth %v", bytesPerSec)
+	}
+	return &Ethernet{Base: base, BytesPerSec: bytesPerSec, name: name}, nil
+}
+
+// Name implements Network.
+func (e *Ethernet) Name() string { return e.name }
+
+// Latency implements Network.
+func (e *Ethernet) Latency(a, b NodeID, bytes int) time.Duration {
+	transfer := time.Duration(float64(bytes) / e.BytesPerSec * float64(time.Second))
+	if a == b {
+		return e.Base/10 + transfer
+	}
+	return e.Base + transfer
+}
+
+// ---------------------------------------------------------------------------
+// Calibrated instances (paper hardware).
+
+// BGPNative models the vendor DCMF stack on the BG/P torus: ~3 us one-way
+// small-message latency, ~370 MB/s effective per-link bandwidth.
+func BGPNative(x, y, z int) *Torus3D {
+	t, err := NewTorus3D("bgp-native", x, y, z, 2500*time.Nanosecond, 100*time.Nanosecond, 370e6)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// BGPSockets models MPICH2 over the ZeptoOS IP-over-torus device: TCP adds
+// roughly two orders of magnitude of fixed per-message cost (~250 us) and
+// reduces attainable bandwidth (~200 MB/s), the penalty Fig. 8 quantifies.
+func BGPSockets(x, y, z int) *Torus3D {
+	t, err := NewTorus3D("bgp-sockets", x, y, z, 250*time.Microsecond, 150*time.Nanosecond, 200e6)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ClusterEthernet models the Breadboard/Eureka gigabit fabric: ~60 us TCP
+// latency, ~110 MB/s.
+func ClusterEthernet() *Ethernet {
+	e, err := NewEthernet("cluster-eth", 60*time.Microsecond, 110e6)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}

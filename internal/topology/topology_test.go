@@ -1,0 +1,137 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTorusCoordRoundTrip(t *testing.T) {
+	tor := BGPNative(8, 8, 16)
+	if tor.Nodes() != 1024 {
+		t.Fatalf("nodes=%d", tor.Nodes())
+	}
+	for _, n := range []NodeID{0, 1, 7, 8, 63, 64, 1023} {
+		x, y, z := tor.Coord(n)
+		back := NodeID(x + y*tor.X + z*tor.X*tor.Y)
+		if back != n {
+			t.Errorf("node %d -> (%d,%d,%d) -> %d", n, x, y, z, back)
+		}
+	}
+}
+
+func TestCoordSlice(t *testing.T) {
+	tor := BGPNative(8, 8, 16)
+	c := tor.CoordSlice(9)
+	if len(c) != 3 || c[0] != 1 || c[1] != 1 || c[2] != 0 {
+		t.Fatalf("coord=%v", c)
+	}
+}
+
+func TestWrapDist(t *testing.T) {
+	if d := wrapDist(0, 7, 8); d != 1 {
+		t.Errorf("wrap 0-7 in ring 8: %d", d)
+	}
+	if d := wrapDist(2, 5, 8); d != 3 {
+		t.Errorf("2-5: %d", d)
+	}
+	if d := wrapDist(3, 3, 8); d != 0 {
+		t.Errorf("same: %d", d)
+	}
+}
+
+func TestHopsSymmetric(t *testing.T) {
+	tor := BGPNative(8, 8, 16)
+	f := func(a, b uint16) bool {
+		na := NodeID(int(a) % tor.Nodes())
+		nb := NodeID(int(b) % tor.Nodes())
+		return tor.Hops(na, nb) == tor.Hops(nb, na)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopsTriangleInequality(t *testing.T) {
+	tor := BGPNative(4, 4, 4)
+	f := func(a, b, c uint8) bool {
+		na := NodeID(int(a) % tor.Nodes())
+		nb := NodeID(int(b) % tor.Nodes())
+		nc := NodeID(int(c) % tor.Nodes())
+		return tor.Hops(na, nc) <= tor.Hops(na, nb)+tor.Hops(nb, nc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyMonotoneInSize(t *testing.T) {
+	nets := []Network{BGPNative(8, 8, 16), BGPSockets(8, 8, 16), ClusterEthernet()}
+	for _, n := range nets {
+		prev := time.Duration(0)
+		for _, size := range []int{1, 64, 4096, 1 << 20} {
+			l := n.Latency(0, 5, size)
+			if l < prev {
+				t.Errorf("%s: latency decreased at size %d", n.Name(), size)
+			}
+			prev = l
+		}
+	}
+}
+
+func TestNativeVsSocketsShape(t *testing.T) {
+	// Fig. 8 shape: sockets mode is dominated by fixed overhead for small
+	// messages (orders of magnitude slower) but within ~2x for large ones.
+	native := BGPNative(8, 8, 16)
+	sockets := BGPSockets(8, 8, 16)
+	small := float64(sockets.Latency(0, 1, 1)) / float64(native.Latency(0, 1, 1))
+	if small < 20 {
+		t.Errorf("small-message sockets/native ratio %.1f; want >> 1", small)
+	}
+	big := float64(sockets.Latency(0, 1, 4<<20)) / float64(native.Latency(0, 1, 4<<20))
+	if big > 3 || big < 1 {
+		t.Errorf("large-message ratio %.2f; want mildly > 1", big)
+	}
+}
+
+func TestLoopbackCheaper(t *testing.T) {
+	for _, n := range []Network{BGPSockets(8, 8, 16), ClusterEthernet()} {
+		if n.Latency(3, 3, 100) >= n.Latency(3, 4, 100) {
+			t.Errorf("%s: self-latency not cheaper", n.Name())
+		}
+	}
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	if _, err := NewTorus3D("x", 0, 8, 8, 0, 0, 1e9); err == nil {
+		t.Error("zero dim accepted")
+	}
+	if _, err := NewTorus3D("x", 8, 8, 8, 0, 0, 0); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := NewEthernet("x", 0, -5); err == nil {
+		t.Error("negative bandwidth accepted")
+	}
+}
+
+func TestEthernetPlacementIndependent(t *testing.T) {
+	e := ClusterEthernet()
+	if e.Latency(0, 1, 1000) != e.Latency(5, 99, 1000) {
+		t.Error("ethernet latency should not depend on placement")
+	}
+}
+
+// Property: torus hop count bounded by sum of half-dimensions.
+func TestHopsBoundProperty(t *testing.T) {
+	tor := BGPNative(8, 8, 16)
+	maxHops := 8/2 + 8/2 + 16/2
+	f := func(a, b uint16) bool {
+		na := NodeID(int(a) % tor.Nodes())
+		nb := NodeID(int(b) % tor.Nodes())
+		h := tor.Hops(na, nb)
+		return h >= 0 && h <= maxHops
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,298 @@
+// Package worker implements the JETS pilot-job worker agent: the persistent
+// process started on each compute node by the allocation scripts. A worker
+// connects to the central dispatcher, registers, and then cycles through the
+// paper's Fig. 4 protocol: report readiness, receive a task (a sequential
+// command or one Hydra proxy of a decomposed MPI job), execute it, stream
+// its output, report the result, and request more work.
+//
+// The worker is deliberately decomposable (architecture principle 3): it
+// can run against any proto-speaking service and is used on its own as a
+// benchmarking component.
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jets/internal/hydra"
+	"jets/internal/proto"
+)
+
+// Config parameterizes a worker agent.
+type Config struct {
+	ID    string
+	Host  string
+	Cores int
+	Coord []int // interconnect coordinates for topology-aware grouping
+
+	// DispatcherAddr is the TCP endpoint of the JETS service. Exactly one of
+	// DispatcherAddr or Conn must be set.
+	DispatcherAddr string
+	// Conn, when non-nil, is a pre-established connection (in-process
+	// runtime and tests).
+	Conn *proto.Codec
+
+	// Runner executes user processes; defaults to hydra.ExecRunner.
+	Runner hydra.Runner
+
+	// HeartbeatInterval between liveness reports; default 1s.
+	HeartbeatInterval time.Duration
+
+	// CacheDir is node-local storage for staged files (the paper's local
+	// storage optimization). Empty disables staging.
+	CacheDir string
+
+	// DialTimeout bounds the initial connection; default 10s.
+	DialTimeout time.Duration
+}
+
+// Worker is one pilot-job agent.
+type Worker struct {
+	cfg   Config
+	codec *proto.Codec
+
+	started time.Time
+	busy    atomic.Bool
+	tasks   atomic.Int64 // tasks completed
+
+	killOnce sync.Once
+	killed   chan struct{}
+}
+
+// New creates a worker agent from cfg, applying defaults.
+func New(cfg Config) (*Worker, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("worker: empty ID")
+	}
+	if cfg.DispatcherAddr == "" && cfg.Conn == nil {
+		return nil, errors.New("worker: no dispatcher address or connection")
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = hydra.ExecRunner{}
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.Host == "" {
+		cfg.Host, _ = os.Hostname()
+	}
+	return &Worker{cfg: cfg, killed: make(chan struct{})}, nil
+}
+
+// TasksCompleted reports how many tasks this worker has finished.
+func (w *Worker) TasksCompleted() int64 { return w.tasks.Load() }
+
+// Busy reports whether a task is currently executing.
+func (w *Worker) Busy() bool { return w.busy.Load() }
+
+// Kill abruptly severs the worker, simulating a node failure (used by the
+// fault-injection experiments, §6.1.5).
+func (w *Worker) Kill() {
+	w.killOnce.Do(func() {
+		close(w.killed)
+		if w.codec != nil {
+			w.codec.Close()
+		}
+	})
+}
+
+// Run connects (if needed), registers, and serves the work cycle until the
+// dispatcher shuts the worker down, the context is canceled, or the
+// connection fails. A clean shutdown returns nil.
+func (w *Worker) Run(ctx context.Context) error {
+	codec := w.cfg.Conn
+	if codec == nil {
+		var err error
+		codec, err = proto.Dial(w.cfg.DispatcherAddr, w.cfg.DialTimeout)
+		if err != nil {
+			return fmt.Errorf("worker %s: dial: %w", w.cfg.ID, err)
+		}
+	}
+	w.codec = codec
+	defer codec.Close()
+	w.started = time.Now()
+
+	// Unblock any pending Recv when the context ends; otherwise a canceled
+	// worker would sit parked in the dispatcher forever.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			codec.Close()
+		case <-w.killed:
+			codec.Close()
+		case <-stop:
+		}
+	}()
+
+	if err := codec.Send(&proto.Envelope{Kind: proto.KindRegister, Register: &proto.Register{
+		WorkerID: w.cfg.ID, Host: w.cfg.Host, Cores: w.cfg.Cores, Coord: w.cfg.Coord,
+	}}); err != nil {
+		return fmt.Errorf("worker %s: register: %w", w.cfg.ID, err)
+	}
+	ack, err := codec.Recv()
+	if err != nil {
+		return fmt.Errorf("worker %s: registration ack: %w", w.cfg.ID, err)
+	}
+	if ack.Kind != proto.KindRegistered {
+		return fmt.Errorf("worker %s: unexpected registration reply %q: %s", w.cfg.ID, ack.Kind, ack.Error)
+	}
+
+	hbCtx, hbCancel := context.WithCancel(ctx)
+	defer hbCancel()
+	go w.heartbeatLoop(hbCtx)
+
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-w.killed:
+			return errors.New("worker killed")
+		default:
+		}
+		if err := codec.Send(&proto.Envelope{Kind: proto.KindWorkRequest}); err != nil {
+			return w.runErr(err)
+		}
+		// The dispatcher parks work requests until a task exists, so this
+		// Recv is the idle state of the pilot job.
+		env, err := codec.Recv()
+		if err != nil {
+			return w.runErr(err)
+		}
+		switch env.Kind {
+		case proto.KindTask:
+			if env.Task == nil {
+				return fmt.Errorf("worker %s: task frame without payload", w.cfg.ID)
+			}
+			w.execute(ctx, env.Task)
+		case proto.KindStage:
+			if err := w.stage(env.Stage); err != nil {
+				codec.Send(&proto.Envelope{Kind: proto.KindError, Error: err.Error()})
+			} else {
+				codec.Send(&proto.Envelope{Kind: proto.KindStaged, Stage: &proto.Stage{Name: env.Stage.Name}})
+			}
+		case proto.KindShutdown:
+			return nil
+		case proto.KindNoWork:
+			// Dispatcher is draining; back off briefly before re-requesting.
+			select {
+			case <-time.After(10 * time.Millisecond):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		default:
+			return fmt.Errorf("worker %s: unexpected message %q", w.cfg.ID, env.Kind)
+		}
+	}
+}
+
+func (w *Worker) runErr(err error) error {
+	select {
+	case <-w.killed:
+		return errors.New("worker killed")
+	default:
+		return fmt.Errorf("worker %s: connection: %w", w.cfg.ID, err)
+	}
+}
+
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	t := time.NewTicker(w.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-w.killed:
+			return
+		case <-t.C:
+			err := w.codec.Send(&proto.Envelope{Kind: proto.KindHeartbeat, Heartbeat: &proto.Heartbeat{
+				WorkerID: w.cfg.ID,
+				Busy:     w.busy.Load(),
+				Uptime:   time.Since(w.started),
+			}})
+			if err != nil {
+				return
+			}
+		}
+	}
+}
+
+// outputForwarder streams task output back through the service in chunks,
+// implementing the paper's application -> proxy -> mpiexec -> JETS routing.
+type outputForwarder struct {
+	codec  *proto.Codec
+	taskID string
+	stream string
+}
+
+func (f *outputForwarder) Write(p []byte) (int, error) {
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	err := f.codec.Send(&proto.Envelope{Kind: proto.KindOutput, Output: &proto.Output{
+		TaskID: f.taskID, Stream: f.stream, Data: cp,
+	}})
+	if err != nil {
+		// Losing output must not kill the user process; swallow and drop.
+		return len(p), nil
+	}
+	return len(p), nil
+}
+
+var _ io.Writer = (*outputForwarder)(nil)
+
+func (w *Worker) execute(ctx context.Context, task *proto.Task) {
+	w.busy.Store(true)
+	defer w.busy.Store(false)
+
+	// Expose the local cache to user processes, as the start scripts expose
+	// node-local storage paths in the paper.
+	if w.cfg.CacheDir != "" {
+		task.Env = append(task.Env, "JETS_CACHE="+w.cfg.CacheDir)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	go func() {
+		select {
+		case <-w.killed:
+			cancel()
+		case <-runCtx.Done():
+		}
+	}()
+	res := hydra.RunProxy(runCtx, task, w.cfg.Runner, &outputForwarder{codec: w.codec, taskID: task.TaskID, stream: "stdout"})
+	cancel()
+
+	w.tasks.Add(1)
+	w.codec.Send(&proto.Envelope{Kind: proto.KindResult, Result: &res})
+}
+
+func (w *Worker) stage(s *proto.Stage) error {
+	if s == nil {
+		return errors.New("worker: stage frame without payload")
+	}
+	if w.cfg.CacheDir == "" {
+		return fmt.Errorf("worker %s: staging disabled (no cache dir)", w.cfg.ID)
+	}
+	name := s.Path
+	if name == "" {
+		name = s.Name
+	}
+	dst := filepath.Join(w.cfg.CacheDir, filepath.Clean("/"+name))
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(dst, s.Data, 0o755)
+}

@@ -1,0 +1,351 @@
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"jets/internal/hydra"
+	"jets/internal/proto"
+)
+
+// fakeDispatcher is a minimal proto-speaking service for driving a worker
+// directly (the worker is designed to be usable as a stand-alone
+// benchmarking component against any service).
+type fakeDispatcher struct {
+	ln    net.Listener
+	conns chan *proto.Codec
+}
+
+func newFakeDispatcher(t *testing.T) *fakeDispatcher {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := &fakeDispatcher{ln: ln, conns: make(chan *proto.Codec, 4)}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			fd.conns <- proto.NewCodec(conn)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return fd
+}
+
+func (fd *fakeDispatcher) addr() string { return fd.ln.Addr().String() }
+
+// accept performs the registration handshake and returns the codec.
+func (fd *fakeDispatcher) accept(t *testing.T) (*proto.Codec, *proto.Register) {
+	t.Helper()
+	select {
+	case codec := <-fd.conns:
+		env, err := codec.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Kind != proto.KindRegister {
+			t.Fatalf("first frame %q", env.Kind)
+		}
+		if err := codec.Send(&proto.Envelope{Kind: proto.KindRegistered}); err != nil {
+			t.Fatal(err)
+		}
+		return codec, env.Register
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never connected")
+		return nil, nil
+	}
+}
+
+// drainUntil reads frames until one matches kind, failing on timeout.
+func drainUntil(t *testing.T, codec *proto.Codec, kind proto.Kind) *proto.Envelope {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("no %q frame", kind)
+		}
+		env, err := codec.Recv()
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if env.Kind == kind {
+			return env
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := New(Config{ID: "w"}); err == nil {
+		t.Error("config without endpoint accepted")
+	}
+	w, err := New(Config{ID: "w", DispatcherAddr: "127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults applied.
+	if w.cfg.Cores != 1 || w.cfg.Runner == nil || w.cfg.HeartbeatInterval <= 0 {
+		t.Fatalf("defaults not applied: %+v", w.cfg)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	w, err := New(Config{ID: "w", DispatcherAddr: "127.0.0.1:1", DialTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(context.Background()); err == nil {
+		t.Fatal("run succeeded against closed port")
+	}
+}
+
+func TestRegistrationFieldsAndWorkCycle(t *testing.T) {
+	fd := newFakeDispatcher(t)
+	runner := hydra.NewFuncRunner()
+	runner.Register("echo", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		fmt.Fprintf(stdout, "ran %s\n", args[0])
+		return 0
+	})
+	w, err := New(Config{
+		ID: "node7", Host: "h7", Cores: 4, Coord: []int{1, 2, 3},
+		DispatcherAddr: fd.addr(), Runner: runner,
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+
+	codec, reg := fd.accept(t)
+	defer codec.Close()
+	if reg.WorkerID != "node7" || reg.Host != "h7" || reg.Cores != 4 || len(reg.Coord) != 3 {
+		t.Fatalf("register %+v", reg)
+	}
+	// Worker must request work.
+	drainUntil(t, codec, proto.KindWorkRequest)
+	// Assign a task; expect output then result.
+	codec.Send(&proto.Envelope{Kind: proto.KindTask, Task: &proto.Task{
+		TaskID: "t1", JobID: "j1", Cmd: "echo", Args: []string{"hello"},
+	}})
+	sawOutput := false
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no result")
+		}
+		env, err := codec.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Kind == proto.KindOutput && strings.Contains(string(env.Output.Data), "ran hello") {
+			sawOutput = true
+		}
+		if env.Kind == proto.KindResult {
+			if env.Result.ExitCode != 0 || env.Result.TaskID != "t1" {
+				t.Fatalf("result %+v", env.Result)
+			}
+			break
+		}
+	}
+	if !sawOutput {
+		t.Error("task output not forwarded")
+	}
+	if w.TasksCompleted() != 1 {
+		t.Errorf("completed=%d", w.TasksCompleted())
+	}
+	// Worker cycles back to requesting work.
+	drainUntil(t, codec, proto.KindWorkRequest)
+	// Shutdown terminates Run cleanly.
+	codec.Send(&proto.Envelope{Kind: proto.KindShutdown})
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker did not shut down")
+	}
+}
+
+func TestHeartbeatsFlow(t *testing.T) {
+	fd := newFakeDispatcher(t)
+	w, err := New(Config{ID: "hb", DispatcherAddr: fd.addr(),
+		Runner: hydra.NewFuncRunner(), HeartbeatInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go w.Run(ctx)
+	codec, _ := fd.accept(t)
+	defer codec.Close()
+	hb := drainUntil(t, codec, proto.KindHeartbeat)
+	if hb.Heartbeat.WorkerID != "hb" || hb.Heartbeat.Busy {
+		t.Fatalf("heartbeat %+v", hb.Heartbeat)
+	}
+}
+
+func TestStageWritesCache(t *testing.T) {
+	dir := t.TempDir()
+	fd := newFakeDispatcher(t)
+	w, err := New(Config{ID: "c", DispatcherAddr: fd.addr(),
+		Runner: hydra.NewFuncRunner(), CacheDir: dir, HeartbeatInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go w.Run(ctx)
+	codec, _ := fd.accept(t)
+	defer codec.Close()
+	drainUntil(t, codec, proto.KindWorkRequest)
+	codec.Send(&proto.Envelope{Kind: proto.KindStage, Stage: &proto.Stage{
+		Name: "lib/app.so", Data: []byte("bits"),
+	}})
+	ack := drainUntil(t, codec, proto.KindStaged)
+	if ack.Stage.Name != "lib/app.so" {
+		t.Fatalf("ack %+v", ack.Stage)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "lib/app.so"))
+	if err != nil || string(data) != "bits" {
+		t.Fatalf("cache file: %v %q", err, data)
+	}
+}
+
+func TestStagePathTraversalContained(t *testing.T) {
+	dir := t.TempDir()
+	fd := newFakeDispatcher(t)
+	w, err := New(Config{ID: "c2", DispatcherAddr: fd.addr(),
+		Runner: hydra.NewFuncRunner(), CacheDir: dir, HeartbeatInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go w.Run(ctx)
+	codec, _ := fd.accept(t)
+	defer codec.Close()
+	drainUntil(t, codec, proto.KindWorkRequest)
+	codec.Send(&proto.Envelope{Kind: proto.KindStage, Stage: &proto.Stage{
+		Name: "../../escape.txt", Data: []byte("x"),
+	}})
+	drainUntil(t, codec, proto.KindStaged)
+	// The file must land inside the cache dir, not beside it.
+	if _, err := os.Stat(filepath.Join(dir, "..", "..", "escape.txt")); err == nil {
+		t.Fatal("stage escaped the cache directory")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "escape.txt")); err != nil {
+		t.Fatalf("contained file missing: %v", err)
+	}
+}
+
+func TestStageWithoutCacheDirReportsError(t *testing.T) {
+	fd := newFakeDispatcher(t)
+	w, err := New(Config{ID: "nc", DispatcherAddr: fd.addr(),
+		Runner: hydra.NewFuncRunner(), HeartbeatInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go w.Run(ctx)
+	codec, _ := fd.accept(t)
+	defer codec.Close()
+	drainUntil(t, codec, proto.KindWorkRequest)
+	codec.Send(&proto.Envelope{Kind: proto.KindStage, Stage: &proto.Stage{Name: "f", Data: []byte("x")}})
+	drainUntil(t, codec, proto.KindError)
+}
+
+func TestKillCancelsRunningTask(t *testing.T) {
+	fd := newFakeDispatcher(t)
+	runner := hydra.NewFuncRunner()
+	started := make(chan struct{})
+	runner.Register("block", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		close(started)
+		<-ctx.Done()
+		return 9
+	})
+	w, err := New(Config{ID: "k", DispatcherAddr: fd.addr(), Runner: runner,
+		HeartbeatInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Run(context.Background()) }()
+	codec, _ := fd.accept(t)
+	defer codec.Close()
+	drainUntil(t, codec, proto.KindWorkRequest)
+	codec.Send(&proto.Envelope{Kind: proto.KindTask, Task: &proto.Task{TaskID: "t", JobID: "j", Cmd: "block"}})
+	<-started
+	if !w.Busy() {
+		t.Error("worker not busy during task")
+	}
+	w.Kill()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("killed worker returned nil")
+		}
+		if !errors.Is(err, errors.New("worker killed")) && !strings.Contains(err.Error(), "killed") {
+			t.Fatalf("err=%v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("kill did not stop the worker")
+	}
+}
+
+func TestContextCancelStopsParkedWorker(t *testing.T) {
+	fd := newFakeDispatcher(t)
+	w, err := New(Config{ID: "p", DispatcherAddr: fd.addr(),
+		Runner: hydra.NewFuncRunner(), HeartbeatInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	codec, _ := fd.accept(t)
+	defer codec.Close()
+	drainUntil(t, codec, proto.KindWorkRequest) // parked now
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not unpark the worker")
+	}
+}
+
+func TestNoWorkBacksOff(t *testing.T) {
+	fd := newFakeDispatcher(t)
+	w, err := New(Config{ID: "nw", DispatcherAddr: fd.addr(),
+		Runner: hydra.NewFuncRunner(), HeartbeatInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go w.Run(ctx)
+	codec, _ := fd.accept(t)
+	defer codec.Close()
+	drainUntil(t, codec, proto.KindWorkRequest)
+	codec.Send(&proto.Envelope{Kind: proto.KindNoWork})
+	// The worker must come back with another request.
+	drainUntil(t, codec, proto.KindWorkRequest)
+}

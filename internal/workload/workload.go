@@ -1,0 +1,167 @@
+// Package workload generates the benchmark task batches of the paper's
+// evaluation: no-op sequential tasks (Fig. 6), the barrier-sleep-barrier MPI
+// app (Figs. 7, 9, 15), and NAMD-like batches (Figs. 11-13). It also
+// registers the corresponding in-process applications with a FuncRunner.
+package workload
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"jets/internal/dispatch"
+	"jets/internal/hydra"
+	"jets/internal/mpi"
+	"jets/internal/namd"
+)
+
+// App names registered by RegisterApps.
+const (
+	NoopApp    = "noop"         // exits immediately (Fig. 6 sequential test)
+	BarrierApp = "barrier-wait" // barrier, sleep <ms>, barrier (Figs. 7/9)
+	SyntheApp  = "synthetic"    // barrier, sleep, write rank file, barrier (Fig. 15)
+)
+
+// RegisterApps installs the synthetic benchmark applications.
+func RegisterApps(runner *hydra.FuncRunner) {
+	runner.Register(NoopApp, func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		return 0
+	})
+	runner.Register(BarrierApp, barrierWait)
+	runner.Register(SyntheApp, synthetic)
+}
+
+// barrierWait is the paper's benchmark MPI app (§6.1.2): "starts up,
+// performs an MPI barrier on all processes, waits for a given time, performs
+// a second MPI barrier, and exits." Arg 0 is the wait in milliseconds.
+func barrierWait(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+	waitMS := 1000
+	if len(args) > 0 {
+		v, err := strconv.Atoi(args[0])
+		if err != nil || v < 0 {
+			fmt.Fprintf(stdout, "barrier-wait: bad duration %q\n", args[0])
+			return 2
+		}
+		waitMS = v
+	}
+	comm, err := mpi.InitEnvFrom(env)
+	if err != nil {
+		fmt.Fprintf(stdout, "barrier-wait: init: %v\n", err)
+		return 1
+	}
+	defer comm.Close()
+	if err := comm.Barrier(); err != nil {
+		return 1
+	}
+	select {
+	case <-time.After(time.Duration(waitMS) * time.Millisecond):
+	case <-ctx.Done():
+		return 1
+	}
+	if err := comm.Barrier(); err != nil {
+		return 1
+	}
+	return 0
+}
+
+// synthetic is the §6.2.1 task: barrier, sleep, each process "creates and/or
+// writes its MPI rank to a single output file", barrier, exit. The write is
+// reported on stdout so the harness can observe it without a shared
+// filesystem.
+func synthetic(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+	waitMS := 1000
+	if len(args) > 0 {
+		v, err := strconv.Atoi(args[0])
+		if err != nil || v < 0 {
+			return 2
+		}
+		waitMS = v
+	}
+	comm, err := mpi.InitEnvFrom(env)
+	if err != nil {
+		return 1
+	}
+	defer comm.Close()
+	if err := comm.Barrier(); err != nil {
+		return 1
+	}
+	select {
+	case <-time.After(time.Duration(waitMS) * time.Millisecond):
+	case <-ctx.Done():
+		return 1
+	}
+	fmt.Fprintf(stdout, "rank %d\n", comm.Rank())
+	if err := comm.Barrier(); err != nil {
+		return 1
+	}
+	return 0
+}
+
+// SequentialBatch builds n no-op sequential jobs (Fig. 6 workload).
+func SequentialBatch(n int) []dispatch.Job {
+	jobs := make([]dispatch.Job, n)
+	for i := range jobs {
+		jobs[i] = dispatch.Job{
+			Spec: hydra.JobSpec{JobID: fmt.Sprintf("noop%d", i), NProcs: 1, Cmd: NoopApp},
+			Type: dispatch.Sequential,
+		}
+	}
+	return jobs
+}
+
+// MPIBatch builds count barrier-wait jobs of nprocs processes each, with the
+// given wait duration (the Figs. 7/9 workload).
+func MPIBatch(count, nprocs int, wait time.Duration) []dispatch.Job {
+	jobs := make([]dispatch.Job, count)
+	ms := fmt.Sprint(int(wait / time.Millisecond))
+	for i := range jobs {
+		jobs[i] = dispatch.Job{
+			Spec: hydra.JobSpec{
+				JobID:  fmt.Sprintf("mpi%dx%d-%d", nprocs, int(wait/time.Millisecond), i),
+				NProcs: nprocs,
+				Cmd:    BarrierApp,
+				Args:   []string{ms},
+			},
+			Type: dispatch.MPI,
+		}
+	}
+	return jobs
+}
+
+// NAMDBatch builds the §6.1.6 workload: a round-robin batch of NAMD segment
+// jobs "that would require jobsPerNode executions per node on average" for
+// the given allocation, each on procs nodes.
+func NAMDBatch(allocation, jobsPerNode, procs, atoms, steps int, scale float64, seed int64) []dispatch.Job {
+	count := allocation * jobsPerNode / procs
+	jobs := make([]dispatch.Job, count)
+	for i := range jobs {
+		jobs[i] = dispatch.Job{
+			Spec: hydra.JobSpec{
+				JobID:  fmt.Sprintf("namd-%d", i),
+				NProcs: procs,
+				Cmd:    namd.AppName,
+				Args: []string{
+					"-atoms", fmt.Sprint(atoms),
+					"-steps", fmt.Sprint(steps),
+					"-seed", fmt.Sprint(seed + int64(i)),
+					"-scale", fmt.Sprintf("%.6f", scale),
+				},
+			},
+			Type: dispatch.MPI,
+		}
+	}
+	return jobs
+}
+
+// Durations draws n wall times from the Fig. 11 NAMD distribution.
+func Durations(n int, seed int64) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = namd.SampleWallTime(rng)
+	}
+	return out
+}

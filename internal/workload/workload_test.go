@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"jets/internal/core"
+	"jets/internal/dispatch"
+	"jets/internal/hydra"
+)
+
+func TestSequentialBatch(t *testing.T) {
+	jobs := SequentialBatch(10)
+	if len(jobs) != 10 {
+		t.Fatalf("len=%d", len(jobs))
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if j.Type != dispatch.Sequential || j.Spec.NProcs != 1 || j.Spec.Cmd != NoopApp {
+			t.Fatalf("job %+v", j)
+		}
+		if seen[j.Spec.JobID] {
+			t.Fatalf("dup id %s", j.Spec.JobID)
+		}
+		seen[j.Spec.JobID] = true
+	}
+}
+
+func TestMPIBatchShape(t *testing.T) {
+	jobs := MPIBatch(5, 4, 250*time.Millisecond)
+	if len(jobs) != 5 {
+		t.Fatalf("len=%d", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.Type != dispatch.MPI || j.Spec.NProcs != 4 {
+			t.Fatalf("job %+v", j)
+		}
+		if j.Spec.Args[0] != "250" {
+			t.Fatalf("args %v", j.Spec.Args)
+		}
+	}
+}
+
+func TestNAMDBatchSizing(t *testing.T) {
+	// 256 nodes, 6 jobs/node, 4-proc jobs => 384 jobs (the paper's batch
+	// construction for Fig. 12).
+	jobs := NAMDBatch(256, 6, 4, 1000, 10, 0.01, 1)
+	if len(jobs) != 384 {
+		t.Fatalf("len=%d want 384", len(jobs))
+	}
+}
+
+func TestDurationsDeterministic(t *testing.T) {
+	a := Durations(50, 9)
+	b := Durations(50, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	for _, d := range a {
+		if d < 100*time.Second || d > 166*time.Second {
+			t.Fatalf("duration %v outside Fig 11 range", d)
+		}
+	}
+}
+
+// TestWorkloadAppsEndToEnd drives all three synthetic apps through a real
+// engine.
+func TestWorkloadAppsEndToEnd(t *testing.T) {
+	runner := hydra.NewFuncRunner()
+	RegisterApps(runner)
+	eng, err := core.NewEngine(core.Options{LocalWorkers: 4, Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	jobs := SequentialBatch(8)
+	jobs = append(jobs, MPIBatch(3, 2, 10*time.Millisecond)...)
+	jobs = append(jobs, dispatch.Job{
+		Spec: hydra.JobSpec{JobID: "synth", NProcs: 4, Cmd: SyntheApp, Args: []string{"5"}},
+		Type: dispatch.MPI,
+	})
+	rep, err := eng.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() != 0 {
+		for _, r := range rep.Results {
+			if r.Failed {
+				t.Logf("failed: %+v", r)
+			}
+		}
+		t.Fatalf("failed=%d", rep.Failed())
+	}
+}
+
+func TestBarrierAppBadArgs(t *testing.T) {
+	runner := hydra.NewFuncRunner()
+	RegisterApps(runner)
+	eng, err := core.NewEngine(core.Options{LocalWorkers: 1, Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	h, err := eng.Submit(dispatch.Job{
+		Spec: hydra.JobSpec{JobID: "bad", NProcs: 1, Cmd: BarrierApp, Args: []string{"not-a-number"}},
+		Type: dispatch.MPI,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := h.Wait(); !res.Failed {
+		t.Fatal("bad duration accepted")
+	}
+}
