@@ -7,6 +7,7 @@ package jets
 // utilization) so `go test -bench` output reads like the paper's tables.
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -442,32 +443,44 @@ func BenchmarkIdealLaunchRate(b *testing.B) {
 }
 
 // BenchmarkDispatchThroughput measures the real dispatcher's sequential task
-// rate over loopback TCP with in-process workers.
+// rate over loopback TCP with in-process workers, reporting jobs/s. The
+// wire variants isolate the protocol overhaul: v1 JSON framing with
+// per-frame flushes (the seed configuration) against the v2 binary fast
+// path with write coalescing.
 func BenchmarkDispatchThroughput(b *testing.B) {
-	runner := hydra.NewFuncRunner()
-	workload.RegisterApps(runner)
-	eng, err := core.NewEngine(core.Options{LocalWorkers: 8, Runner: runner})
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer eng.Close()
-	b.ResetTimer()
-	handles := make([]*dispatch.Handle, 0, b.N)
-	for i := 0; i < b.N; i++ {
-		h, err := eng.Submit(dispatch.Job{
-			Spec: hydra.JobSpec{JobID: fmt.Sprintf("n%d", i), NProcs: 1, Cmd: workload.NoopApp},
-			Type: dispatch.Sequential,
+	run := func(b *testing.B, jsonWire bool, coalesce int) {
+		runner := hydra.NewFuncRunner()
+		workload.RegisterApps(runner)
+		eng, err := core.NewEngine(core.Options{
+			LocalWorkers: 8, Runner: runner,
+			JSONWire: jsonWire, WriteCoalesce: coalesce,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		handles = append(handles, h)
-	}
-	for _, h := range handles {
-		if res := h.Wait(); res.Failed {
-			b.Fatal("job failed")
+		defer eng.Close()
+		b.ResetTimer()
+		handles := make([]*dispatch.Handle, 0, b.N)
+		for i := 0; i < b.N; i++ {
+			h, err := eng.Submit(dispatch.Job{
+				Spec: hydra.JobSpec{JobID: fmt.Sprintf("n%d", i), NProcs: 1, Cmd: workload.NoopApp},
+				Type: dispatch.Sequential,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			handles = append(handles, h)
 		}
+		for _, h := range handles {
+			if res := h.Wait(); res.Failed {
+				b.Fatal("job failed")
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 	}
+	b.Run("json-wire", func(b *testing.B) { run(b, true, 1) })
+	b.Run("binary-coalesced", func(b *testing.B) { run(b, false, 16) })
 }
 
 // BenchmarkMPIJobLaunch measures the full MPI job cycle through the real
@@ -576,27 +589,53 @@ func BenchmarkPMIWireUp(b *testing.B) {
 	}
 }
 
-// BenchmarkProtoCodec measures wire-protocol framing throughput.
+// BenchmarkProtoCodec measures wire-protocol framing cost — one Send plus
+// one Recv through an in-memory stream, i.e. pure encode+frame+decode with
+// no socket or goroutine handoff — for the v1 JSON format against the v2
+// binary fast path, per hot frame kind. ns/msg and allocs/op carry the
+// comparison.
 func BenchmarkProtoCodec(b *testing.B) {
-	a, c := proto.Pipe()
-	defer a.Close()
-	defer c.Close()
-	task := &proto.Task{TaskID: "t", JobID: "j", Cmd: "namd2",
-		Args: []string{"-in", "x", "-out", "y"}, Rank: 3, Size: 8}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		for i := 0; i < b.N; i++ {
-			if _, err := c.Recv(); err != nil {
-				return
-			}
-		}
-	}()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := a.Send(&proto.Envelope{Kind: proto.KindTask, Task: task}); err != nil {
-			b.Fatal(err)
+	task := &proto.Envelope{Kind: proto.KindTask, Task: &proto.Task{
+		TaskID: "job174/rank3", JobID: "job174", Cmd: "namd2.sh",
+		Args: []string{"input-174.pdb", "output-174.log"},
+		Env:  []string{"PMI_RANK=3", "JETS_CACHE=/dev/shm/jets"},
+		Rank: 3, Size: 8, Control: "10.0.0.7:51123", KVS: "kvs_job174_1",
+	}}
+	result := &proto.Envelope{Kind: proto.KindResult, Result: &proto.Result{
+		TaskID: "job174/rank3", JobID: "job174", Elapsed: 93 * time.Millisecond,
+	}}
+	output := &proto.Envelope{Kind: proto.KindOutput, Output: &proto.Output{
+		TaskID: "job174/rank3", Stream: "stdout", Data: make([]byte, 512),
+	}}
+	heartbeat := &proto.Envelope{Kind: proto.KindHeartbeat, Heartbeat: &proto.Heartbeat{
+		WorkerID: "ion-17-worker-4", Busy: true, Uptime: 17 * time.Minute,
+	}}
+	for _, msg := range []struct {
+		name string
+		env  *proto.Envelope
+	}{
+		{"task", task}, {"result", result}, {"output-512B", output}, {"heartbeat", heartbeat},
+	} {
+		for _, wire := range []string{"json", "binary"} {
+			b.Run(msg.name+"/"+wire, func(b *testing.B) {
+				var buf bytes.Buffer
+				c := proto.NewCodec(&buf)
+				if wire == "binary" {
+					c.EnableBinary()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := c.Send(msg.env); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := c.Recv(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/msg")
+			})
 		}
 	}
-	<-done
 }

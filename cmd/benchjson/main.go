@@ -1,0 +1,128 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document mapping benchmark name to its metrics, so CI can archive
+// perf-trajectory snapshots (BENCH_<n>.json) and diffs stay reviewable.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . | benchjson -out BENCH_1.json
+//	benchjson -in bench.txt -out BENCH_1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's parsed metrics, e.g. {"ns/op": 839.6,
+// "allocs/op": 15, "iterations": 30000}.
+type result map[string]float64
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "JSON destination (default stdout)")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	parsed, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(parsed) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+	doc, err := render(parsed)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		os.Stdout.Write(doc)
+		return
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse extracts Benchmark lines. The format is
+//
+//	BenchmarkName-8   30000   6227 ns/op   26 allocs/op ...
+//
+// i.e. name, iteration count, then value/unit pairs.
+func parse(r io.Reader) (map[string]result, error) {
+	res := make(map[string]result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Strip the trailing -GOMAXPROCS suffix so names are stable across
+		// machines.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		m := result{"iterations": iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			m[fields[i+1]] = v
+		}
+		res[name] = m
+	}
+	return res, sc.Err()
+}
+
+func render(parsed map[string]result) ([]byte, error) {
+	names := make([]string, 0, len(parsed))
+	for n := range parsed {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Ordered map emission: build JSON by hand at the top level so the
+	// snapshot diffs deterministically.
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, n := range names {
+		val, err := json.Marshal(parsed[n])
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "  %q: %s", n, val)
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	return []byte(b.String()), nil
+}

@@ -37,6 +37,7 @@ func run() error {
 	cache := flag.String("cache", "", "node-local cache directory for staged files")
 	coord := flag.String("coord", "", "interconnect coordinates, e.g. 3,0,7")
 	heartbeat := flag.Duration("heartbeat", time.Second, "heartbeat interval")
+	jsonWire := flag.Bool("json-wire", false, "disable the binary wire fast path (v1 JSON frames only)")
 	flag.Parse()
 
 	if *dispatcher == "" {
@@ -69,6 +70,7 @@ func run() error {
 		Runner:            hydra.ExecRunner{},
 		HeartbeatInterval: *heartbeat,
 		CacheDir:          *cache,
+		JSONOnly:          *jsonWire,
 	})
 	if err != nil {
 		return err

@@ -49,6 +49,7 @@ func run() error {
 	outDir := flag.String("output", "", "directory for task stdout files (empty discards)")
 	format := flag.String("format", "lines", "input format: lines (MPI:/SEQ:) or json")
 	tracePath := flag.String("trace", "", "write a JSON-lines dispatcher event trace to this file")
+	coalesce := flag.Int("write-coalesce", 16, "max outbound frames batched per flush on each worker connection (<=1 disables)")
 	flag.Parse()
 
 	if *input == "" {
@@ -93,6 +94,7 @@ func run() error {
 		Queue:          queue,
 		OnOutput:       onOutput,
 		OnEvent:        onEvent,
+		WriteCoalesce:  *coalesce,
 	})
 	if err != nil {
 		return err

@@ -46,6 +46,9 @@ type Block interface {
 type LocalProvider struct {
 	Runner hydra.Runner
 	Cores  int
+	// JSONWire keeps booted workers on the v1 JSON wire format instead of
+	// negotiating the binary fast path (old-peer interop testing).
+	JSONWire bool
 
 	mu  sync.Mutex
 	seq int
@@ -91,6 +94,7 @@ func (p *LocalProvider) Boot(ctx context.Context, n int, addr string) (Block, er
 			DispatcherAddr:    addr,
 			Runner:            p.Runner,
 			HeartbeatInterval: 250 * time.Millisecond,
+			JSONOnly:          p.JSONWire,
 		})
 		if err != nil {
 			cancel()

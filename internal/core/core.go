@@ -51,6 +51,12 @@ type Options struct {
 	OnOutput func(taskID, stream string, data []byte)
 	// OnEvent receives dispatcher trace events; nil disables tracing.
 	OnEvent func(dispatch.Event)
+	// WriteCoalesce batches up to N outbound frames per flush on each
+	// worker connection under backlog; <= 1 flushes every frame.
+	WriteCoalesce int
+	// JSONWire forces local workers onto the v1 JSON wire format instead
+	// of negotiating the binary fast path (A/B measurement, interop tests).
+	JSONWire bool
 }
 
 // Engine is a running JETS instance.
@@ -73,6 +79,7 @@ func NewEngine(opts Options) (*Engine, error) {
 		JobTimeout:       opts.JobTimeout,
 		OnOutput:         opts.OnOutput,
 		OnEvent:          opts.OnEvent,
+		WriteCoalesce:    opts.WriteCoalesce,
 	})
 	addr, err := d.Start()
 	if err != nil {
@@ -95,6 +102,7 @@ func NewEngine(opts Options) (*Engine, error) {
 			DispatcherAddr:    addr,
 			Runner:            opts.Runner,
 			HeartbeatInterval: 250 * time.Millisecond,
+			JSONOnly:          opts.JSONWire,
 		})
 		if err != nil {
 			cancel()

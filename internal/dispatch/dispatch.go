@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jets/internal/hydra"
@@ -46,6 +47,12 @@ type Config struct {
 	// OnEvent receives life-cycle trace events (see events.go); nil
 	// disables tracing. Delivery is ordered but asynchronous.
 	OnEvent func(Event)
+	// WriteCoalesce is the maximum number of outbound frames each worker's
+	// writer goroutine batches into one flush (one syscall) when the send
+	// queue has backlog. Values <= 1 flush every frame, the seed behavior.
+	// Latency is unaffected when the queue is empty: the first frame always
+	// flushes as soon as no more are immediately available.
+	WriteCoalesce int
 }
 
 // Stats are cumulative dispatcher counters.
@@ -68,12 +75,19 @@ type workerConn struct {
 	sendq chan *proto.Envelope
 	quit  chan struct{} // closed when the worker is declared gone
 
+	// lastSeen is the unix-nano time of the last inbound frame. It is
+	// written by the connection's reader goroutine and read by the janitor
+	// without taking the scheduling lock, so heartbeats never contend with
+	// dispatch (idle membership lives in Dispatcher.idle).
+	lastSeen atomic.Int64
+
 	// Fields below are guarded by the dispatcher mutex.
-	lastSeen time.Time
-	parked   bool                   // has an unanswered work request
-	tasks    map[string]*runningJob // taskID -> job currently on this worker
-	gone     bool
+	tasks map[string]*runningJob // taskID -> job currently on this worker
+	gone  bool
 }
+
+// touch records inbound traffic for the janitor's liveness check.
+func (wc *workerConn) touch() { wc.lastSeen.Store(time.Now().UnixNano()) }
 
 // enqueue hands a frame to the worker's writer goroutine without blocking;
 // a worker too slow to drain its queue is treated as faulty. sendq is never
@@ -114,7 +128,7 @@ type Dispatcher struct {
 
 	mu       sync.Mutex
 	workers  map[string]*workerConn
-	idle     []*workerConn
+	idle     *idleSet
 	queue    QueuePolicy
 	running  map[string]*runningJob
 	records  []metrics.JobRecord
@@ -145,9 +159,13 @@ func New(cfg Config) *Dispatcher {
 	if cfg.Group == nil {
 		cfg.Group = FirstComeFirstServed
 	}
+	if cfg.WriteCoalesce < 1 {
+		cfg.WriteCoalesce = 1
+	}
 	return &Dispatcher{
 		cfg:      cfg,
 		workers:  make(map[string]*workerConn),
+		idle:     newIdleSet(),
 		queue:    cfg.Queue,
 		running:  make(map[string]*runningJob),
 		idleWait: make(chan struct{}),
@@ -214,13 +232,22 @@ func (d *Dispatcher) serveWorker(codec *proto.Codec) {
 		return
 	}
 	wc := &workerConn{
-		id:       first.Register.WorkerID,
-		reg:      *first.Register,
-		codec:    codec,
-		sendq:    make(chan *proto.Envelope, 1024),
-		quit:     make(chan struct{}),
-		lastSeen: time.Now(),
-		tasks:    make(map[string]*runningJob),
+		id:    first.Register.WorkerID,
+		reg:   *first.Register,
+		codec: codec,
+		sendq: make(chan *proto.Envelope, 1024),
+		quit:  make(chan struct{}),
+		tasks: make(map[string]*runningJob),
+	}
+	wc.touch()
+
+	// Wire-version negotiation (proto/binary.go): the worker announced its
+	// maximum supported version on the register frame; confirm the minimum
+	// of the two and enable the fast path for our own sends. Pre-v2 peers
+	// announce nothing and stay on JSON.
+	ver := proto.Negotiate(first.Proto)
+	if ver >= proto.VersionBinary {
+		codec.EnableBinary()
 	}
 
 	d.mu.Lock()
@@ -240,14 +267,33 @@ func (d *Dispatcher) serveWorker(codec *proto.Codec) {
 	d.mu.Unlock()
 
 	// Writer stage: drains the outbound queue so scheduling never blocks on
-	// a slow connection.
+	// a slow connection. Under backlog, up to WriteCoalesce frames are
+	// batched into the codec's write buffer before one flush, amortizing
+	// the syscall; an empty queue still flushes every frame immediately.
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
+		batch := d.cfg.WriteCoalesce
+		drain := func(e *proto.Envelope) error {
+			if err := codec.SendBuffered(e); err != nil {
+				return err
+			}
+			for n := 1; n < batch; n++ {
+				select {
+				case more := <-wc.sendq:
+					if err := codec.SendBuffered(more); err != nil {
+						return err
+					}
+				default:
+					return codec.Flush()
+				}
+			}
+			return codec.Flush()
+		}
 		for {
 			select {
 			case e := <-wc.sendq:
-				if err := codec.Send(e); err != nil {
+				if err := drain(e); err != nil {
 					return
 				}
 			case <-wc.quit:
@@ -255,7 +301,7 @@ func (d *Dispatcher) serveWorker(codec *proto.Codec) {
 				for {
 					select {
 					case e := <-wc.sendq:
-						if err := codec.Send(e); err != nil {
+						if err := drain(e); err != nil {
 							return
 						}
 					default:
@@ -266,16 +312,19 @@ func (d *Dispatcher) serveWorker(codec *proto.Codec) {
 		}
 	}()
 
-	wc.enqueue(&proto.Envelope{Kind: proto.KindRegistered})
+	wc.enqueue(&proto.Envelope{Kind: proto.KindRegistered, Proto: ver})
 	for i := range staged {
 		wc.enqueue(&proto.Envelope{Kind: proto.KindStage, Stage: &staged[i]})
 	}
 
+	// Inbound hot loop: at most one d.mu acquisition per frame (inside
+	// markIdle/handleResult); heartbeat and output frames take none at all.
 	for {
 		env, err := codec.Recv()
 		if err != nil {
 			break
 		}
+		wc.touch()
 		switch env.Kind {
 		case proto.KindWorkRequest:
 			d.markIdle(wc)
@@ -288,16 +337,11 @@ func (d *Dispatcher) serveWorker(codec *proto.Codec) {
 				d.cfg.OnOutput(env.Output.TaskID, env.Output.Stream, env.Output.Data)
 			}
 		case proto.KindHeartbeat:
-			d.mu.Lock()
-			wc.lastSeen = time.Now()
-			d.mu.Unlock()
+			// Liveness only; touch above already recorded it lock-free.
 		case proto.KindStaged, proto.KindError:
 			// acks and diagnostics; nothing to do
 		default:
 		}
-		d.mu.Lock()
-		wc.lastSeen = time.Now()
-		d.mu.Unlock()
 	}
 	d.workerGone(wc)
 	<-writerDone
@@ -314,10 +358,7 @@ func (d *Dispatcher) markIdle(wc *workerConn) {
 		wc.enqueue(&proto.Envelope{Kind: proto.KindShutdown})
 		return
 	}
-	if !wc.parked {
-		wc.parked = true
-		d.idle = append(d.idle, wc)
-	}
+	d.idle.Add(wc)
 	d.trySchedule()
 	d.kick()
 }
@@ -326,7 +367,7 @@ func (d *Dispatcher) markIdle(wc *workerConn) {
 // holds d.mu.
 func (d *Dispatcher) trySchedule() {
 	for {
-		job := d.queue.Next(len(d.idle))
+		job := d.queue.Next(d.idle.Len())
 		if job == nil {
 			return
 		}
@@ -338,24 +379,8 @@ func (d *Dispatcher) trySchedule() {
 // d.mu.
 func (d *Dispatcher) launch(job *Job) {
 	n := job.Procs()
-	coords := make([][]int, len(d.idle))
-	for i, wc := range d.idle {
-		coords[i] = wc.reg.Coord
-	}
-	sel := d.cfg.Group(coords, n)
-	group := make([]*workerConn, n)
-	selected := make(map[int]bool, n)
-	for i, idx := range sel {
-		group[i] = d.idle[idx]
-		selected[idx] = true
-	}
-	rest := d.idle[:0]
-	for i, wc := range d.idle {
-		if !selected[i] {
-			rest = append(rest, wc)
-		}
-	}
-	d.idle = rest
+	sel := d.cfg.Group(d.idle.Coords(), n)
+	group := d.idle.Take(sel)
 
 	rj := &runningJob{
 		job:     job,
@@ -372,7 +397,9 @@ func (d *Dispatcher) launch(job *Job) {
 		if err != nil {
 			d.finalizeLocked(rj, fmt.Sprintf("mpiexec start: %v", err))
 			// return the group to the idle pool
-			d.idle = append(d.idle, group...)
+			for _, wc := range group {
+				d.idle.Add(wc)
+			}
 			return
 		}
 		rj.exec = exec
@@ -393,7 +420,6 @@ func (d *Dispatcher) launch(job *Job) {
 	d.emit(Event{Kind: EvJobStarted, JobID: job.Spec.JobID})
 	for i := range tasks {
 		wc := group[i]
-		wc.parked = false
 		rj.pending[tasks[i].TaskID] = wc
 		rj.workers = append(rj.workers, wc.id)
 		wc.tasks[tasks[i].TaskID] = rj
@@ -452,12 +478,7 @@ func (d *Dispatcher) workerGone(wc *workerConn) {
 	delete(d.workers, wc.id)
 	d.stats.WorkersLost++
 	d.emit(Event{Kind: EvWorkerLost, WorkerID: wc.id})
-	for i, c := range d.idle {
-		if c == wc {
-			d.idle = append(d.idle[:i], d.idle[i+1:]...)
-			break
-		}
-	}
+	d.idle.Remove(wc)
 	for taskID, rj := range wc.tasks {
 		delete(wc.tasks, taskID)
 		if _, mine := rj.pending[taskID]; !mine {
@@ -545,10 +566,10 @@ func (d *Dispatcher) janitor() {
 			d.mu.Unlock()
 			return
 		}
-		cutoff := time.Now().Add(-d.cfg.HeartbeatTimeout)
+		cutoff := time.Now().Add(-d.cfg.HeartbeatTimeout).UnixNano()
 		var expired []*workerConn
 		for _, wc := range d.workers {
-			if wc.lastSeen.Before(cutoff) {
+			if wc.lastSeen.Load() < cutoff {
 				expired = append(expired, wc)
 			}
 		}
@@ -686,7 +707,7 @@ func (d *Dispatcher) Workers() int {
 func (d *Dispatcher) IdleWorkers() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return len(d.idle)
+	return d.idle.Len()
 }
 
 // QueuedJobs reports jobs waiting for workers.

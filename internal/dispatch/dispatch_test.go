@@ -527,3 +527,136 @@ func TestStageFileReachesWorkers(t *testing.T) {
 func readFile(path string) ([]byte, error) {
 	return os.ReadFile(path)
 }
+
+// TestJSONWorkerInteropsWithBinaryDispatcher is the negotiation test: a
+// v1-only worker (announces no protocol version) registers against a
+// binary-capable dispatcher and runs jobs alongside a v2 worker. The
+// dispatcher must keep that connection on JSON frames end to end.
+func TestJSONWorkerInteropsWithBinaryDispatcher(t *testing.T) {
+	d := New(Config{WriteCoalesce: 8})
+	addr, err := d.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	runner := hydra.NewFuncRunner()
+	var ran sync.Map
+	runner.Register("mark", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		ran.Store(args[0], true)
+		fmt.Fprintln(stdout, "output via", args[0])
+		return 0
+	})
+
+	var wg sync.WaitGroup
+	defer wg.Wait() // runs after cancel below (defers are LIFO)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, cfg := range []worker.Config{
+		{ID: "legacy", DispatcherAddr: addr, Runner: runner, HeartbeatInterval: 20 * time.Millisecond, JSONOnly: true},
+		{ID: "modern", DispatcherAddr: addr, Runner: runner, HeartbeatInterval: 20 * time.Millisecond},
+	} {
+		w, err := worker.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for d.IdleWorkers() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers idle: %d", d.IdleWorkers())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Enough single-proc jobs that both workers must serve some.
+	var handles []*Handle
+	for i := 0; i < 40; i++ {
+		h, err := d.Submit(Job{
+			Spec: hydra.JobSpec{JobID: fmt.Sprintf("mix%d", i), NProcs: 1, Cmd: "mark",
+				Args: []string{fmt.Sprintf("t%d", i)}},
+			Type: Sequential,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	workersUsed := map[string]bool{}
+	for _, h := range handles {
+		res := h.Wait()
+		if res.Failed {
+			t.Fatalf("job %s failed: %s", res.JobID, res.Err)
+		}
+		for _, w := range res.Workers {
+			workersUsed[w] = true
+		}
+	}
+	if !workersUsed["legacy"] || !workersUsed["modern"] {
+		t.Fatalf("both wire versions must serve jobs; used=%v", workersUsed)
+	}
+	count := 0
+	ran.Range(func(_, _ any) bool { count++; return true })
+	if count != 40 {
+		t.Fatalf("ran %d/40 tasks", count)
+	}
+}
+
+// TestManyWorkersIdleChurn is the regression test for the idle-set
+// complexity fix: a large pool cycles through park/dispatch/death and the
+// idle accounting must stay exact throughout.
+func TestManyWorkersIdleChurn(t *testing.T) {
+	const n = 64
+	tc := startCluster(t, n, Config{HeartbeatTimeout: 30 * time.Second, WriteCoalesce: 16})
+	tc.runner.Register("spin", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		time.Sleep(time.Millisecond)
+		return 0
+	})
+	// Saturating waves of MPI jobs of varied widths exercise Take() with
+	// nontrivial group selections.
+	var handles []*Handle
+	for wave := 0; wave < 3; wave++ {
+		for i, procs := range []int{1, 2, 4, 8, 16, 32} {
+			h, err := tc.d.Submit(Job{
+				Spec: hydra.JobSpec{JobID: fmt.Sprintf("w%d-j%d", wave, i), NProcs: procs, Cmd: "spin"},
+				Type: MPI,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, h)
+		}
+	}
+	for _, h := range handles {
+		if res := h.Wait(); res.Failed {
+			t.Fatalf("job %s failed: %s", res.JobID, res.Err)
+		}
+	}
+	// Kill a third of the pool; the dispatcher must drop exactly those from
+	// both the worker table and the idle set.
+	for i := 0; i < n/3; i++ {
+		tc.workers[i].Kill()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for tc.d.Workers() != n-n/3 || tc.d.IdleWorkers() != n-n/3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers=%d idle=%d want %d", tc.d.Workers(), tc.d.IdleWorkers(), n-n/3)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The surviving pool still dispatches.
+	h, err := tc.d.Submit(Job{
+		Spec: hydra.JobSpec{JobID: "after-churn", NProcs: 16, Cmd: "spin"},
+		Type: MPI,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := h.Wait(); res.Failed {
+		t.Fatalf("post-churn job failed: %s", res.Err)
+	}
+}

@@ -1,0 +1,78 @@
+package dispatch
+
+// idleSet tracks parked workers (those with an unanswered work request).
+// The seed kept a bare slice, which made workerGone's removal O(n) and
+// launch's group extraction an O(n·m) rebuild — measurable churn once the
+// pool reaches paper scale (thousands of pilots). The index map makes
+// membership, add, and remove O(1) while preserving a stable slice for the
+// grouping policies, which select workers by index into Coords().
+//
+// Not safe for concurrent use; every method is called under Dispatcher.mu.
+type idleSet struct {
+	list []*workerConn
+	pos  map[*workerConn]int
+}
+
+func newIdleSet() *idleSet {
+	return &idleSet{pos: make(map[*workerConn]int)}
+}
+
+func (s *idleSet) Len() int { return len(s.list) }
+
+// Contains reports membership.
+func (s *idleSet) Contains(wc *workerConn) bool {
+	_, ok := s.pos[wc]
+	return ok
+}
+
+// Add parks a worker; it reports false if the worker was already parked.
+func (s *idleSet) Add(wc *workerConn) bool {
+	if _, ok := s.pos[wc]; ok {
+		return false
+	}
+	s.pos[wc] = len(s.list)
+	s.list = append(s.list, wc)
+	return true
+}
+
+// Remove unparks a worker by swapping the tail into its slot.
+func (s *idleSet) Remove(wc *workerConn) bool {
+	i, ok := s.pos[wc]
+	if !ok {
+		return false
+	}
+	last := len(s.list) - 1
+	if i != last {
+		moved := s.list[last]
+		s.list[i] = moved
+		s.pos[moved] = i
+	}
+	s.list[last] = nil // don't pin the dropped worker
+	s.list = s.list[:last]
+	delete(s.pos, wc)
+	return true
+}
+
+// Coords snapshots the parked workers' interconnect coordinates in slice
+// order, the input contract of GroupPolicy.
+func (s *idleSet) Coords() [][]int {
+	coords := make([][]int, len(s.list))
+	for i, wc := range s.list {
+		coords[i] = wc.reg.Coord
+	}
+	return coords
+}
+
+// Take removes and returns the workers at the given indices (a GroupPolicy
+// selection over the Coords() snapshot). Indices refer to the pre-removal
+// slice, so workers are collected first and removed after.
+func (s *idleSet) Take(sel []int) []*workerConn {
+	group := make([]*workerConn, len(sel))
+	for i, idx := range sel {
+		group[i] = s.list[idx]
+	}
+	for _, wc := range group {
+		s.Remove(wc)
+	}
+	return group
+}

@@ -1,0 +1,109 @@
+package dispatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"jets/internal/proto"
+)
+
+func TestIdleSetBasics(t *testing.T) {
+	s := newIdleSet()
+	ws := make([]*workerConn, 8)
+	for i := range ws {
+		ws[i] = &workerConn{id: string(rune('a' + i)), reg: protoRegister(i)}
+	}
+	for _, w := range ws {
+		if !s.Add(w) {
+			t.Fatalf("fresh Add(%s) = false", w.id)
+		}
+	}
+	if s.Add(ws[3]) {
+		t.Fatal("duplicate Add accepted")
+	}
+	if s.Len() != 8 {
+		t.Fatalf("len=%d", s.Len())
+	}
+	if !s.Remove(ws[2]) || s.Remove(ws[2]) {
+		t.Fatal("Remove semantics broken")
+	}
+	if s.Contains(ws[2]) || !s.Contains(ws[4]) {
+		t.Fatal("Contains out of sync")
+	}
+	// Invariant: pos matches list after swap-removal.
+	checkIdleInvariant(t, s)
+	coords := s.Coords()
+	if len(coords) != s.Len() {
+		t.Fatalf("coords len %d != %d", len(coords), s.Len())
+	}
+	for i, wc := range s.list {
+		if &coords[i][0] != &wc.reg.Coord[0] {
+			t.Fatalf("coords[%d] not slice-ordered", i)
+		}
+	}
+}
+
+func TestIdleSetTake(t *testing.T) {
+	s := newIdleSet()
+	ws := make([]*workerConn, 10)
+	for i := range ws {
+		ws[i] = &workerConn{reg: protoRegister(i)}
+		s.Add(ws[i])
+	}
+	group := s.Take([]int{9, 0, 4})
+	if len(group) != 3 || group[0] != ws[9] || group[1] != ws[0] || group[2] != ws[4] {
+		t.Fatalf("Take returned wrong workers")
+	}
+	if s.Len() != 7 {
+		t.Fatalf("len=%d after Take", s.Len())
+	}
+	for _, wc := range group {
+		if s.Contains(wc) {
+			t.Fatal("taken worker still idle")
+		}
+	}
+	checkIdleInvariant(t, s)
+}
+
+// TestIdleSetRandomized churns the set with a mixed add/remove/take workload
+// and checks the index-map invariant after every operation — the regression
+// guard for the O(n) slice-scan bugs this structure replaced.
+func TestIdleSetRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := newIdleSet()
+	pool := make([]*workerConn, 256)
+	for i := range pool {
+		pool[i] = &workerConn{reg: protoRegister(i)}
+	}
+	for step := 0; step < 5000; step++ {
+		switch rng.Intn(3) {
+		case 0:
+			s.Add(pool[rng.Intn(len(pool))])
+		case 1:
+			s.Remove(pool[rng.Intn(len(pool))])
+		case 2:
+			if n := s.Len(); n > 0 {
+				k := rng.Intn(n) + 1
+				sel := rng.Perm(n)[:k]
+				s.Take(sel)
+			}
+		}
+		checkIdleInvariant(t, s)
+	}
+}
+
+func checkIdleInvariant(t *testing.T, s *idleSet) {
+	t.Helper()
+	if len(s.list) != len(s.pos) {
+		t.Fatalf("list len %d != pos len %d", len(s.list), len(s.pos))
+	}
+	for i, wc := range s.list {
+		if s.pos[wc] != i {
+			t.Fatalf("pos[%v]=%d want %d", wc, s.pos[wc], i)
+		}
+	}
+}
+
+func protoRegister(i int) proto.Register {
+	return proto.Register{Coord: []int{i%8 + 1, (i/8)%8 + 1, i/64 + 1}}
+}

@@ -1,0 +1,340 @@
+package proto
+
+// Wire protocol v2: a compact binary encoding for the hot frame kinds.
+//
+// The JSON framing (v1) spends most of its per-frame cost in
+// json.Marshal/Unmarshal and the base64 round trip for []byte payloads. At
+// the dispatch rates the paper targets (thousands of proxy launches per
+// second streamed to thousands of workers) that encode cost, not the
+// network, bounds throughput. v2 keeps the 4-byte big-endian length prefix
+// and replaces the payload of the five high-frequency kinds — work-request,
+// task, result, output, heartbeat — with a varint-based binary layout.
+//
+// Negotiation happens at register time: the worker announces its maximum
+// supported version in the register envelope's "proto" field, the
+// dispatcher confirms the negotiated version in the registered ack, and
+// only then do both sides start emitting binary frames. Old peers omit the
+// field (zero value), so they negotiate v1 and never see a binary frame.
+//
+// Decoding needs no negotiation state at all: a JSON envelope always
+// begins with '{' (0x7B), and every binary payload begins with the magic
+// byte 0xBF, so Recv distinguishes the formats per frame. Cold kinds
+// (register, stage, shutdown, errors, ...) remain JSON on every connection,
+// which keeps the wire debuggable and the fallback path continuously
+// exercised.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Protocol versions negotiated at register time.
+const (
+	// VersionJSON is the seed wire format: length-prefixed JSON frames.
+	VersionJSON uint8 = 1
+	// VersionBinary adds the compact binary fast path for hot frame kinds.
+	VersionBinary uint8 = 2
+	// MaxVersion is the highest version this build speaks.
+	MaxVersion = VersionBinary
+)
+
+// Negotiate returns the version to use with a peer that announced the
+// given maximum. Zero (a peer predating negotiation) and any unknown
+// future version degrade safely: the former to JSON, the latter to the
+// highest version this build speaks.
+func Negotiate(peerMax uint8) uint8 {
+	if peerMax >= VersionBinary {
+		return VersionBinary
+	}
+	return VersionJSON
+}
+
+// binMagic is the first payload byte of every binary frame. JSON envelopes
+// always start with '{', so the two formats are self-describing.
+const binMagic = 0xBF
+
+// ErrCorruptFrame is returned when a binary frame fails to decode.
+var ErrCorruptFrame = errors.New("proto: corrupt binary frame")
+
+// Binary kind codes. Only the hot kinds have one; everything else rides
+// the JSON fallback.
+const (
+	binWorkRequest = 1
+	binTask        = 2
+	binResult      = 3
+	binOutput      = 4
+	binHeartbeat   = 5
+)
+
+// appendBinary encodes e into buf if its kind has a binary form, returning
+// the extended buffer and true. Kinds without a binary form (or hot kinds
+// missing their payload) report false and the caller falls back to JSON.
+func appendBinary(buf []byte, e *Envelope) ([]byte, bool) {
+	switch e.Kind {
+	case KindWorkRequest:
+		buf = append(buf, binMagic, binWorkRequest)
+		buf = appendUvarint(buf, e.Seq)
+		return buf, true
+	case KindTask:
+		if e.Task == nil {
+			return buf, false
+		}
+		t := e.Task
+		buf = append(buf, binMagic, binTask)
+		buf = appendUvarint(buf, e.Seq)
+		buf = appendString(buf, t.TaskID)
+		buf = appendString(buf, t.JobID)
+		buf = appendString(buf, t.Cmd)
+		buf = appendString(buf, t.Dir)
+		buf = appendString(buf, t.Control)
+		buf = appendString(buf, t.KVS)
+		buf = appendStrings(buf, t.Args)
+		buf = appendStrings(buf, t.Env)
+		buf = appendVarint(buf, int64(t.Rank))
+		buf = appendVarint(buf, int64(t.Size))
+		buf = appendVarint(buf, int64(t.WallLimit))
+		return buf, true
+	case KindResult:
+		if e.Result == nil {
+			return buf, false
+		}
+		r := e.Result
+		buf = append(buf, binMagic, binResult)
+		buf = appendUvarint(buf, e.Seq)
+		buf = appendString(buf, r.TaskID)
+		buf = appendString(buf, r.JobID)
+		buf = appendString(buf, r.Err)
+		buf = appendVarint(buf, int64(r.ExitCode))
+		buf = appendVarint(buf, int64(r.Elapsed))
+		return buf, true
+	case KindOutput:
+		if e.Output == nil {
+			return buf, false
+		}
+		o := e.Output
+		buf = append(buf, binMagic, binOutput)
+		buf = appendUvarint(buf, e.Seq)
+		buf = appendString(buf, o.TaskID)
+		buf = appendString(buf, o.Stream)
+		buf = appendByteSlice(buf, o.Data)
+		return buf, true
+	case KindHeartbeat:
+		if e.Heartbeat == nil {
+			return buf, false
+		}
+		h := e.Heartbeat
+		buf = append(buf, binMagic, binHeartbeat)
+		buf = appendUvarint(buf, e.Seq)
+		buf = appendString(buf, h.WorkerID)
+		buf = appendBool(buf, h.Busy)
+		buf = appendVarint(buf, int64(h.Uptime))
+		return buf, true
+	default:
+		return buf, false
+	}
+}
+
+// decodeBinary parses one binary payload (including the magic byte). All
+// []byte payloads are copied out of buf, so the caller may reuse it.
+func decodeBinary(buf []byte) (*Envelope, error) {
+	r := binReader{buf: buf, off: 2} // magic + kind checked below
+	if len(buf) < 2 || buf[0] != binMagic {
+		return nil, ErrCorruptFrame
+	}
+	e := &Envelope{}
+	e.Seq = r.uvarint()
+	switch buf[1] {
+	case binWorkRequest:
+		e.Kind = KindWorkRequest
+	case binTask:
+		e.Kind = KindTask
+		t := &Task{}
+		t.TaskID = r.str()
+		t.JobID = r.str()
+		t.Cmd = r.str()
+		t.Dir = r.str()
+		t.Control = r.str()
+		t.KVS = r.str()
+		t.Args = r.strs()
+		t.Env = r.strs()
+		t.Rank = int(r.varint())
+		t.Size = int(r.varint())
+		t.WallLimit = time.Duration(r.varint())
+		e.Task = t
+	case binResult:
+		e.Kind = KindResult
+		res := &Result{}
+		res.TaskID = r.str()
+		res.JobID = r.str()
+		res.Err = r.str()
+		res.ExitCode = int(r.varint())
+		res.Elapsed = time.Duration(r.varint())
+		e.Result = res
+	case binOutput:
+		e.Kind = KindOutput
+		o := &Output{}
+		o.TaskID = r.str()
+		o.Stream = r.str()
+		o.Data = r.byteSlice()
+		e.Output = o
+	case binHeartbeat:
+		e.Kind = KindHeartbeat
+		h := &Heartbeat{}
+		h.WorkerID = r.str()
+		h.Busy = r.bool()
+		h.Uptime = time.Duration(r.varint())
+		e.Heartbeat = h
+	default:
+		return nil, fmt.Errorf("%w: unknown kind code %d", ErrCorruptFrame, buf[1])
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptFrame, len(buf)-r.off)
+	}
+	return e, nil
+}
+
+// ---------------------------------------------------------------------------
+// Encoding primitives: uvarint lengths, zigzag varints for signed fields.
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendByteSlice(b, p []byte) []byte {
+	b = appendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func appendStrings(b []byte, ss []string) []byte {
+	b = appendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// binReader decodes the primitives with sticky-error accumulation: the
+// first malformed field poisons the reader and every later read returns a
+// zero value, so decode call sites stay linear.
+type binReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *binReader) fail() {
+	if r.err == nil {
+		r.err = ErrCorruptFrame
+	}
+}
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *binReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *binReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *binReader) byteSlice() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	p := make([]byte, n)
+	copy(p, r.buf[r.off:r.off+int(n)])
+	r.off += int(n)
+	return p
+}
+
+func (r *binReader) strs() []string {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.off) { // each entry needs at least 1 length byte
+		r.fail()
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.str())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func (r *binReader) bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.buf) {
+		r.fail()
+		return false
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v != 0
+}

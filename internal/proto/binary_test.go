@@ -1,0 +1,237 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// hotEnvelopes covers every kind with a binary form, with both zero-ish and
+// fully populated payloads.
+func hotEnvelopes() []*Envelope {
+	return []*Envelope{
+		{Kind: KindWorkRequest},
+		{Kind: KindTask, Task: &Task{
+			TaskID: "j1/rank3", JobID: "j1", Cmd: "namd2.sh",
+			Args: []string{"in.pdb", "out.log", ""}, Env: []string{"A=1", "B="},
+			Dir: "/tmp/x", Rank: 3, Size: 8,
+			Control: "127.0.0.1:5001", KVS: "kvs_j1_1",
+			WallLimit: 90 * time.Second,
+		}},
+		{Kind: KindTask, Task: &Task{TaskID: "t", JobID: "j", Cmd: "c"}},
+		{Kind: KindResult, Result: &Result{
+			TaskID: "j1/rank3", JobID: "j1", ExitCode: -1,
+			Err: "worker lost", Elapsed: 1234567 * time.Nanosecond,
+		}},
+		{Kind: KindResult, Result: &Result{TaskID: "t", JobID: "j"}},
+		{Kind: KindOutput, Output: &Output{
+			TaskID: "j1/rank3", Stream: "stdout", Data: []byte("hello\x00world"),
+		}},
+		{Kind: KindOutput, Output: &Output{TaskID: "t", Stream: "stderr"}},
+		{Kind: KindHeartbeat, Heartbeat: &Heartbeat{
+			WorkerID: "w17", Busy: true, Uptime: 3 * time.Minute,
+		}},
+	}
+}
+
+func TestBinaryRoundTripAllHotKinds(t *testing.T) {
+	for _, want := range hotEnvelopes() {
+		var buf bytes.Buffer
+		c := NewCodec(&buf)
+		c.EnableBinary()
+		if err := c.Send(want); err != nil {
+			t.Fatalf("%s: send: %v", want.Kind, err)
+		}
+		// The frame payload must actually be binary, not JSON fallback.
+		raw := buf.Bytes()
+		if len(raw) < 5 || raw[4] != binMagic {
+			t.Fatalf("%s: frame not binary-encoded: % x", want.Kind, raw[:min(len(raw), 8)])
+		}
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatalf("%s: recv: %v", want.Kind, err)
+		}
+		got.Seq = 0
+		want.Seq = 0
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: got %+v want %+v", want.Kind, got, want)
+		}
+	}
+}
+
+func TestColdKindsStayJSONOnBinaryCodec(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(&buf)
+	c.EnableBinary()
+	if err := c.Send(&Envelope{Kind: KindStage, Stage: &Stage{Name: "lib.so", Data: []byte{1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if raw := buf.Bytes(); raw[4] != '{' {
+		t.Fatalf("cold kind not JSON: % x", raw[:8])
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindStage || got.Stage == nil || got.Stage.Name != "lib.so" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		peer uint8
+		want uint8
+	}{
+		{0, VersionJSON}, // pre-negotiation peer
+		{VersionJSON, VersionJSON},
+		{VersionBinary, VersionBinary},
+		{99, VersionBinary}, // unknown future version caps at ours
+	}
+	for _, tc := range cases {
+		if got := Negotiate(tc.peer); got != tc.want {
+			t.Errorf("Negotiate(%d)=%d want %d", tc.peer, got, tc.want)
+		}
+	}
+}
+
+// sendRaw frames an arbitrary payload the way Send would.
+func sendRaw(t *testing.T, buf *bytes.Buffer, payload []byte) {
+	t.Helper()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+}
+
+func TestBinaryCorruptFrames(t *testing.T) {
+	// Build one valid task frame to mutate.
+	var ref bytes.Buffer
+	c := NewCodec(&ref)
+	c.EnableBinary()
+	if err := c.Send(hotEnvelopes()[1]); err != nil {
+		t.Fatal(err)
+	}
+	valid := append([]byte(nil), ref.Bytes()[4:]...)
+
+	cases := map[string][]byte{
+		"unknown kind code":  {binMagic, 0x7E, 0x01},
+		"magic only":         {binMagic},
+		"truncated payload":  valid[:len(valid)/2],
+		"trailing bytes":     append(append([]byte(nil), valid...), 0xAA, 0xBB),
+		"length overrun":     {binMagic, binTask, 0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F},
+		"string past buffer": {binMagic, binOutput, 0x01, 0x01, 'x', 0x01, 's', 0x20},
+	}
+	for name, payload := range cases {
+		var buf bytes.Buffer
+		sendRaw(t, &buf, payload)
+		rc := NewCodec(&buf)
+		if _, err := rc.Recv(); !errors.Is(err, ErrCorruptFrame) {
+			t.Errorf("%s: got %v want ErrCorruptFrame", name, err)
+		}
+	}
+}
+
+func TestBinarySendOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(&buf)
+	c.EnableBinary()
+	e := &Envelope{Kind: KindOutput, Output: &Output{
+		TaskID: "t", Stream: "stdout", Data: make([]byte, MaxFrame),
+	}}
+	if err := c.Send(e); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v want ErrFrameTooLarge", err)
+	}
+}
+
+func TestRecvMaxFrameBoundary(t *testing.T) {
+	// A header of exactly MaxFrame must not trip the size guard (the body
+	// read fails on the empty stream instead, proving we got past it).
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame)
+	buf.Write(hdr[:])
+	c := NewCodec(nopRW{&buf})
+	if _, err := c.Recv(); err == nil || errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("MaxFrame header: got %v", err)
+	}
+	// One past the limit is rejected before any body read.
+	buf.Reset()
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	buf.Write(hdr[:])
+	c = NewCodec(nopRW{&buf})
+	if _, err := c.Recv(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("MaxFrame+1 header: got %v want ErrFrameTooLarge", err)
+	}
+}
+
+// TestConcurrentBinarySenders exercises the send path from many goroutines
+// with mixed hot and cold kinds; run under -race it guards the seq counter,
+// the shared buffer pool, and the EnableBinary switch.
+func TestConcurrentBinarySenders(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	const n = 64
+	envs := hotEnvelopes()
+	var wg sync.WaitGroup
+	wg.Add(n + 1)
+	go func() {
+		defer wg.Done()
+		a.EnableBinary() // race against in-flight sends on purpose
+	}()
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			src := envs[i%len(envs)]
+			e := *src // shallow copy: Send mutates Seq
+			if err := a.Send(&e); err != nil {
+				t.Errorf("send %d: %v", i, err)
+			}
+		}(i)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		e, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+	wg.Wait()
+}
+
+// TestPooledBuffersDoNotAlias verifies that payload bytes survive buffer
+// reuse: the decoded Output.Data of one frame must stay intact after later
+// frames recycle the pool's buffers.
+func TestPooledBuffersDoNotAlias(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(&buf)
+	c.EnableBinary()
+	first := []byte("first-payload")
+	if err := c.Send(&Envelope{Kind: KindOutput, Output: &Output{TaskID: "a", Stream: "stdout", Data: first}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := c.Send(&Envelope{Kind: KindOutput, Output: &Output{TaskID: "b", Stream: "stdout", Data: bytes.Repeat([]byte{0xEE}, 64)}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got.Output.Data, first) {
+		t.Fatalf("payload corrupted by buffer reuse: %q", got.Output.Data)
+	}
+}

@@ -56,6 +56,12 @@ type Envelope struct {
 	Kind Kind   `json:"kind"`
 	Seq  uint64 `json:"seq,omitempty"`
 
+	// Proto carries wire-version negotiation (see binary.go): on a
+	// register frame it announces the sender's maximum supported version,
+	// on the registered ack it confirms the negotiated version. Zero on
+	// every other frame and when talking to pre-v2 peers.
+	Proto uint8 `json:"proto,omitempty"`
+
 	Register  *Register  `json:"register,omitempty"`
 	Task      *Task      `json:"task,omitempty"`
 	Result    *Result    `json:"result,omitempty"`
@@ -137,8 +143,18 @@ type Codec struct {
 	w  *bufio.Writer
 	wc io.Closer
 
-	mu  sync.Mutex // guards w
-	seq uint64
+	mu     sync.Mutex // guards w, seq, binary
+	seq    uint64
+	binary bool // emit the v2 fast path for hot kinds (see EnableBinary)
+}
+
+// bufPool recycles frame scratch buffers across Send and Recv calls. The
+// pool holds pointers so Put does not allocate a header for the slice.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4<<10)
+		return &b
+	},
 }
 
 // NewCodec wraps a connection. If rw implements io.Closer, Close will close
@@ -154,17 +170,49 @@ func NewCodec(rw io.ReadWriter) *Codec {
 	return c
 }
 
-// Send marshals and writes one envelope, assigning it the next sequence
-// number, and flushes.
-func (c *Codec) Send(e *Envelope) error {
+// EnableBinary switches the send side to the v2 binary fast path for hot
+// frame kinds. Call it only after the peer has negotiated VersionBinary at
+// register time; the receive side needs no switch because frames are
+// self-describing (see binary.go).
+func (c *Codec) EnableBinary() {
+	c.mu.Lock()
+	c.binary = true
+	c.mu.Unlock()
+}
+
+// BinaryEnabled reports whether the send side uses the v2 fast path.
+func (c *Codec) BinaryEnabled() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.binary
+}
+
+// writeLocked encodes and buffers one envelope. Caller holds c.mu.
+func (c *Codec) writeLocked(e *Envelope) error {
 	c.seq++
 	e.Seq = c.seq
-	buf, err := json.Marshal(e)
-	if err != nil {
-		return fmt.Errorf("proto: marshal: %w", err)
+
+	bp := bufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	var ok bool
+	if c.binary {
+		buf, ok = appendBinary(buf, e)
 	}
+	if !ok {
+		j, err := json.Marshal(e)
+		if err != nil {
+			bufPool.Put(bp)
+			return fmt.Errorf("proto: marshal: %w", err)
+		}
+		buf = append(buf, j...)
+	}
+	err := c.writeFrameLocked(buf)
+	*bp = buf[:0]
+	bufPool.Put(bp)
+	return err
+}
+
+func (c *Codec) writeFrameLocked(buf []byte) error {
 	if len(buf) > MaxFrame {
 		return ErrFrameTooLarge
 	}
@@ -173,13 +221,42 @@ func (c *Codec) Send(e *Envelope) error {
 	if _, err := c.w.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := c.w.Write(buf); err != nil {
+	_, err := c.w.Write(buf)
+	return err
+}
+
+// Send marshals and writes one envelope, assigning it the next sequence
+// number, and flushes.
+func (c *Codec) Send(e *Envelope) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.writeLocked(e); err != nil {
 		return err
 	}
 	return c.w.Flush()
 }
 
-// Recv reads one envelope, blocking until a full frame arrives.
+// SendBuffered writes one envelope into the codec's write buffer without
+// flushing. A batching writer (the dispatcher's per-worker goroutine) calls
+// it N times and then Flush once, amortizing the syscall per flush rather
+// than per frame. Interleaving with Send is safe; Send simply flushes
+// whatever is buffered along with its own frame.
+func (c *Codec) SendBuffered(e *Envelope) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writeLocked(e)
+}
+
+// Flush pushes buffered frames to the connection.
+func (c *Codec) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.w.Flush()
+}
+
+// Recv reads one envelope, blocking until a full frame arrives. Binary and
+// JSON payloads are distinguished by their first byte, so a codec can
+// receive both regardless of what its send side negotiated.
 func (c *Codec) Recv() (*Envelope, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
@@ -189,15 +266,35 @@ func (c *Codec) Recv() (*Envelope, error) {
 	if n > MaxFrame {
 		return nil, ErrFrameTooLarge
 	}
-	buf := make([]byte, n)
+	bp := bufPool.Get().(*[]byte)
+	buf := *bp
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
 	if _, err := io.ReadFull(c.r, buf); err != nil {
+		*bp = buf[:0]
+		bufPool.Put(bp)
 		return nil, err
 	}
-	var e Envelope
-	if err := json.Unmarshal(buf, &e); err != nil {
-		return nil, fmt.Errorf("proto: unmarshal: %w", err)
+
+	var e *Envelope
+	var err error
+	if n > 0 && buf[0] == binMagic {
+		e, err = decodeBinary(buf)
+	} else {
+		e = &Envelope{}
+		if jerr := json.Unmarshal(buf, e); jerr != nil {
+			err = fmt.Errorf("proto: unmarshal: %w", jerr)
+		}
 	}
-	return &e, nil
+	*bp = buf[:0]
+	bufPool.Put(bp)
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
 }
 
 // Close closes the underlying connection if it is closable.

@@ -51,6 +51,12 @@ type Config struct {
 
 	// DialTimeout bounds the initial connection; default 10s.
 	DialTimeout time.Duration
+
+	// JSONOnly disables the binary wire fast path: the worker announces no
+	// protocol version at registration and keeps speaking length-prefixed
+	// JSON (the v1 seed format). Used for old-peer interop testing and for
+	// A/B measurements of the codec.
+	JSONOnly bool
 }
 
 // Worker is one pilot-job agent.
@@ -139,7 +145,11 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 	}()
 
-	if err := codec.Send(&proto.Envelope{Kind: proto.KindRegister, Register: &proto.Register{
+	var announce uint8
+	if !w.cfg.JSONOnly {
+		announce = proto.MaxVersion
+	}
+	if err := codec.Send(&proto.Envelope{Kind: proto.KindRegister, Proto: announce, Register: &proto.Register{
 		WorkerID: w.cfg.ID, Host: w.cfg.Host, Cores: w.cfg.Cores, Coord: w.cfg.Coord,
 	}}); err != nil {
 		return fmt.Errorf("worker %s: register: %w", w.cfg.ID, err)
@@ -150,6 +160,11 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 	if ack.Kind != proto.KindRegistered {
 		return fmt.Errorf("worker %s: unexpected registration reply %q: %s", w.cfg.ID, ack.Kind, ack.Error)
+	}
+	// The dispatcher confirmed the negotiated wire version; switch our send
+	// side to the binary fast path if both ends speak it (proto/binary.go).
+	if !w.cfg.JSONOnly && ack.Proto >= proto.VersionBinary {
+		codec.EnableBinary()
 	}
 
 	hbCtx, hbCancel := context.WithCancel(ctx)
