@@ -446,14 +446,17 @@ func BenchmarkIdealLaunchRate(b *testing.B) {
 // rate over loopback TCP with in-process workers, reporting jobs/s. The
 // wire variants isolate the protocol overhaul: v1 JSON framing with
 // per-frame flushes (the seed configuration) against the v2 binary fast
-// path with write coalescing.
+// path with write coalescing. The shards variants isolate the scheduling-
+// state sharding on the binary wire: one global lock (shards=1) against the
+// sharded+stealing scheduler (shards=4; the 8 workers' coordinate planes
+// spread two per shard).
 func BenchmarkDispatchThroughput(b *testing.B) {
-	run := func(b *testing.B, jsonWire bool, coalesce int) {
+	run := func(b *testing.B, jsonWire bool, coalesce, shards int) {
 		runner := hydra.NewFuncRunner()
 		workload.RegisterApps(runner)
 		eng, err := core.NewEngine(core.Options{
 			LocalWorkers: 8, Runner: runner,
-			JSONWire: jsonWire, WriteCoalesce: coalesce,
+			JSONWire: jsonWire, WriteCoalesce: coalesce, Shards: shards,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -479,8 +482,10 @@ func BenchmarkDispatchThroughput(b *testing.B) {
 		b.StopTimer()
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 	}
-	b.Run("json-wire", func(b *testing.B) { run(b, true, 1) })
-	b.Run("binary-coalesced", func(b *testing.B) { run(b, false, 16) })
+	b.Run("json-wire", func(b *testing.B) { run(b, true, 1, 0) })
+	b.Run("binary-coalesced", func(b *testing.B) { run(b, false, 16, 0) })
+	b.Run("shards=1", func(b *testing.B) { run(b, false, 16, 1) })
+	b.Run("shards=4", func(b *testing.B) { run(b, false, 16, 4) })
 }
 
 // BenchmarkMPIJobLaunch measures the full MPI job cycle through the real

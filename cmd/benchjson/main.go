@@ -1,11 +1,16 @@
 // Command benchjson converts `go test -bench` output into a stable JSON
 // document mapping benchmark name to its metrics, so CI can archive
 // perf-trajectory snapshots (BENCH_<n>.json) and diffs stay reviewable.
+// It also compares two snapshots and fails on throughput regressions, the
+// perf-trajectory gate.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . | benchjson -out BENCH_1.json
 //	benchjson -in bench.txt -out BENCH_1.json
+//	benchjson -diff BENCH_1.json BENCH_2.json            # exit 1 on >20% drop
+//	benchjson -diff -match BenchmarkDispatchThroughput \
+//	          -metric jobs/s -threshold 0.20 OLD.json NEW.json
 package main
 
 import (
@@ -27,7 +32,33 @@ type result map[string]float64
 func main() {
 	in := flag.String("in", "", "bench output file (default stdin)")
 	out := flag.String("out", "", "JSON destination (default stdout)")
+	diffMode := flag.Bool("diff", false, "compare two snapshot files (args: OLD.json NEW.json); exit 1 on regression")
+	match := flag.String("match", "BenchmarkDispatchThroughput", "diff: substring filter on benchmark names")
+	metric := flag.String("metric", "jobs/s", "diff: higher-is-better metric to compare")
+	threshold := flag.Float64("threshold", 0.20, "diff: relative drop that counts as a regression")
 	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-diff needs exactly two snapshot files, got %d", flag.NArg()))
+		}
+		old, err := loadSnapshot(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := loadSnapshot(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		report, regressed := diff(old, cur, *match, *metric, *threshold)
+		fmt.Print(report)
+		if regressed {
+			fmt.Fprintf(os.Stderr, "benchjson: %s regression beyond %.0f%% between %s and %s\n",
+				*metric, *threshold*100, flag.Arg(0), flag.Arg(1))
+			os.Exit(1)
+		}
+		return
+	}
 
 	r := io.Reader(os.Stdin)
 	if *in != "" {
@@ -61,6 +92,63 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchjson:", err)
 	os.Exit(1)
+}
+
+func loadSnapshot(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap map[string]result
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// diff compares the metric across benchmarks (filtered by substring match)
+// present in both snapshots, treating higher as better. It reports whether
+// any compared benchmark dropped by more than threshold, or vanished from
+// the new snapshot entirely (disappearing coverage also fails the gate).
+func diff(old, cur map[string]result, match, metric string, threshold float64) (string, bool) {
+	names := make([]string, 0, len(old))
+	for n := range old {
+		if strings.Contains(n, match) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	regressed := false
+	for _, n := range names {
+		was, ok := old[n][metric]
+		if !ok || was <= 0 {
+			continue
+		}
+		now, present := cur[n]
+		if !present {
+			fmt.Fprintf(&b, "MISSING  %-55s %s gone from new snapshot\n", n, metric)
+			regressed = true
+			continue
+		}
+		is, ok := now[metric]
+		if !ok {
+			fmt.Fprintf(&b, "MISSING  %-55s metric %q gone from new snapshot\n", n, metric)
+			regressed = true
+			continue
+		}
+		delta := (is - was) / was
+		verdict := "ok"
+		if -delta > threshold {
+			verdict = "REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(&b, "%-9s%-55s %s %.0f -> %.0f (%+.1f%%)\n", verdict, n, metric, was, is, 100*delta)
+	}
+	if len(names) == 0 {
+		fmt.Fprintf(&b, "no benchmarks matching %q in old snapshot\n", match)
+	}
+	return b.String(), regressed
 }
 
 // parse extracts Benchmark lines. The format is

@@ -35,7 +35,7 @@ func run() error {
 	id := flag.String("id", "", "worker id (default hostname-pid)")
 	cores := flag.Int("cores", 1, "cores to report")
 	cache := flag.String("cache", "", "node-local cache directory for staged files")
-	coord := flag.String("coord", "", "interconnect coordinates, e.g. 3,0,7")
+	coord := flag.String("coord", "", "interconnect coordinates, e.g. 3,0,7 (first plane keys the dispatcher's scheduling shard)")
 	heartbeat := flag.Duration("heartbeat", time.Second, "heartbeat interval")
 	jsonWire := flag.Bool("json-wire", false, "disable the binary wire fast path (v1 JSON frames only)")
 	flag.Parse()

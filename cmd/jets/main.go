@@ -45,7 +45,8 @@ func run() error {
 	retries := flag.Int("retries", 0, "automatic retries for jobs lost to worker faults")
 	timeout := flag.Duration("timeout", 0, "per-job wall limit (0 = none)")
 	batchTimeout := flag.Duration("batch-timeout", time.Hour, "whole-batch limit")
-	priority := flag.Bool("priority", false, "use the priority+backfill queue instead of FIFO")
+	priority := flag.Bool("priority", false, "use the priority+backfill queue instead of FIFO (forces -shards 1)")
+	shards := flag.Int("shards", 0, "scheduling shards in the dispatcher (0 = derive from GOMAXPROCS)")
 	outDir := flag.String("output", "", "directory for task stdout files (empty discards)")
 	format := flag.String("format", "lines", "input format: lines (MPI:/SEQ:) or json")
 	tracePath := flag.String("trace", "", "write a JSON-lines dispatcher event trace to this file")
@@ -92,6 +93,7 @@ func run() error {
 		MaxJobRetries:  *retries,
 		JobTimeout:     *timeout,
 		Queue:          queue,
+		Shards:         *shards,
 		OnOutput:       onOutput,
 		OnEvent:        onEvent,
 		WriteCoalesce:  *coalesce,

@@ -282,3 +282,54 @@ func TestProviderValidation(t *testing.T) {
 		t.Fatal("zero block accepted")
 	}
 }
+
+// TestShardedDispatchThroughService: the service plumbs Config.Dispatch
+// straight through, so a sharded dispatcher (workers hash-keyed to shards —
+// LocalProvider workers carry no coordinates) serves a mixed batch correctly.
+func TestShardedDispatchThroughService(t *testing.T) {
+	runner := hydra.NewFuncRunner()
+	svc, err := NewService(Config{
+		Provider: &LocalProvider{Runner: runner, Cores: 4},
+		Dispatch: dispatch.Config{Shards: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	if got := svc.Dispatcher().Shards(); got != 4 {
+		t.Fatalf("shards=%d want 4", got)
+	}
+	if err := svc.EnsureWorkers(context.Background(), 8); err != nil {
+		t.Fatal(err)
+	}
+	runner.Register("ok", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		return 0
+	})
+	var handles []*dispatch.Handle
+	for i := 0; i < 24; i++ {
+		h, err := svc.Submit(context.Background(), dispatch.Job{
+			Spec: hydra.JobSpec{JobID: fmt.Sprintf("s%d", i), NProcs: 1, Cmd: "ok"},
+			Type: dispatch.Sequential,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	// One cross-shard MPI job wider than any single shard's likely pool.
+	wide, err := svc.Submit(context.Background(), dispatch.Job{
+		Spec: hydra.JobSpec{JobID: "wide", NProcs: 8, Cmd: "ok"},
+		Type: dispatch.MPI,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range handles {
+		if res := h.Wait(); res.Failed {
+			t.Fatalf("job %s failed: %s", res.JobID, res.Err)
+		}
+	}
+	if res := wide.Wait(); res.Failed {
+		t.Fatalf("wide job failed: %s", res.Err)
+	}
+}

@@ -39,8 +39,14 @@ type Options struct {
 	// hydra.ExecRunner (real subprocesses).
 	Runner hydra.Runner
 	// Queue and Group select scheduling policies (defaults: FIFO, FCFS).
+	// Setting Queue forces single-shard scheduling (one policy instance
+	// cannot be split); use NewQueue to combine a policy with sharding.
 	Queue dispatch.QueuePolicy
 	Group dispatch.GroupPolicy
+	// NewQueue constructs one queue policy per scheduling shard.
+	NewQueue func() dispatch.QueuePolicy
+	// Shards is the scheduling-shard count; 0 derives it from GOMAXPROCS.
+	Shards int
 	// MaxJobRetries for worker-fault resubmission.
 	MaxJobRetries int
 	// HeartbeatTimeout for declaring workers dead; default 10s.
@@ -75,6 +81,8 @@ func NewEngine(opts Options) (*Engine, error) {
 		HeartbeatTimeout: opts.HeartbeatTimeout,
 		MaxJobRetries:    opts.MaxJobRetries,
 		Queue:            opts.Queue,
+		NewQueue:         opts.NewQueue,
+		Shards:           opts.Shards,
 		Group:            opts.Group,
 		JobTimeout:       opts.JobTimeout,
 		OnOutput:         opts.OnOutput,

@@ -8,6 +8,12 @@
 // stages; workers that fail or hang are disregarded automatically; and the
 // component composes into the stand-alone jets tool (internal/core), the
 // Coasters service (internal/coasters), or custom frameworks.
+//
+// Scheduling state is sharded (shard.go, steal.go): idle workers and queued
+// jobs are spread over N independently locked shards keyed by worker
+// coordinate plane, with sequence-arbitrated work stealing between shards.
+// Dispatcher.mu guards only the worker registry, the running-job table, and
+// the completed-job records.
 package dispatch
 
 import (
@@ -29,18 +35,30 @@ type Config struct {
 	// Addr to listen on; default "127.0.0.1:0".
 	Addr string
 	// HeartbeatTimeout after which a silent worker is declared dead;
-	// default 10s.
+	// default 10s. A worker whose connection has been silent for half this
+	// long is also evicted eagerly when a new connection registers under
+	// the same worker ID (reconnect after a network blip).
 	HeartbeatTimeout time.Duration
 	// MaxJobRetries bounds automatic resubmission of jobs that failed due
 	// to worker loss (not application error); default 0.
 	MaxJobRetries int
-	// Queue policy; default FIFO (the paper's policy).
+	// Shards is the number of scheduling shards (idle-set + job-queue
+	// slices with independent locks); default DefaultShards(), i.e.
+	// GOMAXPROCS-derived. Forced to 1 when Queue is set, since a single
+	// policy instance cannot be split.
+	Shards int
+	// NewQueue constructs one queue policy per shard; default NewFIFOQueue.
+	NewQueue func() QueuePolicy
+	// Queue is the legacy single-instance policy knob (pre-sharding API).
+	// Setting it forces Shards to 1 and uses the instance as that shard's
+	// queue. Prefer NewQueue with sharding.
 	Queue QueuePolicy
 	// Group policy for MPI worker aggregation; default first-come-first-
 	// served (the paper's policy).
 	Group GroupPolicy
-	// JobTimeout bounds each MPI job's total wall time (mpiexec watchdog);
-	// 0 disables.
+	// JobTimeout bounds each job's total wall time; 0 disables. MPI jobs
+	// get it as the mpiexec watchdog, sequential jobs as the per-task
+	// WallLimit, so a hung task cannot wedge a worker forever either way.
 	JobTimeout time.Duration
 	// OnOutput receives task output chunks; nil discards them.
 	OnOutput func(taskID, stream string, data []byte)
@@ -66,24 +84,41 @@ type Stats struct {
 	WorkersLost     int
 }
 
+// statsCounters is the lock-free internal form of Stats.
+type statsCounters struct {
+	jobsSubmitted   atomic.Int64
+	jobsCompleted   atomic.Int64
+	jobsFailed      atomic.Int64
+	jobsRetried     atomic.Int64
+	tasksDispatched atomic.Int64
+	workersJoined   atomic.Int64
+	workersLost     atomic.Int64
+}
+
 // workerConn is the dispatcher-side state of one pilot-job connection.
 type workerConn struct {
 	id    string
 	reg   proto.Register
 	codec *proto.Codec
+	shard *shard // home scheduling shard, fixed at registration
 
 	sendq chan *proto.Envelope
 	quit  chan struct{} // closed when the worker is declared gone
 
 	// lastSeen is the unix-nano time of the last inbound frame. It is
 	// written by the connection's reader goroutine and read by the janitor
-	// without taking the scheduling lock, so heartbeats never contend with
-	// dispatch (idle membership lives in Dispatcher.idle).
+	// and the duplicate-registration eviction path without any lock, so
+	// heartbeats never contend with dispatch.
 	lastSeen atomic.Int64
 
-	// Fields below are guarded by the dispatcher mutex.
-	tasks map[string]*runningJob // taskID -> job currently on this worker
-	gone  bool
+	// gone flips once, when the worker is declared dead. Checked under the
+	// shard lock by markIdle and under Dispatcher.mu by the dispatch path,
+	// so a worker can never be parked or tasked after teardown began.
+	gone atomic.Bool
+
+	// tasks (taskID -> job currently on this worker) is guarded by
+	// Dispatcher.mu.
+	tasks map[string]*runningJob
 }
 
 // touch records inbound traffic for the janitor's liveness check.
@@ -126,23 +161,37 @@ type Dispatcher struct {
 	ln    net.Listener
 	epoch time.Time
 
-	mu       sync.Mutex
-	workers  map[string]*workerConn
-	idle     *idleSet
-	queue    QueuePolicy
-	running  map[string]*runningJob
-	records  []metrics.JobRecord
-	stats    Stats
-	staged   []proto.Stage
-	draining bool
-	closed   bool
+	shards []*shard
+	subSeq atomic.Int64 // per-submit sequence numbers (FIFO/steal arbitration)
+	subRR  atomic.Int64 // round-robin placement fallback
 
-	idleWait chan struct{} // closed+recreated whenever state changes (for Drain)
+	// Lifecycle flags. draining is set first by Shutdown, before the drain
+	// wait, so no Submit can slip a job in behind the drain; stopping is
+	// set once the drain completes and tells newly idle workers to exit.
+	draining atomic.Bool
+	stopping atomic.Bool
+	closed   atomic.Bool
+
+	// subMu serializes the Submit-side draining check against Shutdown
+	// setting draining: Submit holds it shared across its check-and-push,
+	// Shutdown exclusively while flipping the flag, so when Shutdown's
+	// drain begins no submission can still be mid-push.
+	subMu sync.RWMutex
+
+	mu      sync.Mutex
+	workers map[string]*workerConn
+	running map[string]*runningJob
+	records []metrics.JobRecord
+	staged  []proto.Stage
+
+	stats statsCounters
+
+	idleWait chan struct{} // closed+recreated on completion transitions (for Drain)
 	wg       sync.WaitGroup
 
 	events        chan Event
 	eventsQuit    chan struct{}
-	droppedEvents int
+	droppedEvents atomic.Int64
 }
 
 // New creates a dispatcher with defaults applied. Call Start to serve.
@@ -153,8 +202,17 @@ func New(cfg Config) *Dispatcher {
 	if cfg.HeartbeatTimeout <= 0 {
 		cfg.HeartbeatTimeout = 10 * time.Second
 	}
-	if cfg.Queue == nil {
-		cfg.Queue = NewFIFOQueue()
+	if cfg.NewQueue == nil {
+		if cfg.Queue != nil {
+			q := cfg.Queue
+			cfg.Shards = 1
+			cfg.NewQueue = func() QueuePolicy { return q }
+		} else {
+			cfg.NewQueue = func() QueuePolicy { return NewFIFOQueue() }
+		}
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards()
 	}
 	if cfg.Group == nil {
 		cfg.Group = FirstComeFirstServed
@@ -164,13 +222,15 @@ func New(cfg Config) *Dispatcher {
 	}
 	return &Dispatcher{
 		cfg:      cfg,
+		shards:   newShards(cfg.Shards, func() QueuePolicy { return cfg.NewQueue() }),
 		workers:  make(map[string]*workerConn),
-		idle:     newIdleSet(),
-		queue:    cfg.Queue,
 		running:  make(map[string]*runningJob),
 		idleWait: make(chan struct{}),
 	}
 }
+
+// Shards reports the number of scheduling shards.
+func (d *Dispatcher) Shards() int { return len(d.shards) }
 
 // Start binds the listener and begins serving workers. It returns the bound
 // address.
@@ -224,6 +284,43 @@ func (d *Dispatcher) ServeConn(codec *proto.Codec) {
 	}()
 }
 
+// register admits the worker into the registry, evicting a stale predecessor
+// holding the same ID (a worker reconnecting after a network blip must not
+// wait out the full heartbeat timeout behind its dead previous connection).
+// It reports whether the worker was admitted.
+func (d *Dispatcher) register(wc *workerConn) bool {
+	staleAfter := int64(d.cfg.HeartbeatTimeout / 2)
+	d.mu.Lock()
+	for {
+		if d.closed.Load() {
+			d.mu.Unlock()
+			return false
+		}
+		old, dup := d.workers[wc.id]
+		if !dup {
+			break
+		}
+		if time.Now().UnixNano()-old.lastSeen.Load() < staleAfter {
+			// The existing connection is live: genuine duplicate ID.
+			d.mu.Unlock()
+			wc.codec.Send(&proto.Envelope{Kind: proto.KindError, Error: "duplicate worker id " + wc.id})
+			return false
+		}
+		// The existing connection went silent (network blip, half-open
+		// socket): evict it and admit the newcomer.
+		d.mu.Unlock()
+		old.codec.Close()
+		d.workerGone(old)
+		d.mu.Lock()
+	}
+	wc.shard = d.shardFor(wc)
+	d.workers[wc.id] = wc
+	d.stats.workersJoined.Add(1)
+	d.emit(Event{Kind: EvWorkerJoined, WorkerID: wc.id, Detail: wc.reg.Host})
+	d.mu.Unlock()
+	return true
+}
+
 func (d *Dispatcher) serveWorker(codec *proto.Codec) {
 	defer codec.Close()
 	first, err := codec.Recv()
@@ -250,19 +347,10 @@ func (d *Dispatcher) serveWorker(codec *proto.Codec) {
 		codec.EnableBinary()
 	}
 
+	if !d.register(wc) {
+		return
+	}
 	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
-		return
-	}
-	if _, dup := d.workers[wc.id]; dup {
-		d.mu.Unlock()
-		codec.Send(&proto.Envelope{Kind: proto.KindError, Error: "duplicate worker id " + wc.id})
-		return
-	}
-	d.workers[wc.id] = wc
-	d.stats.WorkersJoined++
-	d.emit(Event{Kind: EvWorkerJoined, WorkerID: wc.id, Detail: wc.reg.Host})
 	staged := append([]proto.Stage(nil), d.staged...)
 	d.mu.Unlock()
 
@@ -317,8 +405,8 @@ func (d *Dispatcher) serveWorker(codec *proto.Codec) {
 		wc.enqueue(&proto.Envelope{Kind: proto.KindStage, Stage: &staged[i]})
 	}
 
-	// Inbound hot loop: at most one d.mu acquisition per frame (inside
-	// markIdle/handleResult); heartbeat and output frames take none at all.
+	// Inbound hot loop: work requests touch only the worker's shard lock,
+	// results only Dispatcher.mu; heartbeat and output frames take none.
 	for {
 		env, err := codec.Recv()
 		if err != nil {
@@ -347,64 +435,73 @@ func (d *Dispatcher) serveWorker(codec *proto.Codec) {
 	<-writerDone
 }
 
-// markIdle parks a worker's work request and schedules.
+// markIdle parks a worker's work request in its home shard and schedules.
 func (d *Dispatcher) markIdle(wc *workerConn) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if wc.gone {
-		return
-	}
-	if d.draining {
+	if d.stopping.Load() || d.closed.Load() {
 		wc.enqueue(&proto.Envelope{Kind: proto.KindShutdown})
 		return
 	}
-	d.idle.Add(wc)
-	d.trySchedule()
-	d.kick()
-}
-
-// trySchedule starts as many queued jobs as the idle workers allow. Caller
-// holds d.mu.
-func (d *Dispatcher) trySchedule() {
-	for {
-		job := d.queue.Next(d.idle.Len())
-		if job == nil {
-			return
-		}
-		d.launch(job)
+	s := wc.shard
+	s.mu.Lock()
+	if wc.gone.Load() {
+		s.mu.Unlock()
+		return
 	}
+	s.addIdle(wc)
+	s.mu.Unlock()
+	d.schedule()
 }
 
-// launch assembles a worker group and streams the job's tasks. Caller holds
-// d.mu.
-func (d *Dispatcher) launch(job *Job) {
-	n := job.Procs()
-	sel := d.cfg.Group(d.idle.Coords(), n)
-	group := d.idle.Take(sel)
-
+// registerRunning inserts the popped job into the running table. Called with
+// the popping shard's lock held (lock order shard -> mu), so Drain can never
+// observe the job in neither the queue nor the table.
+func (d *Dispatcher) registerRunning(job *Job) *runningJob {
 	rj := &runningJob{
 		job:     job,
-		pending: make(map[string]*workerConn, n),
+		pending: make(map[string]*workerConn, job.Procs()),
 		start:   time.Now(),
 	}
+	d.mu.Lock()
+	d.running[job.Spec.JobID] = rj
+	d.mu.Unlock()
+	return rj
+}
+
+// dispatchJob builds the popped job's tasks and streams them to the selected
+// group. Runs outside all scheduling locks — mpiexec startup is slow — and
+// re-checks each worker's liveness under Dispatcher.mu when binding tasks.
+func (d *Dispatcher) dispatchJob(rj *runningJob, group []*workerConn) {
+	job := rj.job
 	var tasks []proto.Task
+	var exec *hydra.MPIExec
 	if job.Type == MPI {
 		spec := job.Spec
 		if spec.WallLimit == 0 && d.cfg.JobTimeout > 0 {
 			spec.WallLimit = d.cfg.JobTimeout
 		}
-		exec, err := hydra.StartMPIExec(spec)
+		var err error
+		exec, err = hydra.StartMPIExec(spec)
 		if err != nil {
-			d.finalizeLocked(rj, fmt.Sprintf("mpiexec start: %v", err))
-			// return the group to the idle pool
-			for _, wc := range group {
-				d.idle.Add(wc)
+			var retry *Job
+			d.mu.Lock()
+			retry = d.finalizeLocked(rj, fmt.Sprintf("mpiexec start: %v", err))
+			d.kickLocked()
+			d.mu.Unlock()
+			d.releaseGroup(group)
+			if retry != nil {
+				d.requeue(retry)
 			}
 			return
 		}
-		rj.exec = exec
 		tasks = exec.ProxyTasks()
 	} else {
+		wall := job.Spec.WallLimit
+		if wall == 0 && d.cfg.JobTimeout > 0 {
+			// Sequential jobs get the watchdog too; only the MPI branch
+			// defaulted it before, so a hung sequential task wedged its
+			// worker forever.
+			wall = d.cfg.JobTimeout
+		}
 		tasks = []proto.Task{{
 			TaskID:    job.Spec.JobID + "/seq",
 			JobID:     job.Spec.JobID,
@@ -412,19 +509,28 @@ func (d *Dispatcher) launch(job *Job) {
 			Args:      append([]string(nil), job.Spec.Args...),
 			Env:       append([]string(nil), job.Spec.Env...),
 			Dir:       job.Spec.Dir,
-			WallLimit: job.Spec.WallLimit,
+			WallLimit: wall,
 		}}
 	}
 
-	d.running[job.Spec.JobID] = rj
 	d.emit(Event{Kind: EvJobStarted, JobID: job.Spec.JobID})
+	var retry *Job
+	d.mu.Lock()
+	rj.exec = exec
 	for i := range tasks {
 		wc := group[i]
-		rj.pending[tasks[i].TaskID] = wc
+		taskID := tasks[i].TaskID
+		rj.pending[taskID] = wc
 		rj.workers = append(rj.workers, wc.id)
-		wc.tasks[tasks[i].TaskID] = rj
-		d.stats.TasksDispatched++
-		d.emit(Event{Kind: EvTaskSent, JobID: job.Spec.JobID, TaskID: tasks[i].TaskID, WorkerID: wc.id})
+		d.stats.tasksDispatched.Add(1)
+		d.emit(Event{Kind: EvTaskSent, JobID: job.Spec.JobID, TaskID: taskID, WorkerID: wc.id})
+		if wc.gone.Load() {
+			// The worker died between group selection and task binding; its
+			// workerGone pass cannot see this task, so record the loss here.
+			d.failTaskLocked(rj, taskID, wc)
+			continue
+		}
+		wc.tasks[taskID] = rj
 		task := tasks[i]
 		if !wc.enqueue(&proto.Envelope{Kind: proto.KindTask, Task: &task}) {
 			// Writer queue overflow: treat the worker as faulty. The result
@@ -432,17 +538,71 @@ func (d *Dispatcher) launch(job *Job) {
 			go wc.codec.Close()
 		}
 	}
+	if len(rj.pending) == 0 {
+		retry = d.finalizeLocked(rj, "")
+		d.kickLocked()
+	}
+	d.mu.Unlock()
+	if retry != nil {
+		d.requeue(retry)
+	}
+}
+
+// failTaskLocked records the loss of one dispatched task. Caller holds d.mu
+// and has verified rj.pending[taskID] maps to wc.
+func (d *Dispatcher) failTaskLocked(rj *runningJob, taskID string, wc *workerConn) {
+	delete(rj.pending, taskID)
+	rj.failed = true
+	rj.faulted = true
+	if rj.errMsg == "" {
+		rj.errMsg = fmt.Sprintf("worker %s lost while running %s", wc.id, taskID)
+	}
+	rj.results = append(rj.results, proto.Result{
+		TaskID: taskID, JobID: rj.job.Spec.JobID, ExitCode: -1,
+		Err: "worker lost",
+	})
+	if rj.exec != nil {
+		rj.exec.Abort()
+	}
+}
+
+// releaseGroup returns workers to their shards' idle sets after a launch
+// that never bound tasks to them, then reschedules.
+func (d *Dispatcher) releaseGroup(group []*workerConn) {
+	for _, wc := range group {
+		s := wc.shard
+		s.mu.Lock()
+		if !wc.gone.Load() {
+			s.addIdle(wc)
+		}
+		s.mu.Unlock()
+	}
+	d.schedule()
+}
+
+// requeue returns a faulted job to the scheduling state and reschedules.
+// Never called with locks held (finalizeLocked only marks the retry).
+func (d *Dispatcher) requeue(j *Job) {
+	d.placeJob(j, true)
+	d.schedule()
 }
 
 // handleResult processes a rank's completion report.
 func (d *Dispatcher) handleResult(wc *workerConn, res proto.Result) {
+	var retry *Job
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	rj, ok := d.running[res.JobID]
 	if !ok {
+		d.mu.Unlock()
 		return
 	}
-	if _, mine := rj.pending[res.TaskID]; !mine {
+	if rj.pending[res.TaskID] != wc {
+		// The task is not pending on THIS worker: a late result from a
+		// prior faulted attempt's surviving worker (the retried attempt's
+		// task with the same job/task ID is owned by someone else), or a
+		// frame from a connection that was never assigned the task. Credit
+		// nothing.
+		d.mu.Unlock()
 		return
 	}
 	delete(rj.pending, res.TaskID)
@@ -460,52 +620,62 @@ func (d *Dispatcher) handleResult(wc *workerConn, res proto.Result) {
 		}
 	}
 	if len(rj.pending) == 0 {
-		d.finalizeLocked(rj, "")
+		retry = d.finalizeLocked(rj, "")
 	}
-	d.kick()
+	d.kickLocked()
+	d.mu.Unlock()
+	if retry != nil {
+		d.requeue(retry)
+	}
 }
 
 // workerGone removes a dead worker and fails its in-flight tasks (paper
 // §6.1.5: JETS automatically disregards workers that fail or hang).
+// Idempotent; safe to call from both the reader loop and the eviction path.
 func (d *Dispatcher) workerGone(wc *workerConn) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if wc.gone {
+	if !wc.gone.CompareAndSwap(false, true) {
 		return
 	}
-	wc.gone = true
 	close(wc.quit)
-	delete(d.workers, wc.id)
-	d.stats.WorkersLost++
+	s := wc.shard
+	if s != nil {
+		s.mu.Lock()
+		s.removeIdle(wc)
+		s.mu.Unlock()
+	}
+	var retries []*Job
+	d.mu.Lock()
+	// The registry may already hold the worker's replacement (eviction on
+	// reconnect); only remove the entry if it is still this connection.
+	if d.workers[wc.id] == wc {
+		delete(d.workers, wc.id)
+	}
+	d.stats.workersLost.Add(1)
 	d.emit(Event{Kind: EvWorkerLost, WorkerID: wc.id})
-	d.idle.Remove(wc)
 	for taskID, rj := range wc.tasks {
 		delete(wc.tasks, taskID)
-		if _, mine := rj.pending[taskID]; !mine {
+		if rj.pending[taskID] != wc {
 			continue
 		}
-		delete(rj.pending, taskID)
-		rj.failed = true
-		rj.faulted = true
-		if rj.errMsg == "" {
-			rj.errMsg = fmt.Sprintf("worker %s lost while running %s", wc.id, taskID)
-		}
-		rj.results = append(rj.results, proto.Result{
-			TaskID: taskID, JobID: rj.job.Spec.JobID, ExitCode: -1,
-			Err: "worker lost",
-		})
-		if rj.exec != nil {
-			rj.exec.Abort()
-		}
+		d.failTaskLocked(rj, taskID, wc)
 		if len(rj.pending) == 0 {
-			d.finalizeLocked(rj, "")
+			if r := d.finalizeLocked(rj, ""); r != nil {
+				retries = append(retries, r)
+			}
 		}
 	}
-	d.kick()
+	d.kickLocked()
+	d.mu.Unlock()
+	for _, j := range retries {
+		d.requeue(j)
+	}
 }
 
-// finalizeLocked completes or retries a finished job. Caller holds d.mu.
-func (d *Dispatcher) finalizeLocked(rj *runningJob, overrideErr string) {
+// finalizeLocked completes a finished job, or marks it for retry by
+// returning the job (the caller requeues it after releasing d.mu — pushing
+// to a shard queue under the dispatcher lock would invert the lock order).
+// Caller holds d.mu.
+func (d *Dispatcher) finalizeLocked(rj *runningJob, overrideErr string) *Job {
 	delete(d.running, rj.job.Spec.JobID)
 	if rj.exec != nil {
 		rj.exec.Close()
@@ -517,11 +687,9 @@ func (d *Dispatcher) finalizeLocked(rj *runningJob, overrideErr string) {
 
 	if rj.failed && rj.faulted && rj.job.retries < d.cfg.MaxJobRetries {
 		rj.job.retries++
-		d.stats.JobsRetried++
+		d.stats.jobsRetried.Add(1)
 		d.emit(Event{Kind: EvJobRetried, JobID: rj.job.Spec.JobID, Detail: rj.errMsg})
-		d.queue.Requeue(rj.job)
-		d.trySchedule()
-		return
+		return rj.job
 	}
 
 	stop := time.Since(d.epoch)
@@ -533,10 +701,10 @@ func (d *Dispatcher) finalizeLocked(rj *runningJob, overrideErr string) {
 			Start: start,
 			Stop:  stop,
 		})
-		d.stats.JobsCompleted++
+		d.stats.jobsCompleted.Add(1)
 		d.emit(Event{Kind: EvJobCompleted, JobID: rj.job.Spec.JobID})
 	} else {
-		d.stats.JobsFailed++
+		d.stats.jobsFailed.Add(1)
 		d.emit(Event{Kind: EvJobFailed, JobID: rj.job.Spec.JobID, Detail: rj.errMsg})
 	}
 	rj.job.handle.complete(JobResult{
@@ -549,6 +717,7 @@ func (d *Dispatcher) finalizeLocked(rj *runningJob, overrideErr string) {
 		TaskResults: rj.results,
 		Workers:     rj.workers,
 	})
+	return nil
 }
 
 // janitor expires workers whose heartbeats stopped.
@@ -561,13 +730,12 @@ func (d *Dispatcher) janitor() {
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for range t.C {
-		d.mu.Lock()
-		if d.closed {
-			d.mu.Unlock()
+		if d.closed.Load() {
 			return
 		}
 		cutoff := time.Now().Add(-d.cfg.HeartbeatTimeout).UnixNano()
 		var expired []*workerConn
+		d.mu.Lock()
 		for _, wc := range d.workers {
 			if wc.lastSeen.Load() < cutoff {
 				expired = append(expired, wc)
@@ -582,8 +750,8 @@ func (d *Dispatcher) janitor() {
 	}
 }
 
-// kick wakes Drain waiters. Caller holds d.mu.
-func (d *Dispatcher) kick() {
+// kickLocked wakes Drain waiters. Caller holds d.mu.
+func (d *Dispatcher) kickLocked() {
 	close(d.idleWait)
 	d.idleWait = make(chan struct{})
 }
@@ -602,28 +770,45 @@ func (d *Dispatcher) Submit(job Job) (*Handle, error) {
 	j.submitted = time.Now()
 
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed || d.draining {
-		return nil, errors.New("dispatch: dispatcher is shut down")
-	}
 	if _, dup := d.running[job.Spec.JobID]; dup {
+		d.mu.Unlock()
 		return nil, fmt.Errorf("dispatch: duplicate job id %q", job.Spec.JobID)
 	}
-	d.stats.JobsSubmitted++
+	d.mu.Unlock()
+
+	// The shared lock spans the draining check and the queue push, so
+	// Shutdown (which takes it exclusively before draining) can never
+	// observe an empty queue while a submission is still mid-flight.
+	d.subMu.RLock()
+	if d.closed.Load() || d.draining.Load() {
+		d.subMu.RUnlock()
+		return nil, errors.New("dispatch: dispatcher is shut down")
+	}
+	j.seq = d.subSeq.Add(1)
+	d.stats.jobsSubmitted.Add(1)
 	d.emit(Event{Kind: EvJobSubmitted, JobID: job.Spec.JobID, Detail: job.Type.String()})
-	d.queue.Push(j)
-	d.trySchedule()
-	d.kick()
+	d.placeJob(j, false)
+	d.subMu.RUnlock()
+	d.schedule()
 	return h, nil
 }
 
 // Drain blocks until the queue and all running jobs are empty, or ctx ends.
 func (d *Dispatcher) Drain(ctx context.Context) error {
 	for {
+		// Consistent snapshot: with every shard lock held no job can be
+		// mid-pop (pops hold their shard lock across the running-table
+		// insert), so queued+running covers every live job.
+		d.lockAll()
+		queued := 0
+		for _, s := range d.shards {
+			queued += s.queue.Len()
+		}
 		d.mu.Lock()
-		empty := d.queue.Len() == 0 && len(d.running) == 0
+		empty := queued == 0 && len(d.running) == 0
 		wait := d.idleWait
 		d.mu.Unlock()
+		d.unlockAll()
 		if empty {
 			return nil
 		}
@@ -635,12 +820,18 @@ func (d *Dispatcher) Drain(ctx context.Context) error {
 	}
 }
 
-// Shutdown drains (bounded by ctx), tells all workers to exit, and closes
-// the listener.
+// Shutdown stops accepting submissions, drains queued and running jobs
+// (bounded by ctx), tells all workers to exit, and closes the listener.
+// Draining is flagged before the drain wait begins, so a concurrent Submit
+// cannot slip a job in that would run against workers already being told to
+// exit.
 func (d *Dispatcher) Shutdown(ctx context.Context) error {
+	d.subMu.Lock()
+	d.draining.Store(true)
+	d.subMu.Unlock()
 	err := d.Drain(ctx)
+	d.stopping.Store(true)
 	d.mu.Lock()
-	d.draining = true
 	workers := make([]*workerConn, 0, len(d.workers))
 	for _, wc := range d.workers {
 		workers = append(workers, wc)
@@ -656,13 +847,9 @@ func (d *Dispatcher) Shutdown(ctx context.Context) error {
 // Close releases the listener immediately. Outstanding handles complete
 // with failures as connections drop.
 func (d *Dispatcher) Close() error {
-	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
+	if !d.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	d.closed = true
-	d.mu.Unlock()
 	if d.eventsQuit != nil {
 		close(d.eventsQuit)
 	}
@@ -691,9 +878,15 @@ func (d *Dispatcher) StageFile(name string, data []byte) {
 
 // Stats returns a snapshot of the cumulative counters.
 func (d *Dispatcher) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return Stats{
+		JobsSubmitted:   int(d.stats.jobsSubmitted.Load()),
+		JobsCompleted:   int(d.stats.jobsCompleted.Load()),
+		JobsFailed:      int(d.stats.jobsFailed.Load()),
+		JobsRetried:     int(d.stats.jobsRetried.Load()),
+		TasksDispatched: int(d.stats.tasksDispatched.Load()),
+		WorkersJoined:   int(d.stats.workersJoined.Load()),
+		WorkersLost:     int(d.stats.workersLost.Load()),
+	}
 }
 
 // Workers reports the number of live registered workers.
@@ -704,18 +897,10 @@ func (d *Dispatcher) Workers() int {
 }
 
 // IdleWorkers reports workers currently parked waiting for tasks.
-func (d *Dispatcher) IdleWorkers() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.idle.Len()
-}
+func (d *Dispatcher) IdleWorkers() int { return d.idleCount() }
 
 // QueuedJobs reports jobs waiting for workers.
-func (d *Dispatcher) QueuedJobs() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.queue.Len()
-}
+func (d *Dispatcher) QueuedJobs() int { return d.queuedCount() }
 
 // RunningJobs reports jobs currently executing.
 func (d *Dispatcher) RunningJobs() int {

@@ -608,10 +608,19 @@ func TestJSONWorkerInteropsWithBinaryDispatcher(t *testing.T) {
 
 // TestManyWorkersIdleChurn is the regression test for the idle-set
 // complexity fix: a large pool cycles through park/dispatch/death and the
-// idle accounting must stay exact throughout.
+// idle accounting must stay exact throughout. Run at both shard extremes so
+// the single-lock and sharded+stealing schedulers face the same churn.
 func TestManyWorkersIdleChurn(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			manyWorkersIdleChurn(t, shards)
+		})
+	}
+}
+
+func manyWorkersIdleChurn(t *testing.T, shards int) {
 	const n = 64
-	tc := startCluster(t, n, Config{HeartbeatTimeout: 30 * time.Second, WriteCoalesce: 16})
+	tc := startCluster(t, n, Config{HeartbeatTimeout: 30 * time.Second, WriteCoalesce: 16, Shards: shards})
 	tc.runner.Register("spin", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
 		time.Sleep(time.Millisecond)
 		return 0

@@ -37,10 +37,10 @@ const (
 	EvJobRetried   EventKind = "job-retried"
 )
 
-// emit records an event. Called with d.mu held; the event is buffered and
-// delivered by a dedicated drainer goroutine so the observer can never
-// deadlock the scheduler. A full buffer drops events (counted in
-// DroppedEvents) rather than blocking dispatch.
+// emit records an event; safe from any goroutine, with or without locks
+// held. The event is buffered and delivered by a dedicated drainer goroutine
+// so the observer can never deadlock the scheduler. A full buffer drops
+// events (counted in DroppedEvents) rather than blocking dispatch.
 func (d *Dispatcher) emit(e Event) {
 	if d.events == nil {
 		return
@@ -49,7 +49,7 @@ func (d *Dispatcher) emit(e Event) {
 	select {
 	case d.events <- e:
 	default:
-		d.droppedEvents++
+		d.droppedEvents.Add(1)
 	}
 }
 
@@ -75,9 +75,7 @@ func (d *Dispatcher) drainEvents() {
 
 // DroppedEvents reports events lost to observer backpressure.
 func (d *Dispatcher) DroppedEvents() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.droppedEvents
+	return int(d.droppedEvents.Load())
 }
 
 // TraceRecorder is an OnEvent sink that retains the full event sequence.

@@ -36,6 +36,11 @@ type Job struct {
 	retries   int
 	submitted time.Time
 	handle    *Handle
+	// seq is the per-submit sequence number; the sharded scheduling pass
+	// always launches the lowest-seq queued job (steal.go), which keeps
+	// FIFO/FCFS order observable independent of shard placement. Retried
+	// jobs keep their original seq.
+	seq int64
 }
 
 // Procs returns the number of workers the job needs.
