@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"jets/internal/coasters"
 	"jets/internal/core"
 	"jets/internal/dht"
 	"jets/internal/dispatch"
@@ -615,11 +616,15 @@ func BenchmarkProtoCodec(b *testing.B) {
 	heartbeat := &proto.Envelope{Kind: proto.KindHeartbeat, Heartbeat: &proto.Heartbeat{
 		WorkerID: "ion-17-worker-4", Busy: true, Uptime: 17 * time.Minute,
 	}}
+	stage := &proto.Envelope{Kind: proto.KindStage, Stage: &proto.Stage{
+		Name: "namd2.sh", Data: make([]byte, 64<<10),
+	}}
 	for _, msg := range []struct {
 		name string
 		env  *proto.Envelope
 	}{
 		{"task", task}, {"result", result}, {"output-512B", output}, {"heartbeat", heartbeat},
+		{"stage-64KB", stage},
 	} {
 		for _, wire := range []string{"json", "binary"} {
 			b.Run(msg.name+"/"+wire, func(b *testing.B) {
@@ -643,4 +648,115 @@ func BenchmarkProtoCodec(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkOutputRelay measures the data-plane output path end to end:
+// worker stdout chunks -> dispatcher -> subscriber relay -> data client,
+// 16 chunks of 8 KiB per job, reporting relayed MB/s. The variants isolate
+// the v2.1 zero-copy passthrough: "raw" forwards the worker's original
+// frame bytes to a binary client, "decode" forces the decode/re-encode
+// path on the same wire (NoRawRelay), and "json-client" serves a v1 client
+// that can only receive JSON.
+func BenchmarkOutputRelay(b *testing.B) {
+	const chunks, chunkSize = 16, 8 << 10
+	run := func(b *testing.B, noRaw, clientJSON bool) {
+		runner := hydra.NewFuncRunner()
+		payload := bytes.Repeat([]byte{0x42}, chunkSize)
+		runner.Register("burst", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+			for i := 0; i < chunks; i++ {
+				stdout.Write(payload)
+			}
+			return 0
+		})
+		svc, err := coasters.NewService(coasters.Config{
+			Provider:   &coasters.LocalProvider{Runner: runner},
+			NoRawRelay: noRaw,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close()
+		if err := svc.EnsureWorkers(context.Background(), 4); err != nil {
+			b.Fatal(err)
+		}
+		addr, err := svc.ServeData("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		dc, err := coasters.DialData(addr, clientJSON)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer dc.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h, err := svc.Submit(context.Background(), dispatch.Job{
+				Spec: hydra.JobSpec{JobID: fmt.Sprintf("b%d", i), NProcs: 1, Cmd: "burst"},
+				Type: dispatch.Sequential,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res := h.Wait(); res.Failed {
+				b.Fatal(res.Err)
+			}
+			got := 0
+			for got < chunks*chunkSize {
+				ch, ok := <-dc.Outputs()
+				if !ok {
+					b.Fatal("output channel closed")
+				}
+				got += len(ch.Data)
+			}
+		}
+		b.StopTimer()
+		mb := float64(b.N) * chunks * chunkSize / (1 << 20)
+		b.ReportMetric(mb/b.Elapsed().Seconds(), "MB/s")
+	}
+	b.Run("raw", func(b *testing.B) { run(b, false, false) })
+	b.Run("decode", func(b *testing.B) { run(b, true, false) })
+	b.Run("json-client", func(b *testing.B) { run(b, false, true) })
+}
+
+// BenchmarkStageRelay measures stage-payload ingest through the data plane:
+// one 256 KiB file per iteration, client -> service -> 4 worker caches,
+// waiting for the staged ack. The binary client carries the payload as raw
+// length-prefixed bytes; the json variant pays base64-in-JSON on the same
+// path (the v1 wire), which is the cost the v2.1 cold-kind codec removes.
+func BenchmarkStageRelay(b *testing.B) {
+	const fileSize = 256 << 10
+	run := func(b *testing.B, clientJSON bool) {
+		runner := hydra.NewFuncRunner()
+		svc, err := coasters.NewService(coasters.Config{
+			Provider: &coasters.LocalProvider{Runner: runner, CacheDir: b.TempDir()},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close()
+		if err := svc.EnsureWorkers(context.Background(), 4); err != nil {
+			b.Fatal(err)
+		}
+		addr, err := svc.ServeData("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		dc, err := coasters.DialData(addr, clientJSON)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer dc.Close()
+		data := bytes.Repeat([]byte{0x7F}, fileSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := dc.Stage(fmt.Sprintf("f%d.bin", i), data, 10*time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		mb := float64(b.N) * fileSize / (1 << 20)
+		b.ReportMetric(mb/b.Elapsed().Seconds(), "MB/s")
+	}
+	b.Run("binary", func(b *testing.B) { run(b, false) })
+	b.Run("json-client", func(b *testing.B) { run(b, true) })
 }

@@ -17,11 +17,15 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jets/internal/dispatch"
 	"jets/internal/hydra"
+	"jets/internal/proto"
 	"jets/internal/worker"
 )
 
@@ -49,6 +53,9 @@ type LocalProvider struct {
 	// JSONWire keeps booted workers on the v1 JSON wire format instead of
 	// negotiating the binary fast path (old-peer interop testing).
 	JSONWire bool
+	// CacheDir, when set, gives every booted worker a private node-local
+	// cache subdirectory beneath it, enabling stage frames.
+	CacheDir string
 
 	mu  sync.Mutex
 	seq int
@@ -88,6 +95,14 @@ func (p *LocalProvider) Boot(ctx context.Context, n int, addr string) (Block, er
 		cores = 1
 	}
 	for i := 0; i < n; i++ {
+		var cacheDir string
+		if p.CacheDir != "" {
+			cacheDir = filepath.Join(p.CacheDir, fmt.Sprintf("%s-w%d", id, i))
+			if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+				cancel()
+				return nil, err
+			}
+		}
 		w, err := worker.New(worker.Config{
 			ID:                fmt.Sprintf("%s/w%d", id, i),
 			Cores:             cores,
@@ -95,6 +110,7 @@ func (p *LocalProvider) Boot(ctx context.Context, n int, addr string) (Block, er
 			Runner:            p.Runner,
 			HeartbeatInterval: 250 * time.Millisecond,
 			JSONOnly:          p.JSONWire,
+			CacheDir:          cacheDir,
 		})
 		if err != nil {
 			cancel()
@@ -148,6 +164,11 @@ type Config struct {
 	Dispatch dispatch.Config
 	// BootTimeout bounds waiting for requested workers; default 30s.
 	BootTimeout time.Duration
+	// NoRawRelay disables zero-copy passthrough on data-plane subscriber
+	// connections: every relayed frame is decoded and re-encoded through
+	// the typed path instead of forwarded verbatim. Interop/testing knob —
+	// delivered payloads are identical either way.
+	NoRawRelay bool
 }
 
 // Service is a running CoasterService.
@@ -161,6 +182,10 @@ type Service struct {
 	listeners []net.Listener
 
 	staged map[string][]byte // staging area (service-side file store)
+
+	subMu      sync.RWMutex
+	subs       map[*subscriber]struct{} // data-plane output subscribers
+	droppedOut atomic.Int64
 }
 
 // NewService starts the embedded dispatcher and returns the service.
@@ -171,11 +196,23 @@ func NewService(cfg Config) (*Service, error) {
 	if cfg.BootTimeout <= 0 {
 		cfg.BootTimeout = 30 * time.Second
 	}
+	s := &Service{staged: map[string][]byte{}, subs: map[*subscriber]struct{}{}}
+	// Chain the raw output hook: the service's data-plane relay runs first,
+	// then whatever the embedder wired (both borrow the frame).
+	userHook := cfg.Dispatch.OnOutputFrame
+	cfg.Dispatch.OnOutputFrame = func(f *proto.Frame) {
+		s.relayOutput(f)
+		if userHook != nil {
+			userHook(f)
+		}
+	}
 	d := dispatch.New(cfg.Dispatch)
 	if _, err := d.Start(); err != nil {
 		return nil, err
 	}
-	return &Service{cfg: cfg, d: d, staged: map[string][]byte{}}, nil
+	s.cfg = cfg
+	s.d = d
+	return s, nil
 }
 
 // Dispatcher exposes the embedded JETS dispatcher.

@@ -1,0 +1,325 @@
+package coasters
+
+// The data plane: a proto endpoint (wire protocol v2.1) carrying the bulk
+// traffic that the newline-JSON RPC channel is wrong for — stage payloads in
+// and task output out. A data client performs the same register/negotiate
+// handshake as a worker; once both sides speak binary, stage payloads travel
+// as raw length-prefixed bytes (no base64) and output frames produced by
+// workers are forwarded to subscribers without a decode/re-encode cycle:
+// the dispatcher's OnOutputFrame hook hands the service the raw frame, each
+// subscriber queue takes a reference, and the per-subscriber writer puts the
+// original bytes on the wire before releasing it.
+//
+// A slow client never stalls a worker's reader: subscriber queues are
+// bounded and overflow drops the frame (releasing its reference and
+// counting it) rather than blocking the relay.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"jets/internal/proto"
+)
+
+// subscriber is one data-plane connection receiving relayed output.
+type subscriber struct {
+	codec *proto.Codec
+	q     chan *proto.Frame // entries hold one reference each
+	quit  chan struct{}
+}
+
+// offer hands a frame to the subscriber's writer without blocking,
+// reporting whether it was queued (false: the subscriber is gone or too
+// slow, and the frame was dropped with its reference returned).
+func (sub *subscriber) offer(f *proto.Frame) bool {
+	select {
+	case <-sub.quit:
+		return false
+	default:
+	}
+	f.Retain()
+	select {
+	case sub.q <- f:
+		return true
+	default:
+		f.Release()
+		return false
+	}
+}
+
+// writeLoop drains the subscriber queue onto the connection. Raw
+// passthrough applies when the frame's encoding is readable by this peer
+// (JSON always; binary only after the peer negotiated it) and NoRawRelay is
+// off; otherwise the frame is decoded and re-encoded through the typed
+// path. Either way the queue's reference is released after the bytes are in
+// the connection's write buffer.
+func (sub *subscriber) writeLoop(noRaw bool) {
+	defer func() {
+		for {
+			select {
+			case f := <-sub.q:
+				f.Release()
+			default:
+				return
+			}
+		}
+	}()
+	write := func(f *proto.Frame) error {
+		defer f.Release()
+		if !noRaw && (!f.Binary() || sub.codec.BinaryEnabled()) {
+			return sub.codec.SendRawBuffered(f.Payload())
+		}
+		env, err := f.Envelope()
+		if err != nil {
+			return nil // corrupt relay frame: drop it, keep the connection
+		}
+		// The decoded envelope is shared by every relay of this frame; send
+		// a shallow copy because Send stamps Seq on its argument.
+		e := *env
+		return sub.codec.SendBuffered(&e)
+	}
+	for {
+		select {
+		case <-sub.quit:
+			return
+		case f := <-sub.q:
+			if err := write(f); err != nil {
+				return
+			}
+			// Coalesce whatever is already queued into this flush.
+		more:
+			for {
+				select {
+				case f := <-sub.q:
+					if err := write(f); err != nil {
+						return
+					}
+				default:
+					break more
+				}
+			}
+			if err := sub.codec.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// relayOutput is the dispatcher's OnOutputFrame hook: fan the borrowed
+// frame out to every subscriber queue (each taking its own reference).
+func (s *Service) relayOutput(f *proto.Frame) {
+	s.subMu.RLock()
+	for sub := range s.subs {
+		if !sub.offer(f) {
+			s.droppedOut.Add(1)
+		}
+	}
+	s.subMu.RUnlock()
+}
+
+// DroppedOutputs reports output frames dropped because a subscriber queue
+// was full (slow client) or closing.
+func (s *Service) DroppedOutputs() int64 { return s.droppedOut.Load() }
+
+// ServeData starts the data-plane listener; returns its address.
+func (s *Service) ServeData(addr string) (string, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.serveData(proto.NewCodec(conn))
+		}
+	}()
+	s.mu.Lock()
+	s.listeners = append(s.listeners, ln)
+	s.mu.Unlock()
+	return ln.Addr().String(), nil
+}
+
+func (s *Service) serveData(codec *proto.Codec) {
+	defer codec.Close()
+	first, err := codec.Recv()
+	if err != nil || first.Kind != proto.KindRegister || first.Register == nil {
+		codec.Send(&proto.Envelope{Kind: proto.KindError, Error: "expected register"})
+		return
+	}
+	ver := proto.Negotiate(first.Proto)
+	if ver >= proto.VersionBinary {
+		codec.EnableBinary()
+	}
+	if err := codec.Send(&proto.Envelope{Kind: proto.KindRegistered, Proto: ver}); err != nil {
+		return
+	}
+
+	sub := &subscriber{codec: codec, q: make(chan *proto.Frame, 1024), quit: make(chan struct{})}
+	s.subMu.Lock()
+	s.subs[sub] = struct{}{}
+	s.subMu.Unlock()
+	go sub.writeLoop(s.cfg.NoRawRelay)
+	defer func() {
+		s.subMu.Lock()
+		delete(s.subs, sub)
+		s.subMu.Unlock()
+		close(sub.quit)
+	}()
+
+	for {
+		f, err := codec.RecvFrame()
+		if err != nil {
+			return
+		}
+		if f.Kind() == proto.KindStage {
+			if env, derr := f.Envelope(); derr == nil && env.Stage != nil {
+				s.mu.Lock()
+				s.staged[env.Stage.Name] = append([]byte(nil), env.Stage.Data...)
+				s.mu.Unlock()
+				// Relay the original frame bytes to the worker pool; the
+				// decoded copy above is the service-side store.
+				s.d.StageFrame(f)
+				codec.Send(&proto.Envelope{Kind: proto.KindStaged, Stage: &proto.Stage{Name: env.Stage.Name}})
+			}
+		}
+		f.Release()
+	}
+}
+
+// OutputChunk is one relayed piece of task output delivered to a data
+// client.
+type OutputChunk struct {
+	TaskID string
+	Stream string
+	Data   []byte
+}
+
+// DataClient subscribes to a service's data plane: it stages files through
+// the binary channel and receives relayed task output.
+type DataClient struct {
+	codec   *proto.Codec
+	outputs chan OutputChunk
+
+	mu     sync.Mutex
+	acks   map[string][]chan struct{}
+	closed bool
+}
+
+// DialData connects to a ServeData endpoint and performs the register
+// handshake. jsonOnly pins the client to the v1 JSON wire format (old-peer
+// interop); otherwise the binary fast path is negotiated.
+func DialData(addr string, jsonOnly bool) (*DataClient, error) {
+	codec, err := proto.Dial(addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	var announce uint8
+	if !jsonOnly {
+		announce = proto.VersionBinary
+	}
+	if err := codec.Send(&proto.Envelope{
+		Kind: proto.KindRegister, Proto: announce,
+		Register: &proto.Register{WorkerID: "data-client"},
+	}); err != nil {
+		codec.Close()
+		return nil, err
+	}
+	ack, err := codec.Recv()
+	if err != nil || ack.Kind != proto.KindRegistered {
+		codec.Close()
+		return nil, fmt.Errorf("coasters: data handshake failed: %v", err)
+	}
+	if !jsonOnly && ack.Proto >= proto.VersionBinary {
+		codec.EnableBinary()
+	}
+	c := &DataClient{
+		codec:   codec,
+		outputs: make(chan OutputChunk, 1024),
+		acks:    map[string][]chan struct{}{},
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *DataClient) readLoop() {
+	for {
+		env, err := c.codec.Recv()
+		if err != nil {
+			c.mu.Lock()
+			c.closed = true
+			for name, chans := range c.acks {
+				for _, ch := range chans {
+					close(ch)
+				}
+				delete(c.acks, name)
+			}
+			c.mu.Unlock()
+			close(c.outputs)
+			return
+		}
+		switch env.Kind {
+		case proto.KindOutput:
+			if env.Output != nil {
+				// Deliberately blocking: a client that does not drain
+				// Outputs applies backpressure HERE, on its own socket —
+				// the service side drops instead of blocking.
+				c.outputs <- OutputChunk{TaskID: env.Output.TaskID, Stream: env.Output.Stream, Data: env.Output.Data}
+			}
+		case proto.KindStaged:
+			if env.Stage != nil {
+				c.mu.Lock()
+				if chans := c.acks[env.Stage.Name]; len(chans) > 0 {
+					close(chans[0])
+					c.acks[env.Stage.Name] = chans[1:]
+				}
+				c.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Stage sends a file through the data plane and waits for the service's
+// staged ack.
+func (c *DataClient) Stage(name string, data []byte, timeout time.Duration) error {
+	ch := make(chan struct{})
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("coasters: data client closed")
+	}
+	c.acks[name] = append(c.acks[name], ch)
+	c.mu.Unlock()
+	if err := c.codec.Send(&proto.Envelope{
+		Kind:  proto.KindStage,
+		Stage: &proto.Stage{Name: name, Data: data},
+	}); err != nil {
+		return err
+	}
+	select {
+	case <-ch:
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return fmt.Errorf("coasters: connection lost before staged ack")
+		}
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("coasters: staged ack for %q timed out", name)
+	}
+}
+
+// Outputs delivers relayed task output; the channel closes when the
+// connection drops.
+func (c *DataClient) Outputs() <-chan OutputChunk { return c.outputs }
+
+// Close drops the data-plane connection.
+func (c *DataClient) Close() error { return c.codec.Close() }

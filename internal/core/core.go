@@ -24,6 +24,7 @@ import (
 	"jets/internal/dispatch"
 	"jets/internal/hydra"
 	"jets/internal/metrics"
+	"jets/internal/proto"
 	"jets/internal/worker"
 )
 
@@ -55,6 +56,9 @@ type Options struct {
 	JobTimeout time.Duration
 	// OnOutput receives task output; nil discards.
 	OnOutput func(taskID, stream string, data []byte)
+	// OnOutputFrame receives each raw output frame before OnOutput, for
+	// zero-copy relay (borrow semantics — see dispatch.Config.OnOutputFrame).
+	OnOutputFrame func(*proto.Frame)
 	// OnEvent receives dispatcher trace events; nil disables tracing.
 	OnEvent func(dispatch.Event)
 	// WriteCoalesce batches up to N outbound frames per flush on each
@@ -86,6 +90,7 @@ func NewEngine(opts Options) (*Engine, error) {
 		Group:            opts.Group,
 		JobTimeout:       opts.JobTimeout,
 		OnOutput:         opts.OnOutput,
+		OnOutputFrame:    opts.OnOutputFrame,
 		OnEvent:          opts.OnEvent,
 		WriteCoalesce:    opts.WriteCoalesce,
 	})

@@ -62,6 +62,13 @@ type Config struct {
 	JobTimeout time.Duration
 	// OnOutput receives task output chunks; nil discards them.
 	OnOutput func(taskID, stream string, data []byte)
+	// OnOutputFrame receives each raw output frame before OnOutput, for
+	// zero-copy relay to downstream connections. The frame is borrowed for
+	// the duration of the call: a callee that keeps it past return (for
+	// example by queueing it on a subscriber connection) must Retain it
+	// first and Release after its write completes. nil disables the raw
+	// path; OnOutput still sees decoded chunks either way.
+	OnOutputFrame func(*proto.Frame)
 	// OnEvent receives life-cycle trace events (see events.go); nil
 	// disables tracing. Delivery is ordered but asynchronous.
 	OnEvent func(Event)
@@ -95,6 +102,14 @@ type statsCounters struct {
 	workersLost     atomic.Int64
 }
 
+// outFrame is one entry in a worker's send queue: either a typed envelope
+// the writer encodes, or a raw relayed frame (stage/output passthrough) the
+// writer forwards byte-for-byte when the connection's encoding allows it.
+type outFrame struct {
+	env *proto.Envelope
+	raw *proto.Frame // holds one reference owned by the queue entry
+}
+
 // workerConn is the dispatcher-side state of one pilot-job connection.
 type workerConn struct {
 	id    string
@@ -102,7 +117,7 @@ type workerConn struct {
 	codec *proto.Codec
 	shard *shard // home scheduling shard, fixed at registration
 
-	sendq chan *proto.Envelope
+	sendq chan outFrame
 	quit  chan struct{} // closed when the worker is declared gone
 
 	// lastSeen is the unix-nano time of the last inbound frame. It is
@@ -129,13 +144,29 @@ func (wc *workerConn) touch() { wc.lastSeen.Store(time.Now().UnixNano()) }
 // closed — the writer exits through quit — so enqueue is race-free against
 // worker teardown.
 func (wc *workerConn) enqueue(e *proto.Envelope) bool {
+	return wc.push(outFrame{env: e})
+}
+
+// enqueueRaw queues a relayed frame for this worker, taking a reference for
+// the queue entry (released by the writer after the bytes are on the wire)
+// and giving it back if the queue rejects the frame.
+func (wc *workerConn) enqueueRaw(f *proto.Frame) bool {
+	f.Retain()
+	if !wc.push(outFrame{raw: f}) {
+		f.Release()
+		return false
+	}
+	return true
+}
+
+func (wc *workerConn) push(of outFrame) bool {
 	select {
 	case <-wc.quit:
 		return false
 	default:
 	}
 	select {
-	case wc.sendq <- e:
+	case wc.sendq <- of:
 		return true
 	default:
 		return false
@@ -332,7 +363,7 @@ func (d *Dispatcher) serveWorker(codec *proto.Codec) {
 		id:    first.Register.WorkerID,
 		reg:   *first.Register,
 		codec: codec,
-		sendq: make(chan *proto.Envelope, 1024),
+		sendq: make(chan outFrame, 1024),
 		quit:  make(chan struct{}),
 		tasks: make(map[string]*runningJob),
 	}
@@ -361,15 +392,54 @@ func (d *Dispatcher) serveWorker(codec *proto.Codec) {
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
+		// Release any relayed frames still queued when the writer exits, so
+		// their pooled buffers go back even for a worker that died mid-burst.
+		// (A frame enqueued after this final sweep — the enqueue raced the
+		// quit close — is simply collected by the GC; only pool reuse is
+		// lost, never correctness.)
+		defer func() {
+			for {
+				select {
+				case of := <-wc.sendq:
+					if of.raw != nil {
+						of.raw.Release()
+					}
+				default:
+					return
+				}
+			}
+		}()
 		batch := d.cfg.WriteCoalesce
-		drain := func(e *proto.Envelope) error {
-			if err := codec.SendBuffered(e); err != nil {
+		// writeOut buffers one queue entry. A relayed frame goes out raw
+		// when this connection can read it — JSON always, binary only after
+		// the peer negotiated VersionBinary — and is re-encoded through the
+		// typed path otherwise. Its queue reference is dropped once the
+		// bytes are in the write buffer (SendRawBuffered copies them).
+		writeOut := func(of outFrame) error {
+			if of.raw == nil {
+				return codec.SendBuffered(of.env)
+			}
+			defer of.raw.Release()
+			if !of.raw.Binary() || codec.BinaryEnabled() {
+				return codec.SendRawBuffered(of.raw.Payload())
+			}
+			env, err := of.raw.Envelope()
+			if err != nil {
+				return nil // corrupt relay frame: drop it, keep the worker
+			}
+			// The decoded envelope is shared by every relay of this frame;
+			// send a shallow copy because Send stamps Seq on its argument.
+			e := *env
+			return codec.SendBuffered(&e)
+		}
+		drain := func(of outFrame) error {
+			if err := writeOut(of); err != nil {
 				return err
 			}
 			for n := 1; n < batch; n++ {
 				select {
 				case more := <-wc.sendq:
-					if err := codec.SendBuffered(more); err != nil {
+					if err := writeOut(more); err != nil {
 						return err
 					}
 				default:
@@ -380,16 +450,16 @@ func (d *Dispatcher) serveWorker(codec *proto.Codec) {
 		}
 		for {
 			select {
-			case e := <-wc.sendq:
-				if err := drain(e); err != nil {
+			case of := <-wc.sendq:
+				if err := drain(of); err != nil {
 					return
 				}
 			case <-wc.quit:
 				// Flush anything already queued (best effort), then exit.
 				for {
 					select {
-					case e := <-wc.sendq:
-						if err := drain(e); err != nil {
+					case of := <-wc.sendq:
+						if err := drain(of); err != nil {
 							return
 						}
 					default:
@@ -407,29 +477,31 @@ func (d *Dispatcher) serveWorker(codec *proto.Codec) {
 
 	// Inbound hot loop: work requests touch only the worker's shard lock,
 	// results only Dispatcher.mu; heartbeat and output frames take none.
+	// RecvFrame classifies binary frames from their two-byte prefix, so the
+	// kinds that carry no payload the dispatcher reads (work-request,
+	// heartbeat) and the relayed kinds (output) skip body decoding entirely.
 	for {
-		env, err := codec.Recv()
+		f, err := codec.RecvFrame()
 		if err != nil {
 			break
 		}
 		wc.touch()
-		switch env.Kind {
+		switch f.Kind() {
 		case proto.KindWorkRequest:
 			d.markIdle(wc)
 		case proto.KindResult:
-			if env.Result != nil {
+			if env, derr := f.Envelope(); derr == nil && env.Result != nil {
 				d.handleResult(wc, *env.Result)
 			}
 		case proto.KindOutput:
-			if env.Output != nil && d.cfg.OnOutput != nil {
-				d.cfg.OnOutput(env.Output.TaskID, env.Output.Stream, env.Output.Data)
-			}
+			d.handleOutput(f)
 		case proto.KindHeartbeat:
 			// Liveness only; touch above already recorded it lock-free.
 		case proto.KindStaged, proto.KindError:
 			// acks and diagnostics; nothing to do
 		default:
 		}
+		f.Release()
 	}
 	d.workerGone(wc)
 	<-writerDone
@@ -626,6 +698,22 @@ func (d *Dispatcher) handleResult(wc *workerConn, res proto.Result) {
 	d.mu.Unlock()
 	if retry != nil {
 		d.requeue(retry)
+	}
+}
+
+// handleOutput routes one output frame from a worker. The raw-frame hook
+// runs first with borrow semantics (it Retains to keep the frame past the
+// call); the decoded callback then sees the chunk only if it is wired,
+// paying the decode exactly when someone wants typed data. The caller still
+// owns its reference and releases it afterwards.
+func (d *Dispatcher) handleOutput(f *proto.Frame) {
+	if d.cfg.OnOutputFrame != nil {
+		d.cfg.OnOutputFrame(f)
+	}
+	if d.cfg.OnOutput != nil {
+		if env, err := f.Envelope(); err == nil && env.Output != nil {
+			d.cfg.OnOutput(env.Output.TaskID, env.Output.Stream, env.Output.Data)
+		}
 	}
 }
 
@@ -874,6 +962,34 @@ func (d *Dispatcher) StageFile(name string, data []byte) {
 	for _, wc := range workers {
 		wc.enqueue(&proto.Envelope{Kind: proto.KindStage, Stage: &s})
 	}
+}
+
+// StageFrame distributes an already-encoded stage frame — typically received
+// from a data-plane client — to every current and future worker. The payload
+// is decoded once to record the Stage for replay to late-joining workers;
+// live workers get the original frame bytes relayed without re-encoding
+// (workers that have not negotiated binary fall back to the typed path in
+// their writer). Borrow semantics: the relay takes its own references, so
+// the caller keeps ownership of f.
+func (d *Dispatcher) StageFrame(f *proto.Frame) error {
+	env, err := f.Envelope()
+	if err != nil {
+		return err
+	}
+	if env.Kind != proto.KindStage || env.Stage == nil {
+		return fmt.Errorf("dispatch: StageFrame on %q frame", f.Kind())
+	}
+	d.mu.Lock()
+	d.staged = append(d.staged, *env.Stage)
+	workers := make([]*workerConn, 0, len(d.workers))
+	for _, wc := range d.workers {
+		workers = append(workers, wc)
+	}
+	d.mu.Unlock()
+	for _, wc := range workers {
+		wc.enqueueRaw(f)
+	}
+	return nil
 }
 
 // Stats returns a snapshot of the cumulative counters.

@@ -18,10 +18,13 @@ package proto
 //
 // Decoding needs no negotiation state at all: a JSON envelope always
 // begins with '{' (0x7B), and every binary payload begins with the magic
-// byte 0xBF, so Recv distinguishes the formats per frame. Cold kinds
-// (register, stage, shutdown, errors, ...) remain JSON on every connection,
+// byte 0xBF, so Recv distinguishes the formats per frame. v2.1 extends the
+// binary layout to the cold kinds register/registered/stage/staged/error —
+// stage payloads are the largest frames on the wire and previously shipped
+// base64-in-JSON. no-work and shutdown remain JSON on every connection,
 // which keeps the wire debuggable and the fallback path continuously
-// exercised.
+// exercised. Frame-level relays use frame.go: a received frame's raw bytes
+// can be forwarded to another connection without decode/re-encode.
 
 import (
 	"encoding/binary"
@@ -35,6 +38,11 @@ const (
 	// VersionJSON is the seed wire format: length-prefixed JSON frames.
 	VersionJSON uint8 = 1
 	// VersionBinary adds the compact binary fast path for hot frame kinds.
+	// v2.1 (same negotiated version: decoding is per-frame self-describing,
+	// so adding kinds is backward compatible) extends the binary layout to
+	// the cold kinds register, registered, stage, staged, and error, which
+	// moves stage payloads — the largest frames on the wire — off
+	// base64-in-JSON.
 	VersionBinary uint8 = 2
 	// MaxVersion is the highest version this build speaks.
 	MaxVersion = VersionBinary
@@ -58,15 +66,50 @@ const binMagic = 0xBF
 // ErrCorruptFrame is returned when a binary frame fails to decode.
 var ErrCorruptFrame = errors.New("proto: corrupt binary frame")
 
-// Binary kind codes. Only the hot kinds have one; everything else rides
-// the JSON fallback.
+// Binary kind codes. The hot kinds (1-5) shipped with v2; the cold kinds
+// (6-10) with v2.1. Kinds without a code (no-work, shutdown) ride the JSON
+// fallback, which keeps that path continuously exercised on every
+// connection.
 const (
 	binWorkRequest = 1
 	binTask        = 2
 	binResult      = 3
 	binOutput      = 4
 	binHeartbeat   = 5
+	binRegister    = 6
+	binRegistered  = 7
+	binStage       = 8
+	binStaged      = 9
+	binError       = 10
 )
+
+// binKindOf maps a binary kind code to its Kind without decoding the frame
+// body, so a relay can classify a frame from its first two payload bytes.
+func binKindOf(code byte) (Kind, bool) {
+	switch code {
+	case binWorkRequest:
+		return KindWorkRequest, true
+	case binTask:
+		return KindTask, true
+	case binResult:
+		return KindResult, true
+	case binOutput:
+		return KindOutput, true
+	case binHeartbeat:
+		return KindHeartbeat, true
+	case binRegister:
+		return KindRegister, true
+	case binRegistered:
+		return KindRegistered, true
+	case binStage:
+		return KindStage, true
+	case binStaged:
+		return KindStaged, true
+	case binError:
+		return KindError, true
+	}
+	return "", false
+}
 
 // appendBinary encodes e into buf if its kind has a binary form, returning
 // the extended buffer and true. Kinds without a binary form (or hot kinds
@@ -131,6 +174,44 @@ func appendBinary(buf []byte, e *Envelope) ([]byte, bool) {
 		buf = appendBool(buf, h.Busy)
 		buf = appendVarint(buf, int64(h.Uptime))
 		return buf, true
+	case KindRegister:
+		if e.Register == nil {
+			return buf, false
+		}
+		reg := e.Register
+		buf = append(buf, binMagic, binRegister)
+		buf = appendUvarint(buf, e.Seq)
+		buf = append(buf, e.Proto)
+		buf = appendString(buf, reg.WorkerID)
+		buf = appendString(buf, reg.Host)
+		buf = appendVarint(buf, int64(reg.Cores))
+		buf = appendInts(buf, reg.Coord)
+		return buf, true
+	case KindRegistered:
+		buf = append(buf, binMagic, binRegistered)
+		buf = appendUvarint(buf, e.Seq)
+		buf = append(buf, e.Proto)
+		return buf, true
+	case KindStage, KindStaged:
+		if e.Stage == nil {
+			return buf, false
+		}
+		s := e.Stage
+		code := byte(binStage)
+		if e.Kind == KindStaged {
+			code = binStaged
+		}
+		buf = append(buf, binMagic, code)
+		buf = appendUvarint(buf, e.Seq)
+		buf = appendString(buf, s.Name)
+		buf = appendString(buf, s.Path)
+		buf = appendByteSlice(buf, s.Data)
+		return buf, true
+	case KindError:
+		buf = append(buf, binMagic, binError)
+		buf = appendUvarint(buf, e.Seq)
+		buf = appendString(buf, e.Error)
+		return buf, true
 	default:
 		return buf, false
 	}
@@ -186,6 +267,31 @@ func decodeBinary(buf []byte) (*Envelope, error) {
 		h.Busy = r.bool()
 		h.Uptime = time.Duration(r.varint())
 		e.Heartbeat = h
+	case binRegister:
+		e.Kind = KindRegister
+		e.Proto = r.byte()
+		reg := &Register{}
+		reg.WorkerID = r.str()
+		reg.Host = r.str()
+		reg.Cores = int(r.varint())
+		reg.Coord = r.ints()
+		e.Register = reg
+	case binRegistered:
+		e.Kind = KindRegistered
+		e.Proto = r.byte()
+	case binStage, binStaged:
+		e.Kind = KindStage
+		if buf[1] == binStaged {
+			e.Kind = KindStaged
+		}
+		s := &Stage{}
+		s.Name = r.str()
+		s.Path = r.str()
+		s.Data = r.byteSlice()
+		e.Stage = s
+	case binError:
+		e.Kind = KindError
+		e.Error = r.str()
 	default:
 		return nil, fmt.Errorf("%w: unknown kind code %d", ErrCorruptFrame, buf[1])
 	}
@@ -223,6 +329,14 @@ func appendStrings(b []byte, ss []string) []byte {
 	b = appendUvarint(b, uint64(len(ss)))
 	for _, s := range ss {
 		b = appendString(b, s)
+	}
+	return b
+}
+
+func appendInts(b []byte, vs []int) []byte {
+	b = appendUvarint(b, uint64(len(vs)))
+	for _, v := range vs {
+		b = appendVarint(b, int64(v))
 	}
 	return b
 }
@@ -326,6 +440,25 @@ func (r *binReader) strs() []string {
 	return out
 }
 
+func (r *binReader) ints() []int {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.off) { // each entry needs at least 1 byte
+		r.fail()
+		return nil
+	}
+	out := make([]int, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, int(r.varint()))
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
 func (r *binReader) bool() bool {
 	if r.err != nil {
 		return false
@@ -337,4 +470,17 @@ func (r *binReader) bool() bool {
 	v := r.buf[r.off]
 	r.off++
 	return v != 0
+}
+
+func (r *binReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
 }

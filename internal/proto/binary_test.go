@@ -2,6 +2,7 @@ package proto
 
 import (
 	"bytes"
+	"encoding/base64"
 	"encoding/binary"
 	"errors"
 	"reflect"
@@ -11,7 +12,8 @@ import (
 )
 
 // hotEnvelopes covers every kind with a binary form, with both zero-ish and
-// fully populated payloads.
+// fully populated payloads. The name predates v2.1: the list now includes
+// the cold kinds register/registered/stage/staged/error too.
 func hotEnvelopes() []*Envelope {
 	return []*Envelope{
 		{Kind: KindWorkRequest},
@@ -35,6 +37,20 @@ func hotEnvelopes() []*Envelope {
 		{Kind: KindHeartbeat, Heartbeat: &Heartbeat{
 			WorkerID: "w17", Busy: true, Uptime: 3 * time.Minute,
 		}},
+		{Kind: KindRegister, Proto: MaxVersion, Register: &Register{
+			WorkerID: "ion-17-worker-4", Host: "ion-17", Cores: 4,
+			Coord: []int{3, 0, -1},
+		}},
+		{Kind: KindRegister, Register: &Register{WorkerID: "w"}},
+		{Kind: KindRegistered, Proto: VersionBinary},
+		{Kind: KindRegistered},
+		{Kind: KindStage, Stage: &Stage{
+			Name: "namd2.sh", Path: "bin/namd2.sh", Data: []byte("\x7fELF\x00raw bytes"),
+		}},
+		{Kind: KindStage, Stage: &Stage{Name: "empty"}},
+		{Kind: KindStaged, Stage: &Stage{Name: "namd2.sh"}},
+		{Kind: KindError, Error: "duplicate worker id w4"},
+		{Kind: KindError},
 	}
 }
 
@@ -63,22 +79,78 @@ func TestBinaryRoundTripAllHotKinds(t *testing.T) {
 	}
 }
 
-func TestColdKindsStayJSONOnBinaryCodec(t *testing.T) {
-	var buf bytes.Buffer
-	c := NewCodec(&buf)
-	c.EnableBinary()
-	if err := c.Send(&Envelope{Kind: KindStage, Stage: &Stage{Name: "lib.so", Data: []byte{1, 2}}}); err != nil {
+func TestCodelessKindsStayJSONOnBinaryCodec(t *testing.T) {
+	// no-work and shutdown have no binary kind code: they keep the JSON
+	// fallback exercised on every connection. Payload-less hot/cold kinds
+	// (a stage frame with a nil Stage) fall back too.
+	for _, e := range []*Envelope{
+		{Kind: KindNoWork},
+		{Kind: KindShutdown},
+		{Kind: KindStage}, // nil payload
+	} {
+		var buf bytes.Buffer
+		c := NewCodec(&buf)
+		c.EnableBinary()
+		if err := c.Send(e); err != nil {
+			t.Fatal(err)
+		}
+		if raw := buf.Bytes(); raw[4] != '{' {
+			t.Fatalf("%s: not JSON: % x", e.Kind, raw[:8])
+		}
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != e.Kind {
+			t.Fatalf("got %+v", got)
+		}
+	}
+}
+
+func TestStagePayloadHasNoBase64(t *testing.T) {
+	// The v2.1 headline: stage payloads on a binary connection carry their
+	// bytes raw. The payload below is binary data whose base64 encoding
+	// would appear in a JSON frame; the binary frame must instead contain
+	// the raw bytes verbatim and no base64 expansion.
+	data := []byte{0x00, 0x01, 0xFE, 0xFF, 0xBF, 0x7B, 0x22, 0x00}
+	env := &Envelope{Kind: KindStage, Stage: &Stage{Name: "blob", Data: data}}
+
+	var jbuf bytes.Buffer
+	jc := NewCodec(&jbuf)
+	if err := jc.Send(env); err != nil {
 		t.Fatal(err)
 	}
-	if raw := buf.Bytes(); raw[4] != '{' {
-		t.Fatalf("cold kind not JSON: % x", raw[:8])
+	if !bytes.Contains(jbuf.Bytes(), []byte(base64.StdEncoding.EncodeToString(data))) {
+		t.Fatal("JSON stage frame does not base64 its payload?")
 	}
-	got, err := c.Recv()
+
+	var bbuf bytes.Buffer
+	bc := NewCodec(&bbuf)
+	bc.EnableBinary()
+	if err := bc.Send(env); err != nil {
+		t.Fatal(err)
+	}
+	raw := bbuf.Bytes()
+	if raw[4] != binMagic {
+		t.Fatalf("stage frame not binary: % x", raw[:8])
+	}
+	if !bytes.Contains(raw, data) {
+		t.Fatal("binary stage frame does not contain the raw payload bytes")
+	}
+	if bytes.Contains(raw, []byte(base64.StdEncoding.EncodeToString(data))) {
+		t.Fatal("binary stage frame still contains base64")
+	}
+	// And the size win is structural: binary framing overhead is a few
+	// bytes, JSON+base64 inflates the payload by ~4/3.
+	if len(raw) >= jbuf.Len() {
+		t.Fatalf("binary stage frame (%dB) not smaller than JSON (%dB)", len(raw), jbuf.Len())
+	}
+	got, err := bc.Recv()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Kind != KindStage || got.Stage == nil || got.Stage.Name != "lib.so" {
-		t.Fatalf("got %+v", got)
+	if !bytes.Equal(got.Stage.Data, data) {
+		t.Fatalf("round trip: %x", got.Stage.Data)
 	}
 }
 

@@ -1,0 +1,222 @@
+package proto
+
+// Native fuzz targets for the wire codec (run in CI as a 20s smoke pass,
+// see .github/workflows/ci.yml). Two properties are load-bearing for the
+// relay data plane:
+//
+//  1. decode never panics: the dispatcher feeds every byte a worker sends
+//     into decodeBinary, so any panic is a remote crash.
+//  2. binary and JSON agree: a frame relayed raw to a binary peer and the
+//     same frame decoded and re-encoded as JSON for a v1 peer must deliver
+//     identical payloads, for every kind.
+//
+// The seed corpus lives in testdata/fuzz/<Target>/ (the native corpus
+// location); regenerate it with
+//
+//	JETS_REGEN_CORPUS=1 go test -run TestRegenerateFuzzCorpus ./internal/proto
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fuzzKinds is the fixed order FuzzRoundTrip maps its kind selector onto;
+// corpus files encode indexes into it.
+var fuzzKinds = []Kind{
+	KindWorkRequest, KindTask, KindResult, KindOutput, KindHeartbeat,
+	KindRegister, KindRegistered, KindStage, KindStaged, KindError,
+}
+
+// canonEnvelope normalizes the representations the two encodings cannot
+// distinguish: empty and nil slices (both encode as length 0 / omitted).
+func canonEnvelope(e *Envelope) *Envelope {
+	if e.Task != nil {
+		t := *e.Task
+		if len(t.Args) == 0 {
+			t.Args = nil
+		}
+		if len(t.Env) == 0 {
+			t.Env = nil
+		}
+		e.Task = &t
+	}
+	if e.Output != nil {
+		o := *e.Output
+		if len(o.Data) == 0 {
+			o.Data = nil
+		}
+		e.Output = &o
+	}
+	if e.Register != nil {
+		r := *e.Register
+		if len(r.Coord) == 0 {
+			r.Coord = nil
+		}
+		e.Register = &r
+	}
+	if e.Stage != nil {
+		s := *e.Stage
+		if len(s.Data) == 0 {
+			s.Data = nil
+		}
+		e.Stage = &s
+	}
+	return e
+}
+
+// FuzzDecodeBinary asserts decode-never-panics on arbitrary payloads, and
+// that anything that decodes successfully re-encodes to an equal envelope
+// (the decoder accepts only envelopes the encoder can reproduce).
+func FuzzDecodeBinary(f *testing.F) {
+	for _, e := range hotEnvelopes() {
+		if payload, ok := appendBinary(nil, e); ok {
+			f.Add(payload)
+		}
+	}
+	f.Add([]byte{binMagic})
+	f.Add([]byte{binMagic, 0x7E, 0x01})
+	f.Add([]byte{binMagic, binOutput, 0x01, 0x01, 'x', 0x01, 's', 0x20})
+	f.Add([]byte(`{"kind":"task"}`))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		e, err := decodeBinary(payload) // must not panic
+		if err != nil {
+			return
+		}
+		enc, ok := appendBinary(nil, e)
+		if !ok {
+			t.Fatalf("decoded envelope has no binary form: %+v", e)
+		}
+		e2, err := decodeBinary(enc)
+		if err != nil {
+			t.Fatalf("re-encoded frame fails to decode: %v", err)
+		}
+		if !reflect.DeepEqual(canonEnvelope(e), canonEnvelope(e2)) {
+			t.Fatalf("decode(encode(decode(x))) diverged:\n%+v\n%+v", e, e2)
+		}
+	})
+}
+
+// FuzzRoundTrip builds an envelope of every kind from fuzzed fields and
+// asserts the binary and JSON wire formats decode to the same envelope, so
+// a v1 peer and a v2 peer observe identical payloads.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(byte(1), "j1/rank3", "j1", "namd2.sh", []byte("hello\x00world"), int64(3), int64(90e9), uint64(7), true)
+	f.Add(byte(3), "t", "stdout", "", []byte{}, int64(-1), int64(0), uint64(0), false)
+	f.Add(byte(7), "namd2.sh", "bin/x", "", []byte{0xBF, 0x7B, 0xFF}, int64(4), int64(1), uint64(1), true)
+	f.Add(byte(9), "boom", "", "", []byte(nil), int64(0), int64(0), uint64(2), false)
+	f.Fuzz(func(t *testing.T, kindSel byte, s1, s2, s3 string, blob []byte, n1, n2 int64, seq uint64, flag bool) {
+		// JSON replaces invalid UTF-8 with U+FFFD; that is a property of
+		// encoding/json, not a codec divergence, so compare on valid UTF-8.
+		s1 = strings.ToValidUTF8(s1, "�")
+		s2 = strings.ToValidUTF8(s2, "�")
+		s3 = strings.ToValidUTF8(s3, "�")
+
+		e := &Envelope{Kind: fuzzKinds[int(kindSel)%len(fuzzKinds)], Seq: seq}
+		switch e.Kind {
+		case KindTask:
+			e.Task = &Task{
+				TaskID: s1, JobID: s2, Cmd: s3,
+				Args: []string{s1, s3}, Env: []string{s2},
+				Dir: s3, Rank: int(int32(n1)), Size: int(int32(n2)),
+				Control: s2, KVS: s1, WallLimit: time.Duration(n2),
+			}
+		case KindResult:
+			e.Result = &Result{TaskID: s1, JobID: s2, ExitCode: int(int32(n1)), Err: s3, Elapsed: time.Duration(n2)}
+		case KindOutput:
+			e.Output = &Output{TaskID: s1, Stream: s2, Data: blob}
+		case KindHeartbeat:
+			e.Heartbeat = &Heartbeat{WorkerID: s1, Busy: flag, Uptime: time.Duration(n1)}
+		case KindRegister:
+			e.Proto = byte(seq)
+			e.Register = &Register{WorkerID: s1, Host: s2, Cores: int(int32(n1)), Coord: []int{int(int32(n1)), int(int32(n2))}}
+		case KindRegistered:
+			e.Proto = byte(n1)
+		case KindStage, KindStaged:
+			e.Stage = &Stage{Name: s1, Path: s2, Data: blob}
+		case KindError:
+			e.Error = s1
+		}
+
+		enc, ok := appendBinary(nil, e)
+		if !ok {
+			t.Fatalf("%s: no binary form", e.Kind)
+		}
+		fromBin, err := decodeBinary(enc)
+		if err != nil {
+			t.Fatalf("%s: binary decode: %v", e.Kind, err)
+		}
+		j, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("%s: json marshal: %v", e.Kind, err)
+		}
+		fromJSON := &Envelope{}
+		if err := json.Unmarshal(j, fromJSON); err != nil {
+			t.Fatalf("%s: json unmarshal: %v", e.Kind, err)
+		}
+		if !reflect.DeepEqual(canonEnvelope(fromBin), canonEnvelope(fromJSON)) {
+			t.Fatalf("%s: binary and JSON round trips diverged:\nbinary: %+v\njson:   %+v",
+				e.Kind, fromBin, fromJSON)
+		}
+		if !reflect.DeepEqual(canonEnvelope(fromBin), canonEnvelope(e)) {
+			t.Fatalf("%s: binary round trip lost data:\nsent: %+v\ngot:  %+v", e.Kind, e, fromBin)
+		}
+	})
+}
+
+// TestRegenerateFuzzCorpus rewrites the checked-in seed corpus from
+// hotEnvelopes when JETS_REGEN_CORPUS=1; by default it only verifies the
+// corpus directories exist and are non-empty.
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	decodeDir := filepath.Join("testdata", "fuzz", "FuzzDecodeBinary")
+	roundDir := filepath.Join("testdata", "fuzz", "FuzzRoundTrip")
+	if os.Getenv("JETS_REGEN_CORPUS") == "" {
+		for _, dir := range []string{decodeDir, roundDir} {
+			ents, err := os.ReadDir(dir)
+			if err != nil || len(ents) == 0 {
+				t.Fatalf("seed corpus missing under %s (regenerate with JETS_REGEN_CORPUS=1): %v", dir, err)
+			}
+		}
+		return
+	}
+	for _, dir := range []string{decodeDir, roundDir} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, e := range hotEnvelopes() {
+		payload, ok := appendBinary(nil, e)
+		if !ok {
+			continue
+		}
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(payload)))
+		if err := os.WriteFile(filepath.Join(decodeDir, fmt.Sprintf("seed-%02d-%s", i, e.Kind)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One corrupt seed so the decoder's error paths stay in the corpus.
+	corrupt := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string([]byte{binMagic, binTask, 0x01, 0xFF})))
+	if err := os.WriteFile(filepath.Join(decodeDir, "seed-corrupt-task"), []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range fuzzKinds {
+		var b bytes.Buffer
+		b.WriteString("go test fuzz v1\n")
+		fmt.Fprintf(&b, "byte(%d)\n", i)
+		fmt.Fprintf(&b, "string(%s)\n", strconv.Quote("j1/rank3"))
+		fmt.Fprintf(&b, "string(%s)\n", strconv.Quote("stdout"))
+		fmt.Fprintf(&b, "string(%s)\n", strconv.Quote("namd2.sh"))
+		fmt.Fprintf(&b, "[]byte(%s)\n", strconv.Quote("payload\x00\xbf\x7b"))
+		b.WriteString("int64(-3)\nint64(90000000000)\nuint64(7)\nbool(true)\n")
+		if err := os.WriteFile(filepath.Join(roundDir, fmt.Sprintf("seed-%02d-%s", i, k)), b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -254,17 +254,17 @@ func (c *Codec) Flush() error {
 	return c.w.Flush()
 }
 
-// Recv reads one envelope, blocking until a full frame arrives. Binary and
-// JSON payloads are distinguished by their first byte, so a codec can
-// receive both regardless of what its send side negotiated.
-func (c *Codec) Recv() (*Envelope, error) {
+// readFrame reads one length-prefixed frame into a pooled buffer and
+// returns the pool entry plus the payload slice. The caller owns the entry
+// and must return it with putBuf.
+func (c *Codec) readFrame() (*[]byte, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return nil, ErrFrameTooLarge
+		return nil, nil, ErrFrameTooLarge
 	}
 	bp := bufPool.Get().(*[]byte)
 	buf := *bp
@@ -274,14 +274,34 @@ func (c *Codec) Recv() (*Envelope, error) {
 		buf = buf[:n]
 	}
 	if _, err := io.ReadFull(c.r, buf); err != nil {
-		*bp = buf[:0]
-		bufPool.Put(bp)
+		putBuf(bp, buf)
+		return nil, nil, err
+	}
+	return bp, buf, nil
+}
+
+// putBuf returns a frame buffer to the pool, scribbling over the payload
+// first when poisoning is enabled (see PoisonFrames).
+func putBuf(bp *[]byte, buf []byte) {
+	if poisonFrames.Load() {
+		for i := range buf {
+			buf[i] = poisonByte
+		}
+	}
+	*bp = buf[:0]
+	bufPool.Put(bp)
+}
+
+// Recv reads one envelope, blocking until a full frame arrives. Binary and
+// JSON payloads are distinguished by their first byte, so a codec can
+// receive both regardless of what its send side negotiated.
+func (c *Codec) Recv() (*Envelope, error) {
+	bp, buf, err := c.readFrame()
+	if err != nil {
 		return nil, err
 	}
-
 	var e *Envelope
-	var err error
-	if n > 0 && buf[0] == binMagic {
+	if len(buf) > 0 && buf[0] == binMagic {
 		e, err = decodeBinary(buf)
 	} else {
 		e = &Envelope{}
@@ -289,8 +309,7 @@ func (c *Codec) Recv() (*Envelope, error) {
 			err = fmt.Errorf("proto: unmarshal: %w", jerr)
 		}
 	}
-	*bp = buf[:0]
-	bufPool.Put(bp)
+	putBuf(bp, buf)
 	if err != nil {
 		return nil, err
 	}

@@ -255,10 +255,11 @@ type outputForwarder struct {
 }
 
 func (f *outputForwarder) Write(p []byte) (int, error) {
-	cp := make([]byte, len(p))
-	copy(cp, p)
+	// No defensive copy: Send encodes the envelope into the codec's write
+	// buffer synchronously under its lock and never retains p, so aliasing
+	// the caller's buffer for the duration of the call is safe.
 	err := f.codec.Send(&proto.Envelope{Kind: proto.KindOutput, Output: &proto.Output{
-		TaskID: f.taskID, Stream: f.stream, Data: cp,
+		TaskID: f.taskID, Stream: f.stream, Data: p,
 	}})
 	if err != nil {
 		// Losing output must not kill the user process; swallow and drop.
