@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"jets/internal/hydra"
+	"jets/internal/obs"
 	"jets/internal/worker"
 )
 
@@ -38,6 +39,7 @@ func run() error {
 	coord := flag.String("coord", "", "interconnect coordinates, e.g. 3,0,7 (first plane keys the dispatcher's scheduling shard)")
 	heartbeat := flag.Duration("heartbeat", time.Second, "heartbeat interval")
 	jsonWire := flag.Bool("json-wire", false, "disable the binary wire fast path (v1 JSON frames only)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	if *dispatcher == "" {
@@ -77,6 +79,17 @@ func run() error {
 	}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		worker.RegisterMetrics(reg)
+		hydra.RegisterMetrics(reg)
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("jets-worker: metrics on http://%s/metrics\n", srv.Addr())
+	}
 	fmt.Printf("jets-worker: %s -> %s\n", *id, *dispatcher)
 	return w.Run(ctx)
 }

@@ -29,6 +29,7 @@ import (
 	"jets/internal/core"
 	"jets/internal/dispatch"
 	"jets/internal/hydra"
+	"jets/internal/obs"
 )
 
 func main() {
@@ -51,6 +52,7 @@ func run() error {
 	format := flag.String("format", "lines", "input format: lines (MPI:/SEQ:) or json")
 	tracePath := flag.String("trace", "", "write a JSON-lines dispatcher event trace to this file")
 	coalesce := flag.Int("write-coalesce", 16, "max outbound frames batched per flush on each worker connection (<=1 disables)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. 127.0.0.1:9090; empty disables)")
 	flag.Parse()
 
 	if *input == "" {
@@ -86,6 +88,10 @@ func run() error {
 		tracer = &dispatch.TraceRecorder{}
 		onEvent = tracer.Record
 	}
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
 	eng, err := core.NewEngine(core.Options{
 		LocalWorkers:   *workers,
 		CoresPerWorker: *cores,
@@ -97,12 +103,21 @@ func run() error {
 		OnOutput:       onOutput,
 		OnEvent:        onEvent,
 		WriteCoalesce:  *coalesce,
+		Obs:            reg,
 	})
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
 	fmt.Printf("jets: dispatcher on %s, %d local workers\n", eng.Addr(), *workers)
+	if reg != nil {
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("jets: metrics on http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
@@ -118,6 +133,9 @@ func run() error {
 		return err
 	}
 	if tracer != nil {
+		// Close (idempotent) flushes the dispatcher's buffered event tail
+		// before the trace is written, so the file carries the full batch.
+		eng.Close()
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			return err

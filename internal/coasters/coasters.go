@@ -25,6 +25,7 @@ import (
 
 	"jets/internal/dispatch"
 	"jets/internal/hydra"
+	"jets/internal/obs"
 	"jets/internal/proto"
 	"jets/internal/worker"
 )
@@ -186,6 +187,9 @@ type Service struct {
 	subMu      sync.RWMutex
 	subs       map[*subscriber]struct{} // data-plane output subscribers
 	droppedOut atomic.Int64
+
+	stagedFiles atomic.Int64 // files accepted into the staging store
+	stagedBytes atomic.Int64 // payload bytes accepted into the staging store
 }
 
 // NewService starts the embedded dispatcher and returns the service.
@@ -212,7 +216,38 @@ func NewService(cfg Config) (*Service, error) {
 	}
 	s.cfg = cfg
 	s.d = d
+	if cfg.Dispatch.Obs != nil {
+		s.registerObs(cfg.Dispatch.Obs)
+	}
 	return s, nil
+}
+
+// registerObs exports the service's data-plane and staging state through the
+// same registry the embedded dispatcher uses. All series are sampled at
+// scrape time from state the service already maintains.
+func (s *Service) registerObs(reg *obs.Registry) {
+	reg.CounterFunc("jets_dataplane_dropped_outputs_total",
+		"output frames dropped because a data-plane subscriber queue was full", s.droppedOut.Load)
+	reg.CounterFunc("jets_stage_files_total",
+		"files accepted into the service staging store", s.stagedFiles.Load)
+	reg.CounterFunc("jets_stage_bytes_total",
+		"payload bytes accepted into the service staging store", s.stagedBytes.Load)
+	reg.GaugeFunc("jets_dataplane_subscribers",
+		"connected data-plane output subscribers", func() float64 {
+			s.subMu.RLock()
+			defer s.subMu.RUnlock()
+			return float64(len(s.subs))
+		})
+	reg.GaugeFunc("jets_dataplane_queue_depth",
+		"relayed output frames buffered across all subscriber queues", func() float64 {
+			s.subMu.RLock()
+			defer s.subMu.RUnlock()
+			n := 0
+			for sub := range s.subs {
+				n += len(sub.q)
+			}
+			return float64(n)
+		})
 }
 
 // Dispatcher exposes the embedded JETS dispatcher.
@@ -280,6 +315,8 @@ func (s *Service) Put(name string, data []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.staged[name] = append([]byte(nil), data...)
+	s.stagedFiles.Add(1)
+	s.stagedBytes.Add(int64(len(data)))
 	// Forward to worker-local caches as well.
 	go s.d.StageFile(name, data)
 }

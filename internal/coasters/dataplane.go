@@ -16,8 +16,10 @@ package coasters
 
 import (
 	"fmt"
+	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jets/internal/proto"
@@ -28,6 +30,10 @@ type subscriber struct {
 	codec *proto.Codec
 	q     chan *proto.Frame // entries hold one reference each
 	quit  chan struct{}
+
+	// dropWarned rate-limits the slow-subscriber diagnostic to one warning
+	// per connection: the first dropped frame logs, the rest only count.
+	dropWarned atomic.Bool
 }
 
 // offer hands a frame to the subscriber's writer without blocking,
@@ -114,6 +120,10 @@ func (s *Service) relayOutput(f *proto.Frame) {
 	for sub := range s.subs {
 		if !sub.offer(f) {
 			s.droppedOut.Add(1)
+			if sub.dropWarned.CompareAndSwap(false, true) {
+				log.Printf("coasters: data-plane subscriber %s is not keeping up; dropping output frames (see jets_dataplane_dropped_outputs_total)",
+					sub.codec.RemoteAddr())
+			}
 		}
 	}
 	s.subMu.RUnlock()
@@ -183,6 +193,8 @@ func (s *Service) serveData(codec *proto.Codec) {
 			if env, derr := f.Envelope(); derr == nil && env.Stage != nil {
 				s.mu.Lock()
 				s.staged[env.Stage.Name] = append([]byte(nil), env.Stage.Data...)
+				s.stagedFiles.Add(1)
+				s.stagedBytes.Add(int64(len(env.Stage.Data)))
 				s.mu.Unlock()
 				// Relay the original frame bytes to the worker pool; the
 				// decoded copy above is the service-side store.
@@ -303,6 +315,8 @@ func (c *DataClient) Stage(name string, data []byte, timeout time.Duration) erro
 	}); err != nil {
 		return err
 	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
 	select {
 	case <-ch:
 		c.mu.Lock()
@@ -312,7 +326,7 @@ func (c *DataClient) Stage(name string, data []byte, timeout time.Duration) erro
 			return fmt.Errorf("coasters: connection lost before staged ack")
 		}
 		return nil
-	case <-time.After(timeout):
+	case <-t.C:
 		return fmt.Errorf("coasters: staged ack for %q timed out", name)
 	}
 }

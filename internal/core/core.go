@@ -24,6 +24,7 @@ import (
 	"jets/internal/dispatch"
 	"jets/internal/hydra"
 	"jets/internal/metrics"
+	"jets/internal/obs"
 	"jets/internal/proto"
 	"jets/internal/worker"
 )
@@ -67,6 +68,10 @@ type Options struct {
 	// JSONWire forces local workers onto the v1 JSON wire format instead
 	// of negotiating the binary fast path (A/B measurement, interop tests).
 	JSONWire bool
+	// Obs, when non-nil, exports the dispatcher's instrumentation plus the
+	// hydra/PMI and worker package metrics through the registry, ready for
+	// obs.Serve.
+	Obs *obs.Registry
 }
 
 // Engine is a running JETS instance.
@@ -93,7 +98,12 @@ func NewEngine(opts Options) (*Engine, error) {
 		OnOutputFrame:    opts.OnOutputFrame,
 		OnEvent:          opts.OnEvent,
 		WriteCoalesce:    opts.WriteCoalesce,
+		Obs:              opts.Obs,
 	})
+	if opts.Obs != nil {
+		hydra.RegisterMetrics(opts.Obs)
+		worker.RegisterMetrics(opts.Obs)
+	}
 	addr, err := d.Start()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,158 @@
+package core
+
+// End-to-end scrape test for the observability endpoint: a real engine with
+// local workers runs a mixed batch while an obs.Server serves the registry,
+// and the /metrics exposition must carry live values from every layer —
+// dispatcher counters and histograms, PMI wire-up, and worker counters.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"jets/internal/dispatch"
+	"jets/internal/hydra"
+	"jets/internal/mpi"
+	"jets/internal/obs"
+)
+
+// metricValue extracts an unlabeled series' value from an exposition body.
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+				t.Fatalf("unparseable value for %s: %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not found in exposition", name)
+	return 0
+}
+
+func scrape(t *testing.T, addr, path string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestMetricsScrapeLiveEngine(t *testing.T) {
+	reg := obs.NewRegistry()
+	runner := hydra.NewFuncRunner()
+	runner.Register("mpi-app", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		comm, err := mpi.InitEnvFrom(env)
+		if err != nil {
+			return 1
+		}
+		defer comm.Close()
+		if err := comm.Barrier(); err != nil {
+			return 2
+		}
+		return 0
+	})
+	runner.Register("seq-app", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		fmt.Fprintln(stdout, "ok")
+		return 0
+	})
+	eng, err := NewEngine(Options{LocalWorkers: 2, Runner: runner, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	srv, err := obs.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The hydra/PMI/worker instruments are process-global (shared by every
+	// engine in this test binary), so assert their growth across the batch
+	// rather than absolute values.
+	before := scrape(t, srv.Addr(), "/metrics")
+
+	jobs := []dispatch.Job{
+		{Spec: hydra.JobSpec{JobID: "m1", NProcs: 2, Cmd: "mpi-app"}, Type: dispatch.MPI},
+		{Spec: hydra.JobSpec{JobID: "s1", NProcs: 1, Cmd: "seq-app"}, Type: dispatch.Sequential},
+		{Spec: hydra.JobSpec{JobID: "s2", NProcs: 1, Cmd: "seq-app"}, Type: dispatch.Sequential},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := eng.RunBatch(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() != 0 {
+		t.Fatalf("batch failures: %+v", rep.Results)
+	}
+
+	body := scrape(t, srv.Addr(), "/metrics")
+	for _, want := range []string{
+		// Dispatcher counters sampled from the stats atomics.
+		"jets_jobs_submitted_total 3",
+		"jets_jobs_completed_total 3",
+		"jets_jobs_failed_total 0",
+		"jets_tasks_dispatched_total 4",
+		"jets_workers_joined_total 2",
+		// Live gauges: workers still registered, nothing queued or running.
+		"jets_workers 2",
+		"jets_queued_jobs 0",
+		"jets_running_jobs 0",
+		// Histograms observed every job.
+		"jets_dispatch_queue_wait_seconds_count 3",
+		"jets_dispatch_assembly_seconds_count 3",
+		"jets_job_duration_seconds_count 3",
+		// Per-shard labeled series exist.
+		`jets_shard_idle_workers{shard="0"}`,
+		// Exposition-format headers.
+		"# TYPE jets_job_duration_seconds histogram",
+		"# TYPE jets_workers gauge",
+		"# TYPE jets_jobs_submitted_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Cross-layer deltas: one mpiexec and PMI wire-up for the MPI job, four
+	// tasks executed by the local workers, and no aborts.
+	for _, d := range []struct {
+		name string
+		want float64
+	}{
+		{"jets_pmi_wireup_seconds_count", 1},
+		{"jets_mpiexec_starts_total", 1},
+		{"jets_mpiexec_aborts_total", 0},
+		{"jets_worker_tasks_executed_total", 4},
+	} {
+		got := metricValue(t, body, d.name) - metricValue(t, before, d.name)
+		if got != d.want {
+			t.Errorf("%s grew by %g across the batch, want %g", d.name, got, d.want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", body)
+	}
+	if !strings.Contains(scrape(t, srv.Addr(), "/debug/vars"), `"jets"`) {
+		t.Error("/debug/vars missing jets snapshot")
+	}
+	if !strings.Contains(scrape(t, srv.Addr(), "/debug/pprof/goroutine?debug=1"), "goroutine") {
+		t.Error("/debug/pprof/goroutine not serving")
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"jets/internal/hydra"
 	"jets/internal/metrics"
+	"jets/internal/obs"
 	"jets/internal/proto"
 )
 
@@ -78,6 +79,10 @@ type Config struct {
 	// Latency is unaffected when the queue is empty: the first frame always
 	// flushes as soon as no more are immediately available.
 	WriteCoalesce int
+	// Obs, when non-nil, exports the dispatcher's live counters, gauges,
+	// and latency histograms through the registry (see instruments.go).
+	// The histograms are maintained either way; export is sampling-only.
+	Obs *obs.Registry
 }
 
 // Stats are cumulative dispatcher counters.
@@ -89,6 +94,9 @@ type Stats struct {
 	TasksDispatched int
 	WorkersJoined   int
 	WorkersLost     int
+	// Steals counts jobs launched through the cross-shard multi-lock path
+	// (work stealing or cross-shard MPI group assembly).
+	Steals int
 }
 
 // statsCounters is the lock-free internal form of Stats.
@@ -100,6 +108,7 @@ type statsCounters struct {
 	tasksDispatched atomic.Int64
 	workersJoined   atomic.Int64
 	workersLost     atomic.Int64
+	steals          atomic.Int64
 }
 
 // outFrame is one entry in a worker's send queue: either a typed envelope
@@ -216,12 +225,14 @@ type Dispatcher struct {
 	staged  []proto.Stage
 
 	stats statsCounters
+	ins   *instruments
 
 	idleWait chan struct{} // closed+recreated on completion transitions (for Drain)
 	wg       sync.WaitGroup
 
 	events        chan Event
 	eventsQuit    chan struct{}
+	evWG          sync.WaitGroup // tracks the drainer; Close waits for its flush
 	droppedEvents atomic.Int64
 }
 
@@ -251,13 +262,18 @@ func New(cfg Config) *Dispatcher {
 	if cfg.WriteCoalesce < 1 {
 		cfg.WriteCoalesce = 1
 	}
-	return &Dispatcher{
+	d := &Dispatcher{
 		cfg:      cfg,
 		shards:   newShards(cfg.Shards, func() QueuePolicy { return cfg.NewQueue() }),
 		workers:  make(map[string]*workerConn),
 		running:  make(map[string]*runningJob),
 		idleWait: make(chan struct{}),
+		ins:      newInstruments(),
 	}
+	if cfg.Obs != nil {
+		d.registerObs(cfg.Obs)
+	}
+	return d
 }
 
 // Shards reports the number of scheduling shards.
@@ -275,7 +291,7 @@ func (d *Dispatcher) Start() (string, error) {
 	if d.cfg.OnEvent != nil {
 		d.events = make(chan Event, 8192)
 		d.eventsQuit = make(chan struct{})
-		d.wg.Add(1)
+		d.evWG.Add(1)
 		go d.drainEvents()
 	}
 	d.wg.Add(2)
@@ -533,6 +549,7 @@ func (d *Dispatcher) registerRunning(job *Job) *runningJob {
 		pending: make(map[string]*workerConn, job.Procs()),
 		start:   time.Now(),
 	}
+	d.ins.queueWait.Observe(rj.start.Sub(job.submitted))
 	d.mu.Lock()
 	d.running[job.Spec.JobID] = rj
 	d.mu.Unlock()
@@ -566,6 +583,14 @@ func (d *Dispatcher) dispatchJob(rj *runningJob, group []*workerConn) {
 			return
 		}
 		tasks = exec.ProxyTasks()
+		// Fires when the last rank connects to the PMI endpoint. Set before
+		// any task is enqueued, so it cannot race its own registration; it
+		// cannot fire before EvJobStarted below because no rank can dial in
+		// until its proxy task reaches a worker.
+		jobID := job.Spec.JobID
+		exec.OnWired(func() {
+			d.emit(Event{Kind: EvPMIWired, JobID: jobID})
+		})
 	} else {
 		wall := job.Spec.WallLimit
 		if wall == 0 && d.cfg.JobTimeout > 0 {
@@ -615,6 +640,7 @@ func (d *Dispatcher) dispatchJob(rj *runningJob, group []*workerConn) {
 		d.kickLocked()
 	}
 	d.mu.Unlock()
+	d.ins.assembly.Observe(time.Since(rj.start))
 	if retry != nil {
 		d.requeue(retry)
 	}
@@ -764,6 +790,7 @@ func (d *Dispatcher) workerGone(wc *workerConn) {
 // to a shard queue under the dispatcher lock would invert the lock order).
 // Caller holds d.mu.
 func (d *Dispatcher) finalizeLocked(rj *runningJob, overrideErr string) *Job {
+	d.ins.jobDur.Observe(time.Since(rj.start))
 	delete(d.running, rj.job.Spec.JobID)
 	if rj.exec != nil {
 		rj.exec.Close()
@@ -939,7 +966,12 @@ func (d *Dispatcher) Close() error {
 		return nil
 	}
 	if d.eventsQuit != nil {
+		// Signal the drainer and wait for it to flush the buffered tail, so
+		// an observer (e.g. a trace file written after Close) sees every
+		// event emitted before shutdown. The drainer never blocks — it only
+		// empties the channel and returns — so this wait is bounded.
 		close(d.eventsQuit)
+		d.evWG.Wait()
 	}
 	if d.ln != nil {
 		return d.ln.Close()
@@ -1002,6 +1034,7 @@ func (d *Dispatcher) Stats() Stats {
 		TasksDispatched: int(d.stats.tasksDispatched.Load()),
 		WorkersJoined:   int(d.stats.workersJoined.Load()),
 		WorkersLost:     int(d.stats.workersLost.Load()),
+		Steals:          int(d.stats.steals.Load()),
 	}
 }
 

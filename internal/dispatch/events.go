@@ -24,13 +24,25 @@ type Event struct {
 // EventKind enumerates trace event types.
 type EventKind string
 
-// Event kinds.
+// Event kinds. A job's life cycle traces as submitted → queued →
+// group-assembled → started → task-sent* → pmi-wired (MPI jobs) →
+// task-done* → completed | failed | retried, with retried feeding back into
+// queued for the next attempt.
 const (
 	EvWorkerJoined EventKind = "worker-joined"
 	EvWorkerLost   EventKind = "worker-lost"
 	EvJobSubmitted EventKind = "job-submitted"
-	EvJobStarted   EventKind = "job-started"
-	EvTaskSent     EventKind = "task-sent"
+	// EvJobQueued marks the job entering a scheduling shard's queue, both on
+	// first submission and on each retry requeue (Detail "retry").
+	EvJobQueued EventKind = "job-queued"
+	// EvGroupAssembled marks the scheduling pass seating the job on its
+	// worker group (Detail names the path: "local" or "stolen").
+	EvGroupAssembled EventKind = "group-assembled"
+	EvJobStarted     EventKind = "job-started"
+	EvTaskSent       EventKind = "task-sent"
+	// EvPMIWired marks all ranks of an MPI job having connected to the job's
+	// PMI server: the point where MPI_Init can complete.
+	EvPMIWired     EventKind = "pmi-wired"
 	EvTaskDone     EventKind = "task-done"
 	EvJobCompleted EventKind = "job-completed"
 	EvJobFailed    EventKind = "job-failed"
@@ -54,7 +66,7 @@ func (d *Dispatcher) emit(e Event) {
 }
 
 func (d *Dispatcher) drainEvents() {
-	defer d.wg.Done()
+	defer d.evWG.Done()
 	for {
 		select {
 		case e := <-d.events:

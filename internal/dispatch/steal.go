@@ -74,6 +74,9 @@ func (d *Dispatcher) launchLocal(c *shard) bool {
 	c.nIdle.Store(int64(c.idle.Len()))
 	rj := d.registerRunning(job)
 	c.refreshHead()
+	// Emitted before the unlock: the pop held the same shard lock the queued
+	// event was emitted under, so the pair cannot reorder.
+	d.emit(Event{Kind: EvGroupAssembled, JobID: job.Spec.JobID, Detail: "local"})
 	c.mu.Unlock()
 	d.dispatchJob(rj, group)
 	return true
@@ -130,6 +133,8 @@ func (d *Dispatcher) launchStolen() bool {
 	}
 	rj := d.registerRunning(job)
 	c.refreshHead()
+	d.stats.steals.Add(1)
+	d.emit(Event{Kind: EvGroupAssembled, JobID: job.Spec.JobID, Detail: "stolen"})
 	d.unlockAll()
 	d.dispatchJob(rj, group)
 	return true
@@ -158,8 +163,12 @@ func (d *Dispatcher) placeJob(j *Job, retry bool) {
 	s.mu.Lock()
 	if retry {
 		s.requeueJob(j)
+		// Emitted under the shard lock: a pop needs this same lock, so the
+		// queued event always precedes the attempt's group-assembled event.
+		d.emit(Event{Kind: EvJobQueued, JobID: j.Spec.JobID, Detail: "retry"})
 	} else {
 		s.push(j)
+		d.emit(Event{Kind: EvJobQueued, JobID: j.Spec.JobID})
 	}
 	s.mu.Unlock()
 }

@@ -19,9 +19,27 @@ import (
 	"sync/atomic"
 	"time"
 
+	"jets/internal/obs"
 	"jets/internal/pmi"
 	"jets/internal/proto"
 )
+
+// Package-level instrumentation over every mpiexec instance in the process.
+// The counters work detached; RegisterMetrics exports them (and the PMI
+// layer's) through a registry.
+var (
+	startsTotal = obs.NewCounter("jets_mpiexec_starts_total",
+		"mpiexec instances started (one per MPI job attempt)")
+	abortsTotal = obs.NewCounter("jets_mpiexec_aborts_total",
+		"MPI jobs aborted (worker loss, rank failure, or watchdog timeout)")
+)
+
+// RegisterMetrics exports this package's instrumentation plus the embedded
+// PMI server's histograms.
+func RegisterMetrics(reg *obs.Registry) {
+	reg.Register(startsTotal, abortsTotal)
+	pmi.RegisterMetrics(reg)
+}
 
 // JobSpec describes one MPI job: the unit of the paper's input files
 // ("MPI: 4 namd2.sh input-1.pdb output-1.log").
@@ -79,6 +97,7 @@ func StartMPIExec(spec JobSpec) (*MPIExec, error) {
 	if err != nil {
 		return nil, err
 	}
+	startsTotal.Inc()
 	return &MPIExec{Spec: spec, kvsName: kvs, addr: addr, srv: srv}, nil
 }
 
@@ -132,18 +151,28 @@ func (m *MPIExec) ProxyTasks() []proto.Task {
 // elapses. On timeout the job is aborted so stuck ranks unblock with
 // errors (TCP fault recoverability, §6.1.3).
 func (m *MPIExec) Wait(timeout time.Duration) error {
+	// An explicit timer, stopped on return: time.After would pin its timer
+	// until expiry even for jobs that finish in milliseconds, and with one
+	// Wait per job that leak scales with the submission rate.
+	t := time.NewTimer(timeout)
+	defer t.Stop()
 	select {
 	case <-m.srv.Done():
 		m.mu.Lock()
 		defer m.mu.Unlock()
 		return m.err
-	case <-time.After(timeout):
+	case <-t.C:
 		m.AbortErr(fmt.Errorf("hydra: job %s timed out after %v", m.Spec.JobID, timeout))
 		m.mu.Lock()
 		defer m.mu.Unlock()
 		return m.err
 	}
 }
+
+// OnWired registers fn to run once every rank has dialed back to the PMI
+// endpoint — the launcher=manual analogue of mpiexec seeing all proxies
+// connect. If already wired, fn runs immediately.
+func (m *MPIExec) OnWired(fn func()) { m.srv.OnWired(fn) }
 
 // Done exposes the PMI completion channel.
 func (m *MPIExec) Done() <-chan struct{} { return m.srv.Done() }
@@ -163,6 +192,7 @@ func (m *MPIExec) AbortErr(cause error) {
 	m.aborted = true
 	m.err = cause
 	m.mu.Unlock()
+	abortsTotal.Inc()
 	m.srv.Close()
 }
 

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("jets_widgets_total", "widgets produced")
+	c.Add(3)
+	c.Inc()
+	g := reg.Gauge("jets_level", "current level")
+	g.Set(7)
+	g.Add(-2)
+	reg.GaugeFunc("jets_live", "sampled", func() float64 { return 2.5 })
+	reg.CounterFunc("jets_sampled_total", "sampled counter", func() int64 { return 42 })
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP jets_widgets_total widgets produced",
+		"# TYPE jets_widgets_total counter",
+		"jets_widgets_total 4",
+		"jets_level 5",
+		"jets_live 2.5",
+		"jets_sampled_total 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabeledGaugeGrouping(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFuncL("jets_shard_idle", `shard="1"`, "idle per shard", func() float64 { return 2 })
+	reg.GaugeFuncL("jets_shard_idle", `shard="0"`, "idle per shard", func() float64 { return 1 })
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "# TYPE jets_shard_idle gauge") != 1 {
+		t.Errorf("labeled series must share one TYPE header:\n%s", out)
+	}
+	if !strings.Contains(out, `jets_shard_idle{shard="0"} 1`) ||
+		!strings.Contains(out, `jets_shard_idle{shard="1"} 2`) {
+		t.Errorf("missing labeled serieses:\n%s", out)
+	}
+}
+
+func TestHistBuckets(t *testing.T) {
+	h := NewHist("jets_lat_seconds", "latency", []time.Duration{
+		time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond,
+	})
+	reg := NewRegistry()
+	reg.Register(h)
+	h.Observe(500 * time.Microsecond) // <= 1ms
+	h.Observe(time.Millisecond)       // le is inclusive: still the 1ms bucket
+	h.Observe(2 * time.Millisecond)   // <= 10ms
+	h.Observe(time.Second)            // +Inf
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`jets_lat_seconds_bucket{le="0.001"} 2`,
+		`jets_lat_seconds_bucket{le="0.01"} 3`,
+		`jets_lat_seconds_bucket{le="0.1"} 3`,
+		`jets_lat_seconds_bucket{le="+Inf"} 4`,
+		`jets_lat_seconds_count 4`,
+		"# TYPE jets_lat_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLinearBounds(t *testing.T) {
+	bounds := LinearBounds(0, 10, 5)
+	want := []time.Duration{2 * time.Second, 4 * time.Second, 6 * time.Second, 8 * time.Second, 10 * time.Second}
+	if len(bounds) != len(want) {
+		t.Fatalf("got %v", bounds)
+	}
+	for i := range want {
+		if d := bounds[i] - want[i]; d > time.Microsecond || d < -time.Microsecond {
+			t.Errorf("bound %d = %v, want %v", i, bounds[i], want[i])
+		}
+	}
+}
+
+func TestNilRegistryAndDetachedInstruments(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("jets_detached_total", "works unregistered")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("detached counter must still count")
+	}
+	h := reg.Hist("jets_detached_seconds", "works unregistered", nil)
+	h.Observe(time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatal("detached histogram must still observe")
+	}
+	reg.Register(c) // nil receiver: no-op, no panic
+}
+
+func TestDuplicateRegistrationKeepsFirst(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("jets_dup_total", "first")
+	a.Add(5)
+	b := reg.Counter("jets_dup_total", "second")
+	b.Add(100)
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "jets_dup_total 5") {
+		t.Errorf("duplicate registration must keep the first instrument:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "jets_dup_total 100") {
+		t.Errorf("second registration must not export:\n%s", out.String())
+	}
+}
+
+func TestConcurrentUpdatesRaceClean(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("jets_conc_total", "c")
+	g := reg.Gauge("jets_conc_level", "g")
+	h := reg.Hist("jets_conc_seconds", "h", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Set(int64(j))
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}(i)
+	}
+	// Scrape concurrently with the updates.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var b strings.Builder
+			reg.WritePrometheus(&b)
+			reg.Snapshot()
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("hist count = %d, want 8000", h.Count())
+	}
+}
+
+func TestHTTPEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jets_http_total", "served").Add(9)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "jets_http_total 9") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+
+	code, body = get("/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	jets, ok := vars["jets"].(map[string]any)
+	if !ok {
+		t.Fatalf("/debug/vars missing jets object: %s", body)
+	}
+	if v, _ := jets["jets_http_total"].(float64); v != 9 {
+		t.Errorf("jets_http_total in vars = %v, want 9", jets["jets_http_total"])
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Errorf("/debug/vars missing standard expvar memstats")
+	}
+
+	code, body = get("/debug/pprof/goroutine?debug=1")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/goroutine = %d:\n%.200s", code, body)
+	}
+}

@@ -21,7 +21,22 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"jets/internal/obs"
 )
+
+// Package-level instrumentation, shared by every PMI server in the process
+// (one per in-flight MPI job). The histograms work detached; RegisterMetrics
+// exports them through a registry.
+var (
+	wireupHist = obs.NewHist("jets_pmi_wireup_seconds",
+		"time from PMI listen to all ranks connected (MPI_Init wire-up)", nil)
+	barrierHist = obs.NewHist("jets_pmi_barrier_seconds",
+		"PMI barrier span from first barrier_in to the release broadcast", nil)
+)
+
+// RegisterMetrics exports this package's PMI instrumentation.
+func RegisterMetrics(reg *obs.Registry) { reg.Register(wireupHist, barrierHist) }
 
 // Environment variable names used to bootstrap a PMI client, following the
 // PMI_RANK convention the paper exposes to wrapper scripts (§5.2).
@@ -95,12 +110,16 @@ type Server struct {
 
 	ln net.Listener
 
-	mu        sync.Mutex
-	kvs       map[string]string
-	barrierN  int
-	conns     map[int]*serverConn // by rank
-	finalized int
-	closed    bool
+	mu           sync.Mutex
+	kvs          map[string]string
+	barrierN     int
+	barrierStart time.Time
+	conns        map[int]*serverConn // by rank
+	finalized    int
+	closed       bool
+	listenAt     time.Time
+	wired        bool   // every rank has connected at least once
+	onWired      func() // fired once, outside mu, when wired flips
 
 	doneCh chan struct{} // closed when all ranks finalize
 	once   sync.Once
@@ -148,6 +167,9 @@ func (s *Server) Listen(addr string) (string, error) {
 		return "", err
 	}
 	s.ln = ln
+	s.mu.Lock()
+	s.listenAt = time.Now()
+	s.mu.Unlock()
 	go s.acceptLoop()
 	return ln.Addr().String(), nil
 }
@@ -210,9 +232,18 @@ func (s *Server) dispatch(sc *serverConn, rec record) (done bool) {
 		sc.rank = rank
 		s.mu.Lock()
 		s.conns[rank] = sc
+		var fire func()
+		if !s.wired && len(s.conns) == s.size {
+			s.wired = true
+			wireupHist.Observe(time.Since(s.listenAt))
+			fire = s.onWired
+		}
 		s.mu.Unlock()
 		sc.send(record{"cmd": "response_to_init", "rc": "0",
 			"size": strconv.Itoa(s.size), "rank": strconv.Itoa(rank)})
+		if fire != nil {
+			fire()
+		}
 	case "get_maxes":
 		sc.send(record{"cmd": "maxes", "kvsname_max": "256", "keylen_max": "256", "vallen_max": "1024"})
 	case "get_appnum":
@@ -259,12 +290,16 @@ func (s *Server) dispatch(sc *serverConn, rec record) (done bool) {
 
 func (s *Server) barrierIn() {
 	s.mu.Lock()
+	if s.barrierN == 0 {
+		s.barrierStart = time.Now()
+	}
 	s.barrierN++
 	if s.barrierN < s.size {
 		s.mu.Unlock()
 		return
 	}
 	s.barrierN = 0
+	barrierHist.Observe(time.Since(s.barrierStart))
 	conns := make([]*serverConn, 0, len(s.conns))
 	for _, c := range s.conns {
 		conns = append(conns, c)
@@ -280,12 +315,34 @@ func (s *Server) Done() <-chan struct{} { return s.doneCh }
 
 // Wait blocks until all ranks finalize or the timeout elapses.
 func (s *Server) Wait(timeout time.Duration) error {
+	// An explicit timer, stopped on return: time.After would pin its timer
+	// (and channel) until expiry even when all ranks finalize promptly, which
+	// at many-parallel-task rates accumulates into real memory held for the
+	// full timeout window.
+	t := time.NewTimer(timeout)
+	defer t.Stop()
 	select {
 	case <-s.doneCh:
 		return nil
-	case <-time.After(timeout):
+	case <-t.C:
 		return fmt.Errorf("pmi: server wait timed out after %v", timeout)
 	}
+}
+
+// OnWired registers fn to run once every rank has connected (the MPI_Init
+// wire-up point). If the server is already wired, fn runs immediately. The
+// callback executes outside the server lock.
+func (s *Server) OnWired(fn func()) {
+	s.mu.Lock()
+	if s.wired {
+		s.mu.Unlock()
+		if fn != nil {
+			fn()
+		}
+		return
+	}
+	s.onWired = fn
+	s.mu.Unlock()
 }
 
 // KVSLen reports the number of keys in the key-value space (for tests and

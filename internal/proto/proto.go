@@ -170,6 +170,15 @@ func NewCodec(rw io.ReadWriter) *Codec {
 	return c
 }
 
+// RemoteAddr reports the peer address when the underlying transport is a
+// net.Conn, and "" otherwise (in-process pipes, test harnesses).
+func (c *Codec) RemoteAddr() string {
+	if conn, ok := c.wc.(net.Conn); ok {
+		return conn.RemoteAddr().String()
+	}
+	return ""
+}
+
 // EnableBinary switches the send side to the v2 binary fast path for hot
 // frame kinds. Call it only after the peer has negotiated VersionBinary at
 // register time; the receive side needs no switch because frames are

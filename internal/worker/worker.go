@@ -22,8 +22,26 @@ import (
 	"time"
 
 	"jets/internal/hydra"
+	"jets/internal/obs"
 	"jets/internal/proto"
 )
+
+// Package-level instrumentation over every worker agent in the process (the
+// in-process runtime hosts many). The counters work detached; RegisterMetrics
+// exports them through a registry.
+var (
+	tasksExecutedTotal = obs.NewCounter("jets_worker_tasks_executed_total",
+		"tasks executed by workers in this process")
+	heartbeatsTotal = obs.NewCounter("jets_worker_heartbeats_total",
+		"heartbeat frames sent by workers in this process")
+	noWorkBackoffsTotal = obs.NewCounter("jets_worker_nowork_backoffs_total",
+		"no-work replies answered with a backoff sleep")
+)
+
+// RegisterMetrics exports this package's worker instrumentation.
+func RegisterMetrics(reg *obs.Registry) {
+	reg.Register(tasksExecutedTotal, heartbeatsTotal, noWorkBackoffsTotal)
+}
 
 // Config parameterizes a worker agent.
 type Config struct {
@@ -51,6 +69,14 @@ type Config struct {
 
 	// DialTimeout bounds the initial connection; default 10s.
 	DialTimeout time.Duration
+
+	// NoWorkBackoff is the initial sleep after a no-work reply (dispatcher
+	// draining); default 10ms, the seed's fixed poll interval. Consecutive
+	// no-work replies double the sleep up to NoWorkBackoffMax; receiving real
+	// work resets it.
+	NoWorkBackoff time.Duration
+	// NoWorkBackoffMax caps the exponential no-work backoff; default 500ms.
+	NoWorkBackoffMax time.Duration
 
 	// JSONOnly disables the binary wire fast path: the worker announces no
 	// protocol version at registration and keeps speaking length-prefixed
@@ -88,6 +114,15 @@ func New(cfg Config) (*Worker, error) {
 	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.NoWorkBackoff <= 0 {
+		cfg.NoWorkBackoff = 10 * time.Millisecond
+	}
+	if cfg.NoWorkBackoffMax < cfg.NoWorkBackoff {
+		cfg.NoWorkBackoffMax = 500 * time.Millisecond
+		if cfg.NoWorkBackoffMax < cfg.NoWorkBackoff {
+			cfg.NoWorkBackoffMax = cfg.NoWorkBackoff
+		}
 	}
 	if cfg.Cores <= 0 {
 		cfg.Cores = 1
@@ -171,6 +206,17 @@ func (w *Worker) Run(ctx context.Context) error {
 	defer hbCancel()
 	go w.heartbeatLoop(hbCtx)
 
+	// One reusable timer serves every no-work backoff in the cycle below; it
+	// is created lazily (most workers never see a no-work reply) and stopped
+	// on return so an armed timer never outlives the worker.
+	backoff := w.cfg.NoWorkBackoff
+	var backoffTimer *time.Timer
+	defer func() {
+		if backoffTimer != nil {
+			backoffTimer.Stop()
+		}
+	}()
+
 	for {
 		select {
 		case <-ctx.Done():
@@ -193,8 +239,10 @@ func (w *Worker) Run(ctx context.Context) error {
 			if env.Task == nil {
 				return fmt.Errorf("worker %s: task frame without payload", w.cfg.ID)
 			}
+			backoff = w.cfg.NoWorkBackoff
 			w.execute(ctx, env.Task)
 		case proto.KindStage:
+			backoff = w.cfg.NoWorkBackoff
 			if err := w.stage(env.Stage); err != nil {
 				codec.Send(&proto.Envelope{Kind: proto.KindError, Error: err.Error()})
 			} else {
@@ -203,11 +251,27 @@ func (w *Worker) Run(ctx context.Context) error {
 		case proto.KindShutdown:
 			return nil
 		case proto.KindNoWork:
-			// Dispatcher is draining; back off briefly before re-requesting.
+			// Dispatcher is draining: back off before re-requesting, doubling
+			// up to the cap so an idle worker polls ever more gently instead
+			// of hammering a service that has nothing for it. The seed slept a
+			// fixed 10ms through a fresh time.After channel per reply, leaking
+			// a timer per poll and holding the poll rate at 100/s per worker.
+			noWorkBackoffsTotal.Inc()
+			if backoffTimer == nil {
+				backoffTimer = time.NewTimer(backoff)
+			} else {
+				backoffTimer.Reset(backoff)
+			}
 			select {
-			case <-time.After(10 * time.Millisecond):
+			case <-backoffTimer.C:
 			case <-ctx.Done():
 				return ctx.Err()
+			case <-w.killed:
+				return errors.New("worker killed")
+			}
+			backoff *= 2
+			if backoff > w.cfg.NoWorkBackoffMax {
+				backoff = w.cfg.NoWorkBackoffMax
 			}
 		default:
 			return fmt.Errorf("worker %s: unexpected message %q", w.cfg.ID, env.Kind)
@@ -242,6 +306,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 			if err != nil {
 				return
 			}
+			heartbeatsTotal.Inc()
 		}
 	}
 }
@@ -292,6 +357,7 @@ func (w *Worker) execute(ctx context.Context, task *proto.Task) {
 	cancel()
 
 	w.tasks.Add(1)
+	tasksExecutedTotal.Inc()
 	w.codec.Send(&proto.Envelope{Kind: proto.KindResult, Result: &res})
 }
 

@@ -349,3 +349,61 @@ func TestNoWorkBacksOff(t *testing.T) {
 	// The worker must come back with another request.
 	drainUntil(t, codec, proto.KindWorkRequest)
 }
+
+func TestNoWorkBackoffGrowsCapsAndResets(t *testing.T) {
+	const initial, max = 10 * time.Millisecond, 40 * time.Millisecond
+	fd := newFakeDispatcher(t)
+	runner := hydra.NewFuncRunner()
+	runner.Register("noop", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		return 0
+	})
+	w, err := New(Config{ID: "nwb", DispatcherAddr: fd.addr(),
+		Runner: runner, HeartbeatInterval: time.Hour,
+		NoWorkBackoff: initial, NoWorkBackoffMax: max})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go w.Run(ctx)
+	codec, _ := fd.accept(t)
+	defer codec.Close()
+
+	// Invariant across gap calls: the worker's current work request has been
+	// consumed and it is parked in Recv. gap replies no-work and measures how
+	// long the worker sleeps before its next request arrives.
+	drainUntil(t, codec, proto.KindWorkRequest)
+	gap := func() time.Duration {
+		start := time.Now()
+		codec.Send(&proto.Envelope{Kind: proto.KindNoWork})
+		drainUntil(t, codec, proto.KindWorkRequest)
+		return time.Since(start)
+	}
+	// Consecutive no-work replies: 10ms, 20ms, 40ms, 40ms (capped). Timer
+	// scheduling only adds delay, so lower bounds are safe to assert; the
+	// upper bound on the first gap just has to beat the cap.
+	first := gap()
+	if first < initial {
+		t.Fatalf("first backoff %v < configured initial %v", first, initial)
+	}
+	var last time.Duration
+	for i := 0; i < 3; i++ {
+		last = gap()
+	}
+	// After four consecutive no-work replies the sleep must be at the cap
+	// (>= 40ms), clearly above the initial 10ms.
+	if last < max {
+		t.Fatalf("capped backoff %v < configured max %v", last, max)
+	}
+
+	// Real work resets the backoff to the initial value: answer the parked
+	// request with a task, wait for its result, re-park, and measure again.
+	codec.Send(&proto.Envelope{Kind: proto.KindTask, Task: &proto.Task{
+		TaskID: "t1", JobID: "j1", Cmd: "noop"}})
+	drainUntil(t, codec, proto.KindResult)
+	drainUntil(t, codec, proto.KindWorkRequest)
+	afterReset := gap()
+	if afterReset >= max {
+		t.Fatalf("backoff after real work = %v, want reset toward %v", afterReset, initial)
+	}
+}
