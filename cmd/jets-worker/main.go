@@ -39,7 +39,7 @@ func run() error {
 	coord := flag.String("coord", "", "interconnect coordinates, e.g. 3,0,7 (first plane keys the dispatcher's scheduling shard)")
 	heartbeat := flag.Duration("heartbeat", time.Second, "heartbeat interval")
 	jsonWire := flag.Bool("json-wire", false, "disable the binary wire fast path (v1 JSON frames only)")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (empty disables)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof, and /healthz on this address (empty disables)")
 	flag.Parse()
 
 	if *dispatcher == "" {
@@ -88,7 +88,11 @@ func run() error {
 			return fmt.Errorf("metrics endpoint: %w", err)
 		}
 		defer srv.Close()
-		fmt.Printf("jets-worker: metrics on http://%s/metrics\n", srv.Addr())
+		// /healthz reports 503 until the worker has registered with its
+		// dispatcher (and again after the connection drops), so allocation
+		// scripts can probe pilot-job liveness.
+		srv.SetHealth(w.Healthy)
+		fmt.Printf("jets-worker: metrics on http://%s/metrics (also /healthz)\n", srv.Addr())
 	}
 	fmt.Printf("jets-worker: %s -> %s\n", *id, *dispatcher)
 	return w.Run(ctx)

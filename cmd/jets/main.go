@@ -26,6 +26,7 @@ import (
 	"os/signal"
 	"time"
 
+	"jets/internal/alerts"
 	"jets/internal/core"
 	"jets/internal/dispatch"
 	"jets/internal/hydra"
@@ -52,7 +53,10 @@ func run() error {
 	format := flag.String("format", "lines", "input format: lines (MPI:/SEQ:) or json")
 	tracePath := flag.String("trace", "", "write a JSON-lines dispatcher event trace to this file")
 	coalesce := flag.Int("write-coalesce", 16, "max outbound frames batched per flush on each worker connection (<=1 disables)")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. 127.0.0.1:9090; empty disables)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof, and /healthz on this address (e.g. 127.0.0.1:9090; empty disables)")
+	listen := flag.String("listen", "", "dispatcher listen address for external workers (e.g. 0.0.0.0:7001; empty binds an ephemeral loopback port)")
+	alertsOn := flag.Bool("alerts", false, "evaluate the default self-monitoring alert rules (log warnings, export jets_alert_firing, fail /healthz on critical rules)")
+	alertRules := flag.String("alert-rules", "", "load additional alert rules from this file (see internal/alerts.ParseRules; implies -alerts sources)")
 	flag.Parse()
 
 	if *input == "" {
@@ -89,13 +93,16 @@ func run() error {
 		onEvent = tracer.Record
 	}
 	var reg *obs.Registry
-	if *metricsAddr != "" {
+	if *metricsAddr != "" || *alertsOn || *alertRules != "" {
+		// Alerts resolve file rules against the registry and export firing
+		// gauges through it, so they need one even when it is not served.
 		reg = obs.NewRegistry()
 	}
 	eng, err := core.NewEngine(core.Options{
 		LocalWorkers:   *workers,
 		CoresPerWorker: *cores,
 		Runner:         hydra.ExecRunner{},
+		ListenAddr:     *listen,
 		MaxJobRetries:  *retries,
 		JobTimeout:     *timeout,
 		Queue:          queue,
@@ -110,13 +117,41 @@ func run() error {
 	}
 	defer eng.Close()
 	fmt.Printf("jets: dispatcher on %s, %d local workers\n", eng.Addr(), *workers)
-	if reg != nil {
+	var alertEngine *alerts.Engine
+	if *alertsOn || *alertRules != "" {
+		alertEngine, err = alerts.NewEngine(alerts.Config{Registry: reg},
+			alerts.ForDispatcher(eng.Dispatcher())...)
+		if err != nil {
+			return err
+		}
+		if *alertRules != "" {
+			f, err := os.Open(*alertRules)
+			if err != nil {
+				return err
+			}
+			rules, err := alerts.ParseRules(f, reg)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			if err := alertEngine.Add(rules...); err != nil {
+				return err
+			}
+		}
+		alertEngine.Start()
+		defer alertEngine.Close()
+		fmt.Printf("jets: alerts: %d rules, 1s evaluation\n", alertEngine.Rules())
+	}
+	if *metricsAddr != "" {
 		srv, err := obs.Serve(*metricsAddr, reg)
 		if err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)
 		}
 		defer srv.Close()
-		fmt.Printf("jets: metrics on http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr())
+		if alertEngine != nil {
+			srv.SetHealth(alertEngine.Health)
+		}
+		fmt.Printf("jets: metrics on http://%s/metrics (also /debug/vars, /debug/pprof, /healthz)\n", srv.Addr())
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -1,0 +1,456 @@
+// Package alerts is the dispatcher's self-monitoring layer: a rule engine
+// evaluated on a ticker over the live obs instruments, so the regimes the
+// paper's §6.1.5 fault experiments expose (worker churn, retry storms,
+// starved allocations) are detected in-process — the way Falkon's dispatcher
+// health monitoring and the Coasters service's block-health heuristics ship
+// their own watchdogs — rather than delegated to an external Prometheus.
+//
+// A Rule watches one value source — a gauge level, a counter's rate over a
+// sliding window, or a histogram quantile over a sliding window — against a
+// threshold, with firing/clearing hysteresis (For/Hold durations) so a
+// flapping series does not spam the operator. The Engine evaluates every
+// rule on one ticker, reports transitions through a pluggable hook
+// (structured Alert values; the default hook logs), exports firing states
+// back into the registry as jets_alert_firing{rule=...} gauges, and backs
+// the /healthz endpoint on the obs listener: 503 while any critical rule
+// fires.
+//
+// Evaluation is entirely off the dispatch hot path: sources are the same
+// atomics and preallocated bucket arrays the instruments already maintain,
+// sampled once per tick by the engine's own goroutine.
+package alerts
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jets/internal/obs"
+)
+
+// Severity ranks a rule's impact: Warning rules only log and export;
+// Critical rules additionally fail /healthz while firing.
+type Severity uint8
+
+const (
+	Warning Severity = iota
+	Critical
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	if s == Critical {
+		return "critical"
+	}
+	return "warning"
+}
+
+// Op is the comparison direction of a rule.
+type Op uint8
+
+const (
+	// Above fires while value > threshold.
+	Above Op = iota
+	// Below fires while value < threshold.
+	Below
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o == Below {
+		return "<"
+	}
+	return ">"
+}
+
+// Rule is one monitored condition. Exactly one of Gauge, Counter, or Hist
+// must be set; it determines the rule kind:
+//
+//   - Gauge (threshold rule): the sampled level is compared directly.
+//   - Counter (rate rule): the per-second increase over the trailing Window
+//     is compared (a counter reset restarts the window).
+//   - Hist (quantile rule): the Q-quantile of the observations made during
+//     the trailing Window is compared, in seconds.
+type Rule struct {
+	// Name identifies the rule in logs, /healthz, and the firing gauge's
+	// rule label. Required, unique within an engine.
+	Name string
+	// Severity defaults to Warning.
+	Severity Severity
+
+	Gauge   func() float64
+	Counter func() int64
+	Hist    *obs.Hist
+	// Q is the quantile in (0, 1) for Hist rules, e.g. 0.99.
+	Q float64
+
+	// Op and Threshold define the violation condition (see Op). For Hist
+	// rules Threshold is in seconds.
+	Op        Op
+	Threshold float64
+
+	// Window is the sliding window for rate and quantile rules; default
+	// 30s. Threshold rules ignore it.
+	Window time.Duration
+	// For is how long the condition must hold continuously before the rule
+	// fires; 0 fires on the first violating evaluation.
+	For time.Duration
+	// Hold is how long the condition must stay clear before a firing rule
+	// resolves; 0 clears on the first clean evaluation. Hysteresis: For
+	// debounces firing, Hold debounces clearing.
+	Hold time.Duration
+}
+
+// validate checks the rule is well formed.
+func (r *Rule) validate() error {
+	n := 0
+	if r.Gauge != nil {
+		n++
+	}
+	if r.Counter != nil {
+		n++
+	}
+	if r.Hist != nil {
+		n++
+	}
+	if n != 1 {
+		return fmt.Errorf("alerts: rule %q must have exactly one of Gauge, Counter, Hist (has %d)", r.Name, n)
+	}
+	if r.Hist != nil && (r.Q <= 0 || r.Q >= 1) {
+		return fmt.Errorf("alerts: rule %q quantile %g outside (0, 1)", r.Name, r.Q)
+	}
+	if r.Name == "" {
+		return fmt.Errorf("alerts: rule with empty name")
+	}
+	return nil
+}
+
+// Alert is one rule transition, delivered to the OnAlert hook.
+type Alert struct {
+	Rule     string
+	Severity Severity
+	// Firing is true on the firing edge, false on the resolving edge.
+	Firing bool
+	// Value is the evaluated value at the transition; Threshold and Op
+	// restate the rule's condition for self-contained log lines.
+	Value     float64
+	Threshold float64
+	Op        Op
+	At        time.Time
+}
+
+// String renders the transition as a one-line operator message.
+func (a Alert) String() string {
+	state := "RESOLVED"
+	if a.Firing {
+		state = "FIRING"
+	}
+	return fmt.Sprintf("%s [%s] %s: value %.4g (threshold %s %.4g)",
+		state, a.Severity, a.Rule, a.Value, a.Op, a.Threshold)
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Interval between evaluations; default 1s.
+	Interval time.Duration
+	// OnAlert receives each firing/resolving transition; default logs via
+	// the standard logger. The hook runs on the engine goroutine outside
+	// the engine lock; it must not call back into the engine.
+	OnAlert func(Alert)
+	// Registry, when non-nil, exports one jets_alert_firing{rule=...}
+	// gauge per rule (1 while firing) and a transition counter.
+	Registry *obs.Registry
+}
+
+// sample is one (time, counter value) observation for rate windows.
+type sample struct {
+	t time.Time
+	v int64
+}
+
+// hsnap is one (time, bucket counts) snapshot for quantile windows.
+type hsnap struct {
+	t      time.Time
+	counts []int64
+}
+
+// ruleState is a rule plus its evaluation state. Window state is owned by
+// the engine goroutine under mu; firing is atomic so the exported gauges
+// read it without locking.
+type ruleState struct {
+	r      Rule
+	firing atomic.Bool
+
+	badSince  time.Time
+	goodSince time.Time
+
+	samples []sample
+	snaps   []hsnap
+}
+
+// Engine evaluates a rule set on a ticker.
+type Engine struct {
+	cfg Config
+
+	mu      sync.Mutex
+	rules   []*ruleState
+	byName  map[string]*ruleState
+	started bool
+
+	critical    atomic.Int64 // number of critical rules currently firing
+	transitions *obs.Counter
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewEngine creates an engine over the given rules (more can be added with
+// Add before Start). Call Start to begin evaluation.
+func NewEngine(cfg Config, rules ...Rule) (*Engine, error) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.OnAlert == nil {
+		cfg.OnAlert = func(a Alert) { log.Printf("alerts: %s", a) }
+	}
+	e := &Engine{
+		cfg:    cfg,
+		byName: make(map[string]*ruleState),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	e.transitions = obs.NewCounter("jets_alerts_transitions_total",
+		"alert rule firing/resolving transitions")
+	cfg.Registry.Register(e.transitions)
+	if err := e.Add(rules...); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Add registers rules. Must be called before Start.
+func (e *Engine) Add(rules ...Rule) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return fmt.Errorf("alerts: Add after Start")
+	}
+	for _, r := range rules {
+		r := r
+		if r.Window <= 0 {
+			r.Window = 30 * time.Second
+		}
+		if err := r.validate(); err != nil {
+			return err
+		}
+		if _, dup := e.byName[r.Name]; dup {
+			return fmt.Errorf("alerts: duplicate rule name %q", r.Name)
+		}
+		st := &ruleState{r: r}
+		e.rules = append(e.rules, st)
+		e.byName[r.Name] = st
+		if e.cfg.Registry != nil {
+			e.cfg.Registry.GaugeFuncL("jets_alert_firing",
+				fmt.Sprintf("rule=%q,severity=%q", r.Name, r.Severity),
+				"1 while the alert rule is firing", func() float64 {
+					if st.firing.Load() {
+						return 1
+					}
+					return 0
+				})
+		}
+	}
+	return nil
+}
+
+// Rules reports the number of registered rules.
+func (e *Engine) Rules() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.rules)
+}
+
+// Start begins ticker evaluation. Close stops it.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return
+	}
+	e.started = true
+	e.mu.Unlock()
+	go func() {
+		defer close(e.done)
+		t := time.NewTicker(e.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-e.stop:
+				return
+			case now := <-t.C:
+				e.Eval(now)
+			}
+		}
+	}()
+}
+
+// Close stops the evaluation goroutine. Idempotent only via sync guard at
+// caller; call once.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	started := e.started
+	e.started = false
+	e.mu.Unlock()
+	close(e.stop)
+	if started {
+		<-e.done
+	}
+}
+
+// Eval runs one evaluation pass at the given time. Start's ticker calls it
+// once per interval; tests (and callers that want deterministic stepping)
+// may drive it directly instead of calling Start.
+func (e *Engine) Eval(now time.Time) {
+	var fired []Alert
+	e.mu.Lock()
+	crit := int64(0)
+	for _, st := range e.rules {
+		value := st.eval(now)
+		violating := st.r.Op == Above && value > st.r.Threshold ||
+			st.r.Op == Below && value < st.r.Threshold
+		if violating {
+			st.goodSince = time.Time{}
+			if st.badSince.IsZero() {
+				st.badSince = now
+			}
+			if !st.firing.Load() && now.Sub(st.badSince) >= st.r.For {
+				st.firing.Store(true)
+				fired = append(fired, e.alertFor(st, true, value, now))
+			}
+		} else {
+			st.badSince = time.Time{}
+			if st.goodSince.IsZero() {
+				st.goodSince = now
+			}
+			if st.firing.Load() && now.Sub(st.goodSince) >= st.r.Hold {
+				st.firing.Store(false)
+				fired = append(fired, e.alertFor(st, false, value, now))
+			}
+		}
+		if st.r.Severity == Critical && st.firing.Load() {
+			crit++
+		}
+	}
+	e.critical.Store(crit)
+	e.mu.Unlock()
+	// Hooks run outside the lock so they can scrape engine state freely.
+	for _, a := range fired {
+		e.transitions.Inc()
+		e.cfg.OnAlert(a)
+	}
+}
+
+func (e *Engine) alertFor(st *ruleState, firing bool, value float64, now time.Time) Alert {
+	return Alert{
+		Rule: st.r.Name, Severity: st.r.Severity, Firing: firing,
+		Value: value, Threshold: st.r.Threshold, Op: st.r.Op, At: now,
+	}
+}
+
+// eval computes the rule's current value. Engine lock held.
+func (st *ruleState) eval(now time.Time) float64 {
+	r := &st.r
+	switch {
+	case r.Gauge != nil:
+		return r.Gauge()
+	case r.Counter != nil:
+		return st.evalRate(now, r.Counter())
+	default:
+		return st.evalQuantile(now)
+	}
+}
+
+// evalRate maintains the sliding sample window and returns the per-second
+// increase across it.
+func (st *ruleState) evalRate(now time.Time, v int64) float64 {
+	if n := len(st.samples); n > 0 && v < st.samples[n-1].v {
+		// Counter reset (source restarted): restart the window.
+		st.samples = st.samples[:0]
+	}
+	st.samples = append(st.samples, sample{t: now, v: v})
+	// Keep one sample at or beyond the window boundary so the rate always
+	// spans (up to) the full window.
+	cut := now.Add(-st.r.Window)
+	for len(st.samples) > 1 && !st.samples[1].t.After(cut) {
+		st.samples = st.samples[1:]
+	}
+	first, last := st.samples[0], st.samples[len(st.samples)-1]
+	dt := last.t.Sub(first.t).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(last.v-first.v) / dt
+}
+
+// evalQuantile maintains the sliding bucket-snapshot window and returns the
+// rule quantile, in seconds, of the observations inside it. The first
+// evaluation only records the baseline (returns 0), so samples from before
+// the engine started cannot fire a rule.
+func (st *ruleState) evalQuantile(now time.Time) float64 {
+	cur := st.r.Hist.Buckets(nil)
+	cut := now.Add(-st.r.Window)
+	for len(st.snaps) > 1 && !st.snaps[1].t.After(cut) {
+		st.snaps = st.snaps[1:]
+	}
+	var v float64
+	if len(st.snaps) > 0 {
+		v = st.r.Hist.QuantileOfDelta(st.snaps[0].counts, cur, st.r.Q).Seconds()
+	}
+	st.snaps = append(st.snaps, hsnap{t: now, counts: cur})
+	return v
+}
+
+// Firing returns the names of currently firing rules (all severities),
+// sorted by registration order.
+func (e *Engine) Firing() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for _, st := range e.rules {
+		if st.firing.Load() {
+			out = append(out, st.r.Name)
+		}
+	}
+	return out
+}
+
+// IsFiring reports whether the named rule is currently firing.
+func (e *Engine) IsFiring(name string) bool {
+	e.mu.Lock()
+	st := e.byName[name]
+	e.mu.Unlock()
+	return st != nil && st.firing.Load()
+}
+
+// Health implements the /healthz contract: nil while no critical rule
+// fires, an error naming the firing critical rules otherwise. Wire it with
+// obs.Server.SetHealth.
+func (e *Engine) Health() error {
+	if e.critical.Load() == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var names []string
+	for _, st := range e.rules {
+		if st.r.Severity == Critical && st.firing.Load() {
+			names = append(names, st.r.Name)
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	return fmt.Errorf("critical alert firing: %v", names)
+}

@@ -1,0 +1,480 @@
+package alerts
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jets/internal/obs"
+)
+
+// collector captures OnAlert transitions for assertions.
+type collector struct {
+	mu     sync.Mutex
+	alerts []Alert
+}
+
+func (c *collector) hook(a Alert) {
+	c.mu.Lock()
+	c.alerts = append(c.alerts, a)
+	c.mu.Unlock()
+}
+
+func (c *collector) take() []Alert {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.alerts
+	c.alerts = nil
+	return out
+}
+
+// newTestEngine builds an engine with a capture hook, not started: tests
+// drive Eval with synthetic times for deterministic hysteresis.
+func newTestEngine(t *testing.T, cfg Config, rules ...Rule) (*Engine, *collector) {
+	t.Helper()
+	col := &collector{}
+	cfg.OnAlert = col.hook
+	e, err := NewEngine(cfg, rules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, col
+}
+
+func TestGaugeThresholdHysteresis(t *testing.T) {
+	var level float64
+	var mu sync.Mutex
+	set := func(v float64) { mu.Lock(); level = v; mu.Unlock() }
+	get := func() float64 { mu.Lock(); defer mu.Unlock(); return level }
+	e, col := newTestEngine(t, Config{}, Rule{
+		Name: "deep-queue", Severity: Critical,
+		Gauge: get, Op: Above, Threshold: 10,
+		For: 3 * time.Second, Hold: 2 * time.Second,
+	})
+	t0 := time.Unix(1000, 0)
+	at := func(d time.Duration) time.Time { return t0.Add(d) }
+
+	// Clean evaluations: nothing fires.
+	e.Eval(at(0))
+	set(50) // violating from t=1s
+	e.Eval(at(1 * time.Second))
+	e.Eval(at(3 * time.Second)) // held 2s < For 3s: still pending
+	if e.IsFiring("deep-queue") || len(col.take()) != 0 {
+		t.Fatal("rule fired before For elapsed")
+	}
+	e.Eval(at(4 * time.Second)) // held 3s >= For: fires
+	if !e.IsFiring("deep-queue") {
+		t.Fatal("rule must fire once the violation held For")
+	}
+	got := col.take()
+	if len(got) != 1 || !got[0].Firing || got[0].Rule != "deep-queue" || got[0].Value != 50 {
+		t.Fatalf("firing transition = %+v", got)
+	}
+	if got[0].Severity != Critical {
+		t.Fatalf("severity = %v", got[0].Severity)
+	}
+	if err := e.Health(); err == nil || !strings.Contains(err.Error(), "deep-queue") {
+		t.Fatalf("Health() = %v, want critical failure naming the rule", err)
+	}
+
+	// A brief dip below threshold must not clear before Hold.
+	set(5)
+	e.Eval(at(5 * time.Second))
+	if !e.IsFiring("deep-queue") {
+		t.Fatal("rule cleared before Hold elapsed")
+	}
+	// The dip ends: violation resets the clear timer.
+	set(50)
+	e.Eval(at(6 * time.Second))
+	set(5)
+	e.Eval(at(7 * time.Second))
+	e.Eval(at(8 * time.Second)) // clear for 1s < Hold 2s
+	if !e.IsFiring("deep-queue") {
+		t.Fatal("flap must restart the Hold timer")
+	}
+	e.Eval(at(9 * time.Second)) // clear for 2s >= Hold: resolves
+	if e.IsFiring("deep-queue") {
+		t.Fatal("rule must resolve after Hold of clean evaluations")
+	}
+	got = col.take()
+	if len(got) != 1 || got[0].Firing {
+		t.Fatalf("resolving transition = %+v", got)
+	}
+	if err := e.Health(); err != nil {
+		t.Fatalf("Health() after resolve = %v, want nil", err)
+	}
+	if len(e.Firing()) != 0 {
+		t.Fatalf("Firing() = %v, want empty", e.Firing())
+	}
+}
+
+func TestCounterRateRule(t *testing.T) {
+	c := obs.NewCounter("jets_lost_total", "t")
+	e, col := newTestEngine(t, Config{}, Rule{
+		Name: "loss-rate", Counter: c.Value,
+		Op: Above, Threshold: 0,
+		Window: 10 * time.Second,
+	})
+	t0 := time.Unix(2000, 0)
+	at := func(d time.Duration) time.Time { return t0.Add(d) }
+
+	// First evaluation is the baseline: a single sample has no rate.
+	c.Add(100)
+	e.Eval(at(0))
+	if e.IsFiring("loss-rate") {
+		t.Fatal("baseline evaluation must not fire")
+	}
+	// Flat counter: rate 0, still clean.
+	e.Eval(at(1 * time.Second))
+	if e.IsFiring("loss-rate") {
+		t.Fatal("flat counter must not fire a rate rule")
+	}
+	// An increment inside the window fires (For 0).
+	c.Inc()
+	e.Eval(at(2 * time.Second))
+	if !e.IsFiring("loss-rate") {
+		t.Fatal("in-window increment must fire")
+	}
+	if got := col.take(); len(got) != 1 || got[0].Value <= 0 {
+		t.Fatalf("firing transition = %+v", got)
+	}
+	// The increment ages out of the 10s window; the rule clears (Hold 0)
+	// within one evaluation of the window passing.
+	e.Eval(at(13 * time.Second))
+	if e.IsFiring("loss-rate") {
+		t.Fatal("rule must clear once the increment leaves the window")
+	}
+}
+
+func TestCounterResetRestartsWindow(t *testing.T) {
+	var v int64
+	var mu sync.Mutex
+	set := func(x int64) { mu.Lock(); v = x; mu.Unlock() }
+	e, _ := newTestEngine(t, Config{}, Rule{
+		Name: "rate", Counter: func() int64 { mu.Lock(); defer mu.Unlock(); return v },
+		Op: Above, Threshold: 0, Window: 30 * time.Second,
+	})
+	t0 := time.Unix(3000, 0)
+	set(1000)
+	e.Eval(t0)
+	// The source restarts: its counter drops. A naive delta would be hugely
+	// negative (or, against a fresh baseline, spuriously positive).
+	set(2)
+	e.Eval(t0.Add(1 * time.Second))
+	if e.IsFiring("rate") {
+		t.Fatal("counter reset must restart the window, not fire")
+	}
+	// Growth after the reset is a real rate again.
+	set(10)
+	e.Eval(t0.Add(2 * time.Second))
+	if !e.IsFiring("rate") {
+		t.Fatal("post-reset growth must fire")
+	}
+}
+
+func TestQuantileRule(t *testing.T) {
+	h := obs.NewHist("jets_wait_seconds", "t", []time.Duration{
+		100 * time.Millisecond, time.Second, 10 * time.Second,
+	})
+	e, _ := newTestEngine(t, Config{}, Rule{
+		Name: "wait-p99", Hist: h, Q: 0.99,
+		Op: Above, Threshold: 0.5, // seconds
+		Window: 10 * time.Second,
+	})
+	t0 := time.Unix(4000, 0)
+	at := func(d time.Duration) time.Time { return t0.Add(d) }
+
+	// Slow samples from before the engine started must not fire: the first
+	// evaluation only records the baseline.
+	for i := 0; i < 50; i++ {
+		h.Observe(5 * time.Second)
+	}
+	e.Eval(at(0))
+	if e.IsFiring("wait-p99") {
+		t.Fatal("pre-engine samples must not fire (baseline evaluation)")
+	}
+	// No new samples: empty window, still clean.
+	e.Eval(at(1 * time.Second))
+	if e.IsFiring("wait-p99") {
+		t.Fatal("empty window must not fire")
+	}
+	// Slow observations inside the window fire.
+	for i := 0; i < 20; i++ {
+		h.Observe(5 * time.Second)
+	}
+	e.Eval(at(2 * time.Second))
+	if !e.IsFiring("wait-p99") {
+		t.Fatal("slow in-window samples must fire the quantile rule")
+	}
+	// Recovery: the slow samples age out of the 10s window and only the
+	// baseline-aged history remains; the rule clears on the next evaluation
+	// past the boundary even though the lifetime p99 is still terrible.
+	e.Eval(at(7 * time.Second))
+	e.Eval(at(13 * time.Second))
+	if e.IsFiring("wait-p99") {
+		t.Fatal("rule must clear within one evaluation after the window drains")
+	}
+	if lifetime := h.Quantile(0.99); lifetime.Seconds() < 0.5 {
+		t.Fatalf("sanity: lifetime p99 = %v, expected slow", lifetime)
+	}
+}
+
+func TestBelowOp(t *testing.T) {
+	var level float64 = 10
+	e, _ := newTestEngine(t, Config{}, Rule{
+		Name: "starved", Gauge: func() float64 { return level },
+		Op: Below, Threshold: 1,
+	})
+	t0 := time.Unix(5000, 0)
+	e.Eval(t0)
+	if e.IsFiring("starved") {
+		t.Fatal("value above threshold must not fire a Below rule")
+	}
+	level = 0
+	e.Eval(t0.Add(time.Second))
+	if !e.IsFiring("starved") {
+		t.Fatal("value below threshold must fire a Below rule")
+	}
+}
+
+func TestEngineRegistryExport(t *testing.T) {
+	reg := obs.NewRegistry()
+	var level float64
+	var mu sync.Mutex
+	e, _ := newTestEngine(t, Config{Registry: reg}, Rule{
+		Name: "exported", Severity: Critical,
+		Gauge: func() float64 { mu.Lock(); defer mu.Unlock(); return level },
+		Op:    Above, Threshold: 0,
+	})
+	scrape := func() string {
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if !strings.Contains(scrape(), `jets_alert_firing{rule="exported",severity="critical"} 0`) {
+		t.Fatalf("firing gauge must export 0 before firing:\n%s", scrape())
+	}
+	t0 := time.Unix(6000, 0)
+	mu.Lock()
+	level = 1
+	mu.Unlock()
+	e.Eval(t0)
+	out := scrape()
+	if !strings.Contains(out, `jets_alert_firing{rule="exported",severity="critical"} 1`) {
+		t.Fatalf("firing gauge must export 1 while firing:\n%s", out)
+	}
+	if !strings.Contains(out, "jets_alerts_transitions_total 1") {
+		t.Fatalf("transition counter must export:\n%s", out)
+	}
+	mu.Lock()
+	level = 0
+	mu.Unlock()
+	e.Eval(t0.Add(time.Second))
+	if !strings.Contains(scrape(), `jets_alert_firing{rule="exported",severity="critical"} 0`) {
+		t.Fatalf("firing gauge must drop to 0 after resolve:\n%s", scrape())
+	}
+}
+
+func TestHealthzIntegration(t *testing.T) {
+	reg := obs.NewRegistry()
+	var bad float64
+	var mu sync.Mutex
+	e, _ := newTestEngine(t, Config{Registry: reg}, Rule{
+		Name: "critical-down", Severity: Critical,
+		Gauge: func() float64 { mu.Lock(); defer mu.Unlock(); return bad },
+		Op:    Above, Threshold: 0,
+	}, Rule{
+		// A firing warning must NOT fail /healthz.
+		Name: "noisy-warning", Severity: Warning,
+		Gauge: func() float64 { return 1 },
+		Op:    Above, Threshold: 0,
+	})
+	srv, err := obs.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetHealth(e.Health)
+
+	get := func() int {
+		resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+		if err != nil {
+			t.Fatalf("GET /healthz: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	t0 := time.Unix(7000, 0)
+	e.Eval(t0) // warning fires, critical does not
+	if !e.IsFiring("noisy-warning") {
+		t.Fatal("warning rule should be firing")
+	}
+	if code := get(); code != 200 {
+		t.Fatalf("/healthz with only a warning firing = %d, want 200", code)
+	}
+	mu.Lock()
+	bad = 1
+	mu.Unlock()
+	e.Eval(t0.Add(time.Second))
+	if code := get(); code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz with a critical rule firing = %d, want 503", code)
+	}
+	mu.Lock()
+	bad = 0
+	mu.Unlock()
+	e.Eval(t0.Add(2 * time.Second))
+	if code := get(); code != 200 {
+		t.Fatalf("/healthz after recovery = %d, want 200", code)
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	gauge := func() float64 { return 0 }
+	counter := func() int64 { return 0 }
+	h := obs.NewHist("jets_v_seconds", "v", nil)
+	cases := []struct {
+		name string
+		rule Rule
+	}{
+		{"no source", Rule{Name: "x"}},
+		{"two sources", Rule{Name: "x", Gauge: gauge, Counter: counter}},
+		{"empty name", Rule{Gauge: gauge}},
+		{"quantile out of range", Rule{Name: "x", Hist: h, Q: 1.5}},
+		{"quantile zero", Rule{Name: "x", Hist: h}},
+	}
+	for _, tc := range cases {
+		if _, err := NewEngine(Config{}, tc.rule); err == nil {
+			t.Errorf("%s: NewEngine accepted invalid rule %+v", tc.name, tc.rule)
+		}
+	}
+	e, _ := newTestEngine(t, Config{}, Rule{Name: "dup", Gauge: gauge})
+	if err := e.Add(Rule{Name: "dup", Gauge: gauge}); err == nil {
+		t.Error("duplicate rule name must be rejected")
+	}
+	e.Start()
+	defer e.Close()
+	if err := e.Add(Rule{Name: "late", Gauge: gauge}); err == nil {
+		t.Error("Add after Start must be rejected")
+	}
+}
+
+func TestTickerLifecycleRaceClean(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := obs.NewCounter("jets_ticker_total", "t")
+	reg.Register(c)
+	e, _ := newTestEngine(t, Config{Interval: time.Millisecond, Registry: reg}, Rule{
+		Name: "busy", Counter: c.Value, Op: Above, Threshold: 0, Window: time.Second,
+	})
+	e.Start()
+	e.Start() // idempotent
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			c.Inc()
+			e.Firing()
+			e.IsFiring("busy")
+			e.Health()
+			var b strings.Builder
+			reg.WritePrometheus(&b)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	<-done
+	e.Close()
+	// After Close the evaluation goroutine is gone; Eval stays callable.
+	e.Eval(time.Unix(8000, 0))
+}
+
+func TestParseRules(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("jets_lost_total", "c").Add(1)
+	reg.Gauge("jets_depth", "g").Set(3)
+	reg.GaugeFunc("jets_idle", "gf", func() float64 { return 2 })
+	reg.Hist("jets_wait_seconds", "h", nil)
+	reg.GaugeFuncL("jets_shard_queued", `shard="0"`, "lg", func() float64 { return 7 })
+
+	src := `
+# comment, then a blank line
+
+critical rate jets_lost_total > 0 window 30s hold 10s
+slow-seat: warn p99 jets_wait_seconds > 2500ms window 60s
+warn gauge jets_depth > 10000 for 30s
+warn gauge jets_idle < 0.5
+sharded: warn gauge jets_shard_queued{shard="0"} > 100
+`
+	rules, err := ParseRules(strings.NewReader(src), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 5 {
+		t.Fatalf("parsed %d rules, want 5", len(rules))
+	}
+	r := rules[0]
+	if r.Severity != Critical || r.Counter == nil || r.Window != 30*time.Second ||
+		r.Hold != 10*time.Second || r.Name != "rate(jets_lost_total)" {
+		t.Fatalf("rate rule = %+v", r)
+	}
+	r = rules[1]
+	if r.Name != "slow-seat" || r.Hist == nil || r.Q != 0.99 ||
+		r.Threshold != 2.5 || r.Window != 60*time.Second {
+		t.Fatalf("quantile rule = %+v", r)
+	}
+	r = rules[2]
+	if r.Gauge == nil || r.Threshold != 10000 || r.For != 30*time.Second {
+		t.Fatalf("gauge rule = %+v", r)
+	}
+	if rules[3].Op != Below {
+		t.Fatalf("below rule = %+v", rules[3])
+	}
+	if v := rules[4].Gauge(); v != 7 {
+		t.Fatalf("labeled series gauge read %v, want 7", v)
+	}
+
+	// Parsed rules drive a real engine.
+	e, err := NewEngine(Config{Registry: reg, OnAlert: func(Alert) {}}, rules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(9000, 0)
+	e.Eval(t0)
+	e.Eval(t0.Add(time.Second))
+	if e.IsFiring("gauge(jets_idle)") {
+		t.Errorf("below-op idle rule must not fire: value 2 is not < 0.5")
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("jets_c_total", "c")
+	reg.Hist("jets_h_seconds", "h", nil)
+	cases := []struct {
+		line, wantErr string
+	}{
+		{"critical rate jets_nope_total > 0", "unknown series"},
+		{"fatal rate jets_c_total > 0", "unknown severity"},
+		{"critical p99 jets_c_total > 0", "not a histogram"},
+		{"critical rate jets_h_seconds > 0", "not a counter"},
+		{"critical gauge jets_c_total >= 0", "unknown op"},
+		{"critical rate jets_c_total > banana", "bad threshold"},
+		{"critical rate jets_c_total > 0 window", "dangling option"},
+		{"critical rate jets_c_total > 0 jitter 5s", "unknown option"},
+		{"critical rate jets_c_total > 0 window soon", "bad window duration"},
+		{"critical p0 jets_h_seconds > 0", "bad quantile"},
+		{"critical blend jets_c_total > 0", "unknown rule kind"},
+		{"critical rate", "want [name:]"},
+	}
+	for _, tc := range cases {
+		_, err := ParseRules(strings.NewReader(tc.line), reg)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("ParseRules(%q) = %v, want error containing %q", tc.line, err, tc.wantErr)
+		}
+	}
+}

@@ -49,8 +49,15 @@ type Options struct {
 	NewQueue func() dispatch.QueuePolicy
 	// Shards is the scheduling-shard count; 0 derives it from GOMAXPROCS.
 	Shards int
+	// ListenAddr is the dispatcher's listen endpoint for external workers;
+	// empty binds an ephemeral loopback port.
+	ListenAddr string
 	// MaxJobRetries for worker-fault resubmission.
 	MaxJobRetries int
+	// RetryBackoff/RetryBackoffMax shape the capped per-attempt delay
+	// before a faulted job is requeued (see dispatch.Config.RetryBackoff).
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
 	// HeartbeatTimeout for declaring workers dead; default 10s.
 	HeartbeatTimeout time.Duration
 	// JobTimeout bounds each job; 0 disables.
@@ -87,8 +94,11 @@ type Engine struct {
 // NewEngine starts the dispatcher and any local workers.
 func NewEngine(opts Options) (*Engine, error) {
 	d := dispatch.New(dispatch.Config{
+		Addr:             opts.ListenAddr,
 		HeartbeatTimeout: opts.HeartbeatTimeout,
 		MaxJobRetries:    opts.MaxJobRetries,
+		RetryBackoff:     opts.RetryBackoff,
+		RetryBackoffMax:  opts.RetryBackoffMax,
 		Queue:            opts.Queue,
 		NewQueue:         opts.NewQueue,
 		Shards:           opts.Shards,

@@ -43,6 +43,17 @@ type Config struct {
 	// MaxJobRetries bounds automatic resubmission of jobs that failed due
 	// to worker loss (not application error); default 0.
 	MaxJobRetries int
+	// RetryBackoff delays each faulted job's resubmission, doubling per
+	// attempt up to RetryBackoffMax; default 100ms. Without it a job that
+	// reliably kills or faults its workers respins through the pool as
+	// fast as workers rejoin — the §6.1.5 retry storm. The delay is
+	// timer-driven off the dispatch path and honors Shutdown: Drain counts
+	// a backoff-pending job as live, and Close aborts the timers. Negative
+	// means no delay (the pre-backoff immediate requeue).
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the per-attempt doubling; default 5s, clamped
+	// up to RetryBackoff.
+	RetryBackoffMax time.Duration
 	// Shards is the number of scheduling shards (idle-set + job-queue
 	// slices with independent locks); default DefaultShards(), i.e.
 	// GOMAXPROCS-derived. Forced to 1 when Queue is set, since a single
@@ -230,6 +241,12 @@ type Dispatcher struct {
 	idleWait chan struct{} // closed+recreated on completion transitions (for Drain)
 	wg       sync.WaitGroup
 
+	// pendingRetries counts faulted jobs sitting in a retry-backoff timer:
+	// in neither a shard queue nor the running table, but still live for
+	// Drain. retryQuit aborts the timers on Close.
+	pendingRetries atomic.Int64
+	retryQuit      chan struct{}
+
 	events        chan Event
 	eventsQuit    chan struct{}
 	evWG          sync.WaitGroup // tracks the drainer; Close waits for its flush
@@ -262,13 +279,23 @@ func New(cfg Config) *Dispatcher {
 	if cfg.WriteCoalesce < 1 {
 		cfg.WriteCoalesce = 1
 	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	if cfg.RetryBackoffMax <= 0 {
+		cfg.RetryBackoffMax = 5 * time.Second
+	}
+	if cfg.RetryBackoffMax < cfg.RetryBackoff {
+		cfg.RetryBackoffMax = cfg.RetryBackoff
+	}
 	d := &Dispatcher{
-		cfg:      cfg,
-		shards:   newShards(cfg.Shards, func() QueuePolicy { return cfg.NewQueue() }),
-		workers:  make(map[string]*workerConn),
-		running:  make(map[string]*runningJob),
-		idleWait: make(chan struct{}),
-		ins:      newInstruments(),
+		cfg:       cfg,
+		shards:    newShards(cfg.Shards, func() QueuePolicy { return cfg.NewQueue() }),
+		workers:   make(map[string]*workerConn),
+		running:   make(map[string]*runningJob),
+		idleWait:  make(chan struct{}),
+		retryQuit: make(chan struct{}),
+		ins:       newInstruments(),
 	}
 	if cfg.Obs != nil {
 		d.registerObs(cfg.Obs)
@@ -678,11 +705,61 @@ func (d *Dispatcher) releaseGroup(group []*workerConn) {
 	d.schedule()
 }
 
-// requeue returns a faulted job to the scheduling state and reschedules.
-// Never called with locks held (finalizeLocked only marks the retry).
+// requeue returns a faulted job to the scheduling state and reschedules,
+// after the attempt's capped exponential backoff. The immediate path (no
+// delay configured) was a fault-retry hot loop: a job that reliably kills
+// or faults its workers respun through the pool as fast as workers
+// rejoined. Never called with locks held (finalizeLocked only marks the
+// retry).
 func (d *Dispatcher) requeue(j *Job) {
-	d.placeJob(j, true)
-	d.schedule()
+	delay := d.retryDelay(j.retries)
+	if delay <= 0 {
+		d.placeJob(j, true)
+		d.schedule()
+		return
+	}
+	// The job is visible to Drain through pendingRetries until placeJob has
+	// pushed it (the decrement happens after the push, and both Drain's
+	// check and the push run under the shard locks, so Drain can never see
+	// the job in neither place).
+	d.pendingRetries.Add(1)
+	go func() {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			d.placeJob(j, true)
+			d.pendingRetries.Add(-1)
+			d.mu.Lock()
+			d.kickLocked()
+			d.mu.Unlock()
+			d.schedule()
+		case <-d.retryQuit:
+			// Close aborts pending retries; the job's handle stays
+			// unresolved, like any job stranded in a queue at Close.
+			d.pendingRetries.Add(-1)
+			d.mu.Lock()
+			d.kickLocked()
+			d.mu.Unlock()
+		}
+	}()
+}
+
+// retryDelay is the backoff before attempt number `attempt` (1-based: set
+// by finalizeLocked before requeue), doubling from RetryBackoff up to
+// RetryBackoffMax. Zero when backoff is disabled (RetryBackoff < 0).
+func (d *Dispatcher) retryDelay(attempt int) time.Duration {
+	delay := d.cfg.RetryBackoff
+	if delay <= 0 {
+		return 0
+	}
+	for i := 1; i < attempt && delay < d.cfg.RetryBackoffMax; i++ {
+		delay *= 2
+	}
+	if delay > d.cfg.RetryBackoffMax {
+		delay = d.cfg.RetryBackoffMax
+	}
+	return delay
 }
 
 // handleResult processes a rank's completion report.
@@ -919,8 +996,12 @@ func (d *Dispatcher) Drain(ctx context.Context) error {
 		for _, s := range d.shards {
 			queued += s.queue.Len()
 		}
+		// Read inside the locked region: a retry's decrement happens after
+		// its placeJob push, which needs a shard lock held here — so a zero
+		// means the job is already visible as queued (or running).
+		retrying := d.pendingRetries.Load()
 		d.mu.Lock()
-		empty := queued == 0 && len(d.running) == 0
+		empty := queued == 0 && len(d.running) == 0 && retrying == 0
 		wait := d.idleWait
 		d.mu.Unlock()
 		d.unlockAll()
@@ -965,6 +1046,7 @@ func (d *Dispatcher) Close() error {
 	if !d.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	close(d.retryQuit) // abort retry-backoff timers
 	if d.eventsQuit != nil {
 		// Signal the drainer and wait for it to flush the buffered tail, so
 		// an observer (e.g. a trace file written after Close) sees every

@@ -1,0 +1,134 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"jets/internal/alerts"
+	"jets/internal/core"
+	"jets/internal/dispatch"
+	"jets/internal/hydra"
+	"jets/internal/obs"
+)
+
+// TestAlertsFireDuringChurnAndClear runs the §6.1.5 churn harness under the
+// self-monitoring engine: the curated dispatcher rules must fire while
+// workers are being killed mid-batch and resolve once the churn stops and
+// the sliding windows drain. The engine is driven with synthetic times (not
+// Start's ticker) so the default 30s windows evaluate deterministically; the
+// value sources are the live dispatcher instruments.
+func TestAlertsFireDuringChurnAndClear(t *testing.T) {
+	const nWorkers = 4
+	runner := hydra.NewFuncRunner()
+	block := make(chan struct{})
+	runner.Register("linger", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		select {
+		case <-block:
+			return 0
+		case <-ctx.Done():
+			return 1
+		}
+	})
+	eng, err := core.NewEngine(core.Options{
+		LocalWorkers:     nWorkers,
+		Runner:           runner,
+		HeartbeatTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	d := eng.Dispatcher()
+
+	rules := alerts.ForDispatcher(d)
+	for i := range rules {
+		// The curated queue-wait threshold is operator-scale (5s); scale it
+		// to the ~100ms waits this test can afford while keeping the rule's
+		// source, quantile, window, and hysteresis intact.
+		if rules[i].Name == "queue-wait-p99" {
+			rules[i].Threshold = 0.05
+		}
+	}
+	reg := obs.NewRegistry()
+	ae, err := alerts.NewEngine(alerts.Config{Registry: reg, OnAlert: func(alerts.Alert) {}}, rules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(100000, 0)
+	ae.Eval(t0) // baseline: pre-churn state cannot fire anything
+
+	// A batch wide enough that jobs queue behind the four 1-core workers.
+	var handles []*dispatch.Handle
+	for i := 0; i < 30; i++ {
+		h, err := eng.Submit(dispatch.Job{
+			Spec: hydra.JobSpec{JobID: fmt.Sprintf("l%d", i), NProcs: 1, Cmd: "linger"},
+			Type: dispatch.Sequential,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for d.RunningJobs() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Inject the churn: two pilot jobs die mid-batch.
+	inj := NewInjector(eng.Workers(), time.Hour, 7)
+	inj.KillOne()
+	inj.KillOne()
+	deadline = time.Now().Add(5 * time.Second)
+	for d.Stats().WorkersLost < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker loss not detected: stats %+v", d.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Let queue waits accrue past the scaled p99 threshold, then release
+	// the batch and let the surviving workers drain it.
+	time.Sleep(100 * time.Millisecond)
+	close(block)
+	for _, h := range handles {
+		h.Wait() // jobs on killed workers fail (no retries); the rest finish
+	}
+
+	// During churn: worker loss and queue waits are inside the windows.
+	ae.Eval(t0.Add(time.Second))
+	if !ae.IsFiring("worker-loss-rate") {
+		t.Fatalf("worker-loss-rate must fire during churn; firing=%v", ae.Firing())
+	}
+	if !ae.IsFiring("queue-wait-p99") {
+		t.Fatalf("queue-wait-p99 must fire during churn; firing=%v", ae.Firing())
+	}
+	if err := ae.Health(); err == nil || !strings.Contains(err.Error(), "worker-loss-rate") {
+		t.Fatalf("Health() = %v, want critical worker-loss-rate failure", err)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `jets_alert_firing{rule="worker-loss-rate",severity="critical"} 1`) {
+		t.Fatalf("firing gauge must export during churn:\n%s", b.String())
+	}
+
+	// Recovery: the churn stopped and the batch drained. Once the loss
+	// counter increment and the slow seat-wait samples age out of the 30s
+	// windows, one clean evaluation starts Hold and a second past Hold
+	// resolves both rules.
+	ae.Eval(t0.Add(40 * time.Second)) // windows drained: condition clean, Hold starts
+	ae.Eval(t0.Add(51 * time.Second)) // Hold (10s) elapsed: resolved
+	if ae.IsFiring("worker-loss-rate") || ae.IsFiring("queue-wait-p99") {
+		t.Fatalf("rules must clear after recovery; firing=%v", ae.Firing())
+	}
+	if err := ae.Health(); err != nil {
+		t.Fatalf("Health() after recovery = %v, want nil", err)
+	}
+}

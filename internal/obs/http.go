@@ -7,14 +7,45 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 )
 
+// HealthVar is an atomically swappable health check backing a /healthz
+// endpoint: nil (or an unset function) means healthy, a non-nil error means
+// the process should be reported unhealthy (HTTP 503). The alert engine
+// wires its critical-rule state here; anything else with a notion of "ready"
+// (a worker's dispatcher connection) can too.
+type HealthVar struct {
+	fn atomic.Value // of func() error
+}
+
+// Set installs (or replaces) the health check.
+func (h *HealthVar) Set(fn func() error) {
+	if fn == nil {
+		fn = func() error { return nil }
+	}
+	h.fn.Store(fn)
+}
+
+// Check runs the installed health check; nil when none is installed.
+func (h *HealthVar) Check() error {
+	if h == nil {
+		return nil
+	}
+	if fn, ok := h.fn.Load().(func() error); ok {
+		return fn()
+	}
+	return nil
+}
+
 // Server is the observability HTTP endpoint: /metrics (Prometheus text),
-// /debug/vars (expvar plus the registry snapshot), and /debug/pprof/*.
+// /debug/vars (expvar plus the registry snapshot), /debug/pprof/*, and
+// /healthz (200 until SetHealth installs a check that returns an error).
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln     net.Listener
+	srv    *http.Server
+	health *HealthVar
 }
 
 // Serve binds addr (use "127.0.0.1:0" for an ephemeral port) and serves the
@@ -24,23 +55,41 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	health := &HealthVar{}
+	srv := &http.Server{Handler: HandlerWithHealth(reg, health), ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
-	return &Server{ln: ln, srv: srv}, nil
+	return &Server{ln: ln, srv: srv, health: health}, nil
 }
 
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// SetHealth installs the /healthz check (see HealthVar).
+func (s *Server) SetHealth(fn func() error) { s.health.Set(fn) }
+
 // Close shuts the endpoint down.
 func (s *Server) Close() error { return s.srv.Close() }
 
 // Handler builds the endpoint mux, for embedding in an existing server.
-func Handler(reg *Registry) http.Handler {
+// /healthz always reports healthy; use HandlerWithHealth to wire a check.
+func Handler(reg *Registry) http.Handler { return HandlerWithHealth(reg, nil) }
+
+// HandlerWithHealth builds the endpoint mux with /healthz backed by the
+// given HealthVar (nil behaves as always-healthy).
+func HandlerWithHealth(reg *Registry, health *HealthVar) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := health.Check(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "unhealthy: %v\n", err)
+			return
+		}
+		fmt.Fprintln(w, "ok")
 	})
 	// Hand-rolled /debug/vars instead of expvar.Handler so the registry
 	// snapshot appears under "jets" without a process-global expvar.Publish

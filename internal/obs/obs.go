@@ -75,24 +75,53 @@ func NewRegistry() *Registry {
 }
 
 // Register adds instruments to the registry. A duplicate series (same name
-// and labels) is skipped, keeping the first registration — this makes
-// package-level instruments safe to register from multiple components — and
-// a nil receiver is a no-op, so constructors can thread an optional registry
+// and labels) keeps the first registration and is reported through the
+// returned error rather than panicking or replacing — a second engine in the
+// same process (tests, simjets) re-registering package-level instruments
+// must not crash, and the first registration stays authoritative. A nil
+// receiver is a no-op, so constructors can thread an optional registry
 // without branching.
-func (r *Registry) Register(ms ...Metric) {
+func (r *Registry) Register(ms ...Metric) error {
 	if r == nil {
-		return
+		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	var dups []string
 	for _, m := range ms {
 		key := m.Desc().series()
 		if r.seen[key] {
+			dups = append(dups, key)
 			continue
 		}
 		r.seen[key] = true
 		r.metrics = append(r.metrics, m)
 	}
+	if dups != nil {
+		return fmt.Errorf("obs: duplicate series kept first registration: %s", strings.Join(dups, ", "))
+	}
+	return nil
+}
+
+// Lookup returns the registered metric for a full series identity (base name
+// plus rendered label set, e.g. `jets_shard_idle_workers{shard="3"}`), or nil
+// when no such series is registered. Cold path; used by the alert engine to
+// resolve rule sources by name.
+func (r *Registry) Lookup(series string) Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.seen[series] {
+		return nil
+	}
+	for _, m := range r.metrics {
+		if m.Desc().series() == series {
+			return m
+		}
+	}
+	return nil
 }
 
 // WritePrometheus renders every registered metric in the Prometheus text
@@ -196,6 +225,9 @@ func (r *Registry) CounterFunc(name, help string, fn func() int64) *CounterFunc 
 	return c
 }
 
+// Value samples the underlying count.
+func (c *CounterFunc) Value() int64 { return c.fn() }
+
 // Desc implements Metric.
 func (c *CounterFunc) Desc() Desc { return c.d }
 
@@ -264,6 +296,9 @@ func (r *Registry) GaugeFuncL(name, labels, help string, fn func() float64) *Gau
 	r.Register(g)
 	return g
 }
+
+// Value samples the underlying level.
+func (g *GaugeFunc) Value() float64 { return g.fn() }
 
 // Desc implements Metric.
 func (g *GaugeFunc) Desc() Desc { return g.d }
@@ -360,6 +395,125 @@ func (h *Hist) Observe(d time.Duration) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sumNs.Add(int64(d))
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of everything observed so
+// far, linearly interpolated within the bucket holding the target rank —
+// the standard Prometheus histogram_quantile estimate computed directly
+// from the atomic bucket counters. Allocation-free: two bounded scans over
+// the preallocated bucket array. Samples in the implicit +Inf bucket clamp
+// to the highest finite bound. Returns 0 when nothing has been observed.
+func (h *Hist) Quantile(q float64) time.Duration {
+	total := int64(0)
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	if total == 0 {
+		return 0
+	}
+	target := rankFor(q, total)
+	cum := int64(0)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		cum += c
+		if cum < target {
+			continue
+		}
+		return h.interp(i, c, cum, target)
+	}
+	return h.maxBound()
+}
+
+// maxBound is the highest finite bucket edge, the clamp for +Inf samples.
+func (h *Hist) maxBound() time.Duration {
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return time.Duration(h.bounds[len(h.bounds)-1] * float64(time.Second))
+}
+
+// Buckets copies the current per-bucket counts (len NumBuckets, final entry
+// the implicit +Inf bucket) into dst, reusing it when it has capacity. The
+// snapshots feed QuantileOfDelta for windowed quantiles.
+func (h *Hist) Buckets(dst []int64) []int64 {
+	n := len(h.counts)
+	if cap(dst) < n {
+		dst = make([]int64, n)
+	}
+	dst = dst[:n]
+	for i := range h.counts {
+		dst[i] = h.counts[i].Load()
+	}
+	return dst
+}
+
+// NumBuckets reports the bucket count including the implicit +Inf bucket.
+func (h *Hist) NumBuckets() int { return len(h.counts) }
+
+// QuantileOfDelta estimates the q-quantile of the observations made between
+// two Buckets snapshots (prev may be nil, meaning "since creation"): the
+// sliding-window form of Quantile used by alert rules, so a long-lived
+// histogram's ancient samples cannot mask a current regression — or keep an
+// alert firing after the regression recovered. Returns 0 when the window
+// holds no observations.
+func (h *Hist) QuantileOfDelta(prev, cur []int64, q float64) time.Duration {
+	if len(cur) != len(h.counts) || (prev != nil && len(prev) != len(h.counts)) {
+		return 0
+	}
+	at := func(i int) int64 {
+		d := cur[i]
+		if prev != nil {
+			d -= prev[i]
+		}
+		return d
+	}
+	total := int64(0)
+	for i := range cur {
+		total += at(i)
+	}
+	if total <= 0 {
+		return 0
+	}
+	target := rankFor(q, total)
+	cum := int64(0)
+	for i := range cur {
+		c := at(i)
+		cum += c
+		if cum < target {
+			continue
+		}
+		return h.interp(i, c, cum, target)
+	}
+	return h.maxBound()
+}
+
+// rankFor maps a quantile to a 1-based target rank, clamped to [1, total].
+func rankFor(q float64, total int64) int64 {
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	return target
+}
+
+// interp linearly interpolates the target rank inside bucket i, where c is
+// the bucket's count and cum the cumulative count through it (c > 0, since
+// cum first reached target here).
+func (h *Hist) interp(i int, c, cum, target int64) time.Duration {
+	if i == len(h.bounds) {
+		// +Inf bucket: no finite upper edge to interpolate toward.
+		return h.maxBound()
+	}
+	lo := 0.0
+	if i > 0 {
+		lo = h.bounds[i-1]
+	}
+	hi := h.bounds[i]
+	frac := float64(target-(cum-c)) / float64(c)
+	return time.Duration((lo + frac*(hi-lo)) * float64(time.Second))
 }
 
 // Count reports the number of observations.

@@ -90,9 +90,10 @@ type Worker struct {
 	cfg   Config
 	codec *proto.Codec
 
-	started time.Time
-	busy    atomic.Bool
-	tasks   atomic.Int64 // tasks completed
+	started   time.Time
+	busy      atomic.Bool
+	connected atomic.Bool  // registered with the dispatcher and serving
+	tasks     atomic.Int64 // tasks completed
 
 	killOnce sync.Once
 	killed   chan struct{}
@@ -118,11 +119,14 @@ func New(cfg Config) (*Worker, error) {
 	if cfg.NoWorkBackoff <= 0 {
 		cfg.NoWorkBackoff = 10 * time.Millisecond
 	}
-	if cfg.NoWorkBackoffMax < cfg.NoWorkBackoff {
+	// Default the cap only when unset, then clamp it to the initial backoff:
+	// an explicitly configured cap below NoWorkBackoff means "don't grow",
+	// not "silently take the 500ms default".
+	if cfg.NoWorkBackoffMax <= 0 {
 		cfg.NoWorkBackoffMax = 500 * time.Millisecond
-		if cfg.NoWorkBackoffMax < cfg.NoWorkBackoff {
-			cfg.NoWorkBackoffMax = cfg.NoWorkBackoff
-		}
+	}
+	if cfg.NoWorkBackoffMax < cfg.NoWorkBackoff {
+		cfg.NoWorkBackoffMax = cfg.NoWorkBackoff
 	}
 	if cfg.Cores <= 0 {
 		cfg.Cores = 1
@@ -138,6 +142,15 @@ func (w *Worker) TasksCompleted() int64 { return w.tasks.Load() }
 
 // Busy reports whether a task is currently executing.
 func (w *Worker) Busy() bool { return w.busy.Load() }
+
+// Healthy implements the /healthz contract for the worker binary: nil while
+// the worker is registered with its dispatcher and serving the work cycle.
+func (w *Worker) Healthy() error {
+	if w.connected.Load() {
+		return nil
+	}
+	return errors.New("worker is not connected to a dispatcher")
+}
 
 // Kill abruptly severs the worker, simulating a node failure (used by the
 // fault-injection experiments, §6.1.5).
@@ -201,6 +214,8 @@ func (w *Worker) Run(ctx context.Context) error {
 	if !w.cfg.JSONOnly && ack.Proto >= proto.VersionBinary {
 		codec.EnableBinary()
 	}
+	w.connected.Store(true)
+	defer w.connected.Store(false)
 
 	hbCtx, hbCancel := context.WithCancel(ctx)
 	defer hbCancel()

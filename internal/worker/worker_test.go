@@ -332,6 +332,35 @@ func TestContextCancelStopsParkedWorker(t *testing.T) {
 	}
 }
 
+func TestNoWorkBackoffMaxDefaultsAndClamp(t *testing.T) {
+	build := func(backoff, max time.Duration) Config {
+		w, err := New(Config{ID: "clamp", DispatcherAddr: "127.0.0.1:1",
+			Runner:        hydra.NewFuncRunner(),
+			NoWorkBackoff: backoff, NoWorkBackoffMax: max})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.cfg
+	}
+	// Unset: both take their documented defaults.
+	cfg := build(0, 0)
+	if cfg.NoWorkBackoff != 10*time.Millisecond || cfg.NoWorkBackoffMax != 500*time.Millisecond {
+		t.Errorf("defaults = %v/%v, want 10ms/500ms", cfg.NoWorkBackoff, cfg.NoWorkBackoffMax)
+	}
+	// An explicit cap below the initial backoff means "don't grow": it is
+	// clamped up to the initial value, not silently rewritten to 500ms
+	// (which would make the worker back off 5x longer than configured).
+	cfg = build(100*time.Millisecond, 20*time.Millisecond)
+	if cfg.NoWorkBackoffMax != 100*time.Millisecond {
+		t.Errorf("cap below initial: max = %v, want clamp to initial 100ms", cfg.NoWorkBackoffMax)
+	}
+	// A cap at or above the initial value is preserved verbatim.
+	cfg = build(10*time.Millisecond, 40*time.Millisecond)
+	if cfg.NoWorkBackoffMax != 40*time.Millisecond {
+		t.Errorf("explicit max = %v, want 40ms untouched", cfg.NoWorkBackoffMax)
+	}
+}
+
 func TestNoWorkBacksOff(t *testing.T) {
 	fd := newFakeDispatcher(t)
 	w, err := New(Config{ID: "nw", DispatcherAddr: fd.addr(),
