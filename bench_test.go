@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"jets/internal/pmi"
 	"jets/internal/proto"
 	"jets/internal/simjets"
+	"jets/internal/swiftlang"
 	"jets/internal/workload"
 )
 
@@ -759,4 +761,59 @@ func BenchmarkStageRelay(b *testing.B) {
 	}
 	b.Run("binary", func(b *testing.B) { run(b, false) })
 	b.Run("json-client", func(b *testing.B) { run(b, true) })
+}
+
+// nullAsyncExecutor counts invocations and completes them immediately, so
+// BenchmarkSwiftGenerate isolates the script layer: parse-once task
+// production with zero dispatch or execution cost.
+type nullAsyncExecutor struct{ n atomic.Int64 }
+
+func (x *nullAsyncExecutor) Execute(ctx context.Context, inv swiftlang.AppInvocation) error {
+	x.n.Add(1)
+	return nil
+}
+
+func (x *nullAsyncExecutor) ExecuteAsync(ctx context.Context, inv swiftlang.AppInvocation, done func(error)) {
+	x.n.Add(1)
+	done(nil)
+}
+
+// BenchmarkSwiftGenerate measures script-side task throughput of the 100k
+// generator script (testdata/gen.swift) under the tree-walking interpreter
+// and the static-dataflow compiler. The compiled mode's tasks/s is the
+// headline: it must hold >=5x the interpreter (the BENCH_6 gate).
+func BenchmarkSwiftGenerate(b *testing.B) {
+	src, err := os.ReadFile("internal/swiftlang/testdata/gen.swift")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := swiftlang.Parse(string(src))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const tasks = 100000
+	for _, mode := range []struct {
+		name    string
+		compile bool
+	}{{"interp", false}, {"compiled", true}} {
+		b.Run(fmt.Sprintf("%s/tasks=%d", mode.name, tasks), func(b *testing.B) {
+			args := map[string]string{"n": fmt.Sprint(tasks)}
+			wd := b.TempDir()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ex := &nullAsyncExecutor{}
+				err := swiftlang.Run(context.Background(), prog, swiftlang.Config{
+					Executor: ex, WorkDir: wd, Args: args, Compile: mode.compile,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := ex.n.Load(); got != tasks {
+					b.Fatalf("generated %d tasks, want %d", got, tasks)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(tasks)*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+		})
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -21,6 +22,8 @@ import (
 
 	"jets/internal/core"
 	"jets/internal/hydra"
+	"jets/internal/obs"
+	"jets/internal/proto"
 	"jets/internal/swiftlang"
 )
 
@@ -45,10 +48,23 @@ func (a argList) Set(s string) error {
 	return nil
 }
 
+// nullRunner accepts every command and exits 0 immediately: the measurement
+// configuration for script-side throughput runs (the paper's "sleep 0"
+// workload without process-spawn noise).
+type nullRunner struct{}
+
+func (nullRunner) Run(ctx context.Context, task *proto.Task, env []string, stdout io.Writer) (int, error) {
+	return 0, nil
+}
+
 func run() error {
 	workers := flag.Int("workers", 4, "local worker agents")
 	workdir := flag.String("workdir", "swift-work", "directory for auto-mapped files")
 	timeout := flag.Duration("timeout", time.Hour, "script wall limit")
+	compile := flag.Bool("compile", true, "lower the script to a static dataflow graph; -compile=0 uses the tree-walking interpreter")
+	batch := flag.Int("batch", 0, "max invocations per batched engine submit (0 uses the default)")
+	nullExec := flag.Bool("null-exec", false, "run app commands as in-process no-ops (throughput measurement)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof, and /healthz on this address (empty disables)")
 	args := argList{}
 	flag.Var(args, "arg", "script argument name=value (repeatable), read with arg()")
 	flag.Parse()
@@ -65,16 +81,35 @@ func run() error {
 	}
 
 	exec := swiftlang.NewJETSExecutor()
+	exec.BatchMax = *batch
+	var runner hydra.Runner = hydra.ExecRunner{}
+	if *nullExec {
+		runner = nullRunner{}
+	}
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		swiftlang.RegisterMetrics(reg)
+	}
 	eng, err := core.NewEngine(core.Options{
 		LocalWorkers: *workers,
-		Runner:       hydra.ExecRunner{},
+		Runner:       runner,
 		OnOutput:     exec.OutputSink,
+		Obs:          reg,
 	})
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
 	exec.Bind(eng)
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("swiftrun: metrics on http://%s/metrics\n", srv.Addr())
+	}
 
 	if err := os.MkdirAll(*workdir, 0o755); err != nil {
 		return err
@@ -90,6 +125,7 @@ func run() error {
 		WorkDir:  *workdir,
 		Stdout:   os.Stdout,
 		Args:     args,
+		Compile:  *compile,
 	}); err != nil {
 		return err
 	}

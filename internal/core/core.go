@@ -175,6 +175,12 @@ func (e *Engine) Workers() []*worker.Worker { return e.workers }
 // Submit enqueues one job.
 func (e *Engine) Submit(job dispatch.Job) (*dispatch.Handle, error) { return e.d.Submit(job) }
 
+// SubmitBatch enqueues a group of jobs in one dispatcher pass; see
+// dispatch.SubmitBatch.
+func (e *Engine) SubmitBatch(jobs []dispatch.Job) ([]*dispatch.Handle, error) {
+	return e.d.SubmitBatch(jobs)
+}
+
 // StageFile pushes a file to every worker's local cache.
 func (e *Engine) StageFile(name string, data []byte) { e.d.StageFile(name, data) }
 

@@ -1,0 +1,84 @@
+package dataflow
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNewFutures(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	futs := NewFutures(names)
+	if len(futs) != 3 {
+		t.Fatalf("got %d futures", len(futs))
+	}
+	for i, f := range futs {
+		if f.Name() != names[i] {
+			t.Fatalf("future %d named %q", i, f.Name())
+		}
+		if f.IsSet() {
+			t.Fatalf("future %q born set", f.Name())
+		}
+	}
+	// Futures are independent despite the shared backing allocation.
+	if err := futs[1].Set(7); err != nil {
+		t.Fatal(err)
+	}
+	if futs[0].IsSet() || futs[2].IsSet() {
+		t.Fatal("setting one future leaked into a sibling")
+	}
+	v, err := futs[1].Get(context.Background())
+	if err != nil || v != 7 {
+		t.Fatalf("got %v, %v", v, err)
+	}
+}
+
+func TestEngineHoldBlocksWait(t *testing.T) {
+	eng := NewEngine(context.Background())
+	release := eng.Hold()
+	done := make(chan error, 1)
+	go func() { done <- eng.Wait() }()
+	select {
+	case <-done:
+		t.Fatal("Wait returned while a hold was outstanding")
+	case <-time.After(50 * time.Millisecond):
+	}
+	release(nil)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait never returned after release")
+	}
+}
+
+func TestEngineHoldReleaseError(t *testing.T) {
+	eng := NewEngine(context.Background())
+	release := eng.Hold()
+	boom := errors.New("boom")
+	release(boom)
+	// Releasing twice must be a no-op, not a WaitGroup underflow.
+	release(nil)
+	if err := eng.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait() = %v, want %v", err, boom)
+	}
+}
+
+func TestEngineFail(t *testing.T) {
+	eng := NewEngine(context.Background())
+	boom := errors.New("boom")
+	eng.Fail(boom)
+	eng.Fail(errors.New("second error loses"))
+	eng.Fail(nil) // no-op
+	if err := eng.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait() = %v, want first failure %v", err, boom)
+	}
+	select {
+	case <-eng.Context().Done():
+	default:
+		t.Fatal("Fail did not cancel the engine context")
+	}
+}

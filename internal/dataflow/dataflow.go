@@ -34,6 +34,21 @@ func NewFuture(name string) *Future {
 // Name returns the future's diagnostic name.
 func (f *Future) Name() string { return f.name }
 
+// NewFutures creates one unset future per name in a single backing
+// allocation — the bulk form of NewFuture. Compiled frames materialize every
+// future-backed slot of a block at once, so per-future allocations dominate
+// frame setup in tight foreach loops without this.
+func NewFutures(names []string) []*Future {
+	backing := make([]Future, len(names))
+	futs := make([]*Future, len(names))
+	for i, n := range names {
+		backing[i].done = make(chan struct{})
+		backing[i].name = n
+		futs[i] = &backing[i]
+	}
+	return futs
+}
+
 // Set writes the value, waking all readers. Setting twice fails.
 func (f *Future) Set(v interface{}) error {
 	f.mu.Lock()
@@ -184,6 +199,32 @@ func (e *Engine) fail(err error) {
 		e.cancel()
 	}
 	e.mu.Unlock()
+}
+
+// Fail records err as the run's failure (first error wins) and cancels the
+// engine, exactly as an error returned from Go would. It lets callers that
+// execute statements inline — outside Go — report into the same funnel.
+func (e *Engine) Fail(err error) {
+	if err != nil {
+		e.fail(err)
+	}
+}
+
+// Hold registers one external in-flight operation with the engine — e.g. a
+// batched task submission whose completion arrives on an executor thread —
+// and returns a release function reporting its outcome. Wait blocks until
+// every hold is released. Calls to release beyond the first are no-ops.
+func (e *Engine) Hold() func(error) {
+	e.wg.Add(1)
+	var once sync.Once
+	return func(err error) {
+		once.Do(func() {
+			if err != nil {
+				e.fail(err)
+			}
+			e.wg.Done()
+		})
+	}
 }
 
 // Wait blocks until all statements finish and returns the first error.

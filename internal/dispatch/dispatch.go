@@ -985,6 +985,58 @@ func (d *Dispatcher) Submit(job Job) (*Handle, error) {
 	return h, nil
 }
 
+// SubmitBatch enqueues a group of jobs under one submission-lock acquisition
+// and a single scheduling pass — the submit-side analogue of the wire
+// protocol's write coalescing. All jobs are validated before any is placed,
+// so the batch is accepted or rejected as a whole.
+func (d *Dispatcher) SubmitBatch(jobs []Job) ([]*Handle, error) {
+	for i := range jobs {
+		if err := jobs[i].Spec.Validate(); err != nil {
+			return nil, err
+		}
+		if jobs[i].Type == Sequential && jobs[i].Spec.NProcs != 1 {
+			return nil, fmt.Errorf("dispatch: sequential job %q must have NProcs 1", jobs[i].Spec.JobID)
+		}
+	}
+	d.mu.Lock()
+	seen := make(map[string]struct{}, len(jobs))
+	for i := range jobs {
+		id := jobs[i].Spec.JobID
+		if _, dup := d.running[id]; dup {
+			d.mu.Unlock()
+			return nil, fmt.Errorf("dispatch: duplicate job id %q", id)
+		}
+		if _, dup := seen[id]; dup {
+			d.mu.Unlock()
+			return nil, fmt.Errorf("dispatch: duplicate job id %q", id)
+		}
+		seen[id] = struct{}{}
+	}
+	d.mu.Unlock()
+
+	d.subMu.RLock()
+	if d.closed.Load() || d.draining.Load() {
+		d.subMu.RUnlock()
+		return nil, errors.New("dispatch: dispatcher is shut down")
+	}
+	handles := make([]*Handle, len(jobs))
+	now := time.Now()
+	for i := range jobs {
+		job := jobs[i]
+		j := &job
+		j.handle = newHandle(job.Spec.JobID)
+		j.submitted = now
+		j.seq = d.subSeq.Add(1)
+		d.stats.jobsSubmitted.Add(1)
+		d.emit(Event{Kind: EvJobSubmitted, JobID: job.Spec.JobID, Detail: job.Type.String()})
+		d.placeJob(j, false)
+		handles[i] = j.handle
+	}
+	d.subMu.RUnlock()
+	d.schedule()
+	return handles, nil
+}
+
 // Drain blocks until the queue and all running jobs are empty, or ctx ends.
 func (d *Dispatcher) Drain(ctx context.Context) error {
 	for {

@@ -73,6 +73,7 @@ type Handle struct {
 
 	mu  sync.Mutex
 	res JobResult
+	cbs []func(JobResult)
 }
 
 func newHandle(jobID string) *Handle {
@@ -105,9 +106,33 @@ func (h *Handle) TryResult() (JobResult, bool) {
 	}
 }
 
+// OnDone registers fn to run once when the job reaches a terminal state; if
+// it already has, fn runs immediately on the caller's goroutine, otherwise on
+// the dispatcher's completion goroutine. This is the shared completion demux
+// for batched submitters: one callback per job instead of one goroutine
+// parked on Done() per job. fn must not block.
+func (h *Handle) OnDone(fn func(JobResult)) {
+	h.mu.Lock()
+	select {
+	case <-h.done:
+		res := h.res
+		h.mu.Unlock()
+		fn(res)
+		return
+	default:
+	}
+	h.cbs = append(h.cbs, fn)
+	h.mu.Unlock()
+}
+
 func (h *Handle) complete(res JobResult) {
 	h.mu.Lock()
 	h.res = res
-	h.mu.Unlock()
+	cbs := h.cbs
+	h.cbs = nil
 	close(h.done)
+	h.mu.Unlock()
+	for _, fn := range cbs {
+		fn(res)
+	}
 }

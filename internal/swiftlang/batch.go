@@ -1,0 +1,195 @@
+package swiftlang
+
+// Batched submission. The compiled runtime hands invocations to an
+// AsyncExecutor; the JETS-backed implementation coalesces them into grouped
+// dispatcher submits (core.Engine.SubmitBatch) riding the wire protocol's
+// write coalescing, with a shared completion demux (dispatch.Handle.OnDone)
+// instead of one goroutine parked per job.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"jets/internal/dataflow"
+	"jets/internal/dispatch"
+	"jets/internal/hydra"
+)
+
+// AsyncExecutor is an Executor with a non-blocking submission path. done is
+// called when the invocation completes; the compiled runtime tolerates late
+// calls (a canceled run abandons its waits first, as the interpreter
+// abandons Done() waits).
+type AsyncExecutor interface {
+	Executor
+	ExecuteAsync(ctx context.Context, inv AppInvocation, done func(error))
+}
+
+// Flusher is implemented by executors that buffer submissions; the compiled
+// runtime flushes once the whole program has been walked.
+type Flusher interface {
+	Flush()
+}
+
+// goAsync adapts a synchronous Executor with a goroutine per call — the
+// compiled runtime's fallback, cost-equivalent to the interpreter's
+// per-statement goroutine.
+type goAsync struct {
+	ex  Executor
+	eng *dataflow.Engine
+}
+
+func (g goAsync) Execute(ctx context.Context, inv AppInvocation) error {
+	return g.ex.Execute(ctx, inv)
+}
+
+func (g goAsync) ExecuteAsync(ctx context.Context, inv AppInvocation, done func(error)) {
+	g.eng.Go(func(ctx context.Context) error {
+		done(g.ex.Execute(ctx, inv))
+		return nil
+	})
+}
+
+// Batching defaults; see the corresponding JETSExecutor fields.
+const (
+	defaultBatchMax   = 256
+	defaultBatchDelay = 2 * time.Millisecond
+)
+
+type pendingSubmit struct {
+	jobID string
+	job   dispatch.Job
+	done  func(error)
+	f     *os.File // stdout redirect, registered at enqueue
+}
+
+// ExecuteAsync implements AsyncExecutor: the invocation is buffered and
+// submitted with the next batch — when the buffer reaches BatchMax or the
+// flush timer (BatchDelay after the first pending entry) fires, whichever
+// comes first.
+func (x *JETSExecutor) ExecuteAsync(ctx context.Context, inv AppInvocation, done func(error)) {
+	if x.eng == nil {
+		done(fmt.Errorf("swift: JETS executor not bound to an engine"))
+		return
+	}
+	job, f, err := x.buildJob(inv)
+	if err != nil {
+		done(err)
+		return
+	}
+	swiftTasksSubmitted.Add(1)
+	x.bmu.Lock()
+	x.pending = append(x.pending, pendingSubmit{jobID: job.Spec.JobID, job: job, done: done, f: f})
+	n := len(x.pending)
+	if n == 1 {
+		delay := x.BatchDelay
+		if delay <= 0 {
+			delay = defaultBatchDelay
+		}
+		x.timer = time.AfterFunc(delay, x.Flush)
+	}
+	max := x.BatchMax
+	if max <= 0 {
+		max = defaultBatchMax
+	}
+	x.bmu.Unlock()
+	if n >= max {
+		x.Flush()
+	}
+}
+
+// Flush submits every buffered invocation as one dispatcher batch and wires
+// each handle's completion callback.
+func (x *JETSExecutor) Flush() {
+	x.bmu.Lock()
+	pend := x.pending
+	x.pending = nil
+	if x.timer != nil {
+		x.timer.Stop()
+		x.timer = nil
+	}
+	x.bmu.Unlock()
+	if len(pend) == 0 {
+		return
+	}
+	swiftBatchSize.Observe(time.Duration(len(pend)) * time.Second)
+	jobs := make([]dispatch.Job, len(pend))
+	for i := range pend {
+		jobs[i] = pend[i].job
+	}
+	handles, err := x.eng.SubmitBatch(jobs)
+	if err != nil {
+		for i := range pend {
+			p := pend[i]
+			x.releaseStdout(p.jobID, p.f)
+			p.done(err)
+		}
+		return
+	}
+	for i, h := range handles {
+		p := pend[i]
+		h.OnDone(func(res dispatch.JobResult) {
+			x.releaseStdout(p.jobID, p.f)
+			if res.Failed {
+				p.done(fmt.Errorf("job %s failed: %s", p.jobID, res.Err))
+				return
+			}
+			p.done(nil)
+		})
+	}
+}
+
+// buildJob resolves one invocation into a dispatcher job, creating the
+// stdout redirect file and output directories.
+func (x *JETSExecutor) buildJob(inv AppInvocation) (dispatch.Job, *os.File, error) {
+	jobID := fmt.Sprintf("swift-%s-%d", inv.App, x.seq.Add(1))
+	var f *os.File
+	if inv.StdoutFile != "" {
+		if err := os.MkdirAll(filepath.Dir(inv.StdoutFile), 0o755); err != nil {
+			return dispatch.Job{}, nil, err
+		}
+		var err error
+		f, err = os.Create(inv.StdoutFile)
+		if err != nil {
+			return dispatch.Job{}, nil, err
+		}
+		x.mu.Lock()
+		x.stdouts[jobID] = f
+		x.mu.Unlock()
+	}
+	for _, out := range inv.OutFiles {
+		if dir := filepath.Dir(out); dir != "." && dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				x.releaseStdout(jobID, f)
+				return dispatch.Job{}, nil, err
+			}
+		}
+	}
+	job := dispatch.Job{
+		Spec: hydra.JobSpec{
+			JobID:  jobID,
+			NProcs: 1,
+			Cmd:    inv.Tokens[0],
+			Args:   inv.Tokens[1:],
+		},
+		Type: dispatch.Sequential,
+	}
+	if inv.NProcs > 0 {
+		job.Type = dispatch.MPI
+		job.Spec.NProcs = inv.NProcs
+	}
+	return job, f, nil
+}
+
+// releaseStdout unregisters and closes a job's stdout redirect.
+func (x *JETSExecutor) releaseStdout(jobID string, f *os.File) {
+	if f == nil {
+		return
+	}
+	x.mu.Lock()
+	delete(x.stdouts, jobID)
+	x.mu.Unlock()
+	f.Close()
+}

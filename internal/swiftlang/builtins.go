@@ -1,0 +1,122 @@
+package swiftlang
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// builtinHost is the runtime state the builtin library needs — shared by the
+// tree-walking interpreter and the compiled runtime so both produce
+// byte-identical behavior and error messages. Arguments arrive already
+// evaluated; each caller owns its own evaluation strategy.
+type builtinHost struct {
+	mu     sync.Mutex
+	stdout io.Writer
+	args   map[string]string
+}
+
+// call applies builtin name to evaluated arguments.
+func (h *builtinHost) call(name string, args []interface{}, line int) (interface{}, error) {
+	switch name {
+	case "strcat":
+		var b strings.Builder
+		for _, a := range args {
+			b.WriteString(toDisplay(a))
+		}
+		return b.String(), nil
+	case "trace":
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = toDisplay(a)
+		}
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if h.stdout != nil {
+			fmt.Fprintln(h.stdout, strings.Join(parts, " "))
+		}
+		return nil, nil
+	case "toInt":
+		if len(args) != 1 {
+			return nil, rtErrf(line, "toInt takes one argument")
+		}
+		switch x := args[0].(type) {
+		case int64:
+			return x, nil
+		case float64:
+			return int64(x), nil
+		case string:
+			n, err := strconv.ParseInt(strings.TrimSpace(x), 10, 64)
+			if err != nil {
+				return nil, rtErrf(line, "toInt: %v", err)
+			}
+			return n, nil
+		}
+		return nil, rtErrf(line, "toInt cannot convert %T", args[0])
+	case "toString":
+		if len(args) != 1 {
+			return nil, rtErrf(line, "toString takes one argument")
+		}
+		return toDisplay(args[0]), nil
+	case "arg":
+		// arg(name) or arg(name, default): named script arguments.
+		if len(args) != 1 && len(args) != 2 {
+			return nil, rtErrf(line, "arg takes a name and an optional default")
+		}
+		name, ok := args[0].(string)
+		if !ok {
+			return nil, rtErrf(line, "arg name must be a string, got %T", args[0])
+		}
+		if v, ok := h.args[name]; ok {
+			return v, nil
+		}
+		if len(args) == 2 {
+			return args[1], nil
+		}
+		return nil, rtErrf(line, "missing required script argument %q", name)
+	case "filename":
+		if len(args) != 1 {
+			return nil, rtErrf(line, "filename takes one argument")
+		}
+		f, ok := args[0].(FileVal)
+		if !ok {
+			return nil, rtErrf(line, "filename needs a file, got %T", args[0])
+		}
+		return f.Path, nil
+	}
+	return nil, rtErrf(line, "unknown function %q", name)
+}
+
+// builtinFoldable reports whether a builtin over constant arguments can be
+// folded at compile time. trace has an effect, and arg depends on per-run
+// Config.Args, so both must stay runtime calls.
+func builtinFoldable(name string) bool {
+	switch name {
+	case "strcat", "toInt", "toString", "filename":
+		return true
+	}
+	return false
+}
+
+// applyUnary evaluates a unary operator — shared by both runtimes.
+func applyUnary(op string, v interface{}) (interface{}, error) {
+	switch op {
+	case "!":
+		b, ok := v.(bool)
+		if !ok {
+			return nil, rtErrf(0, "! needs a boolean, got %T", v)
+		}
+		return !b, nil
+	case "-":
+		switch n := v.(type) {
+		case int64:
+			return -n, nil
+		case float64:
+			return -n, nil
+		}
+		return nil, rtErrf(0, "unary - needs a number, got %T", v)
+	}
+	return nil, rtErrf(0, "unknown unary operator %q", op)
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"strconv"
-	"strings"
 )
 
 // Expression evaluation. Evaluation blocks on unset single-assignment
@@ -52,23 +51,7 @@ func (in *interp) eval(ctx context.Context, ev *env, e Expr) (interface{}, error
 		if err != nil {
 			return nil, err
 		}
-		switch x.Op {
-		case "!":
-			b, ok := v.(bool)
-			if !ok {
-				return nil, rtErrf(0, "! needs a boolean, got %T", v)
-			}
-			return !b, nil
-		case "-":
-			switch n := v.(type) {
-			case int64:
-				return -n, nil
-			case float64:
-				return -n, nil
-			}
-			return nil, rtErrf(0, "unary - needs a number, got %T", v)
-		}
-		return nil, rtErrf(0, "unknown unary operator %q", x.Op)
+		return applyUnary(x.Op, v)
 	case *Binary:
 		l, err := in.eval(ctx, ev, x.L)
 		if err != nil {
@@ -249,108 +232,16 @@ func toDisplay(v interface{}) string {
 	return fmt.Sprint(v)
 }
 
-// callBuiltin dispatches the builtin library.
+// callBuiltin evaluates the arguments and dispatches the shared builtin
+// library (builtins.go).
 func (in *interp) callBuiltin(ctx context.Context, ev *env, call *Call) (interface{}, error) {
-	evalAll := func() ([]interface{}, error) {
-		out := make([]interface{}, len(call.Args))
-		for i, a := range call.Args {
-			v, err := in.eval(ctx, ev, a)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = v
+	args := make([]interface{}, len(call.Args))
+	for i, a := range call.Args {
+		v, err := in.eval(ctx, ev, a)
+		if err != nil {
+			return nil, err
 		}
-		return out, nil
+		args[i] = v
 	}
-	switch call.Name {
-	case "strcat":
-		args, err := evalAll()
-		if err != nil {
-			return nil, err
-		}
-		var b strings.Builder
-		for _, a := range args {
-			b.WriteString(toDisplay(a))
-		}
-		return b.String(), nil
-	case "trace":
-		args, err := evalAll()
-		if err != nil {
-			return nil, err
-		}
-		parts := make([]string, len(args))
-		for i, a := range args {
-			parts[i] = toDisplay(a)
-		}
-		in.traceMu.Lock()
-		defer in.traceMu.Unlock()
-		if in.cfg.Stdout != nil {
-			fmt.Fprintln(in.cfg.Stdout, strings.Join(parts, " "))
-		}
-		return nil, nil
-	case "toInt":
-		args, err := evalAll()
-		if err != nil {
-			return nil, err
-		}
-		if len(args) != 1 {
-			return nil, rtErrf(call.Line, "toInt takes one argument")
-		}
-		switch x := args[0].(type) {
-		case int64:
-			return x, nil
-		case float64:
-			return int64(x), nil
-		case string:
-			n, err := strconv.ParseInt(strings.TrimSpace(x), 10, 64)
-			if err != nil {
-				return nil, rtErrf(call.Line, "toInt: %v", err)
-			}
-			return n, nil
-		}
-		return nil, rtErrf(call.Line, "toInt cannot convert %T", args[0])
-	case "toString":
-		args, err := evalAll()
-		if err != nil {
-			return nil, err
-		}
-		if len(args) != 1 {
-			return nil, rtErrf(call.Line, "toString takes one argument")
-		}
-		return toDisplay(args[0]), nil
-	case "arg":
-		// arg(name) or arg(name, default): named script arguments.
-		args, err := evalAll()
-		if err != nil {
-			return nil, err
-		}
-		if len(args) != 1 && len(args) != 2 {
-			return nil, rtErrf(call.Line, "arg takes a name and an optional default")
-		}
-		name, ok := args[0].(string)
-		if !ok {
-			return nil, rtErrf(call.Line, "arg name must be a string, got %T", args[0])
-		}
-		if v, ok := in.cfg.Args[name]; ok {
-			return v, nil
-		}
-		if len(args) == 2 {
-			return args[1], nil
-		}
-		return nil, rtErrf(call.Line, "missing required script argument %q", name)
-	case "filename":
-		args, err := evalAll()
-		if err != nil {
-			return nil, err
-		}
-		if len(args) != 1 {
-			return nil, rtErrf(call.Line, "filename takes one argument")
-		}
-		f, ok := args[0].(FileVal)
-		if !ok {
-			return nil, rtErrf(call.Line, "filename needs a file, got %T", args[0])
-		}
-		return f.Path, nil
-	}
-	return nil, rtErrf(call.Line, "unknown function %q", call.Name)
+	return in.host.call(call.Name, args, call.Line)
 }

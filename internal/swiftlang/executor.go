@@ -4,24 +4,34 @@ import (
 	"context"
 	"fmt"
 	"os"
-	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"jets/internal/core"
-	"jets/internal/dispatch"
-	"jets/internal/hydra"
 )
 
 // JETSExecutor submits app invocations to a JETS engine — the
 // MPICH/Coasters form of §5.2: Swift produces the task, JETS decomposes and
-// launches it.
+// launches it. Asynchronous submissions (ExecuteAsync, used by the compiled
+// runtime) are coalesced into dispatcher batches; see batch.go.
 type JETSExecutor struct {
+	// BatchMax caps how many pending async submissions accumulate before a
+	// forced flush; BatchDelay bounds how long the first pending submission
+	// waits for company. Zero values select the package defaults.
+	BatchMax   int
+	BatchDelay time.Duration
+
 	eng *core.Engine
 	seq atomic.Int64
 
 	mu      sync.Mutex
 	stdouts map[string]*os.File // jobID -> open redirect target
+
+	bmu     sync.Mutex
+	pending []pendingSubmit
+	timer   *time.Timer
 }
 
 // NewJETSExecutor wraps an engine. Wire OutputSink into the engine's
@@ -43,24 +53,18 @@ func (x *JETSExecutor) Bind(eng *core.Engine) { x.eng = eng }
 // path.
 func (x *JETSExecutor) OutputSink(taskID, stream string, data []byte) {
 	jobID := taskID
-	if i := indexByte(taskID, '/'); i >= 0 {
+	if i := strings.IndexByte(taskID, '/'); i >= 0 {
 		jobID = taskID[:i]
 	}
 	x.mu.Lock()
 	f := x.stdouts[jobID]
 	x.mu.Unlock()
 	if f != nil {
-		f.Write(data)
-	}
-}
-
-func indexByte(s string, b byte) int {
-	for i := 0; i < len(s); i++ {
-		if s[i] == b {
-			return i
+		n, err := f.Write(data)
+		if err != nil {
+			swiftRedirectDrops.Add(int64(len(data) - n))
 		}
 	}
-	return -1
 }
 
 // Execute implements Executor.
@@ -68,47 +72,13 @@ func (x *JETSExecutor) Execute(ctx context.Context, inv AppInvocation) error {
 	if x.eng == nil {
 		return fmt.Errorf("swift: JETS executor not bound to an engine")
 	}
-	jobID := fmt.Sprintf("swift-%s-%d", inv.App, x.seq.Add(1))
-
-	if inv.StdoutFile != "" {
-		if err := os.MkdirAll(filepath.Dir(inv.StdoutFile), 0o755); err != nil {
-			return err
-		}
-		f, err := os.Create(inv.StdoutFile)
-		if err != nil {
-			return err
-		}
-		x.mu.Lock()
-		x.stdouts[jobID] = f
-		x.mu.Unlock()
-		defer func() {
-			x.mu.Lock()
-			delete(x.stdouts, jobID)
-			x.mu.Unlock()
-			f.Close()
-		}()
+	job, f, err := x.buildJob(inv)
+	if err != nil {
+		return err
 	}
-	for _, out := range inv.OutFiles {
-		if dir := filepath.Dir(out); dir != "." && dir != "" {
-			if err := os.MkdirAll(dir, 0o755); err != nil {
-				return err
-			}
-		}
-	}
-
-	job := dispatch.Job{
-		Spec: hydra.JobSpec{
-			JobID:  jobID,
-			NProcs: 1,
-			Cmd:    inv.Tokens[0],
-			Args:   inv.Tokens[1:],
-		},
-		Type: dispatch.Sequential,
-	}
-	if inv.NProcs > 0 {
-		job.Type = dispatch.MPI
-		job.Spec.NProcs = inv.NProcs
-	}
+	jobID := job.Spec.JobID
+	defer x.releaseStdout(jobID, f)
+	swiftTasksSubmitted.Add(1)
 	h, err := x.eng.Submit(job)
 	if err != nil {
 		return err

@@ -43,11 +43,19 @@ type Config struct {
 	// Args are named script arguments available through the arg() builtin
 	// (Swift's @arg), e.g. swiftrun -arg steps=10.
 	Args map[string]string
+	// Compile lowers the program to a static dataflow graph before running it
+	// (constant folding, slot-resolved variables, batched submission). The
+	// tree-walking interpreter remains the Compile=false reference.
+	Compile bool
 }
 
 // Run executes a parsed program to completion under dataflow semantics and
 // returns the first error.
 func Run(ctx context.Context, prog *Program, cfg Config) error {
+	if cfg.Compile {
+		cp := Compile(prog)
+		return cp.Run(ctx, cfg)
+	}
 	if cfg.Executor == nil {
 		return fmt.Errorf("swift: no executor configured")
 	}
@@ -55,6 +63,8 @@ func Run(ctx context.Context, prog *Program, cfg Config) error {
 		cfg.WorkDir = "swift-work"
 	}
 	in := &interp{prog: prog, cfg: cfg, eng: dataflow.NewEngine(ctx)}
+	in.host.stdout = cfg.Stdout
+	in.host.args = cfg.Args
 	root := newEnv(nil)
 	in.root = root
 	in.execBlock(root, prog.Stmts)
@@ -142,8 +152,7 @@ type interp struct {
 	eng  *dataflow.Engine
 	root *env // global scope, visible from app bodies
 	seq  atomic.Int64
-
-	traceMu sync.Mutex
+	host builtinHost
 }
 
 func (in *interp) nextSeq() int64 { return in.seq.Add(1) }

@@ -1,0 +1,39 @@
+package swiftlang
+
+import (
+	"sync/atomic"
+	"time"
+
+	"jets/internal/obs"
+)
+
+// Client-tier instrumentation: how many tasks the script layer produced, how
+// well batching coalesces them, and what compilation costs. Package-level
+// instruments following hydra's detached-counter idiom; RegisterMetrics
+// exports them through a registry (and the /metrics endpoint).
+var (
+	swiftTasksSubmitted = obs.NewCounter("swift_tasks_submitted_total",
+		"app invocations handed to the JETS executor by the script layer")
+	// The histogram is duration-based; batch sizes are encoded as 1s == 1
+	// task so bucket edges render as integer task counts.
+	swiftBatchSize = obs.NewHist("swift_batch_size",
+		"tasks per batched engine submit (1s == 1 task)", batchSizeBounds)
+	swiftRedirectDrops = obs.NewCounter("swift_redirect_dropped_bytes_total",
+		"stdout-redirect bytes lost to file write errors")
+	compileNanos atomic.Int64
+)
+
+var batchSizeBounds = []time.Duration{
+	1 * time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second,
+	16 * time.Second, 32 * time.Second, 64 * time.Second, 128 * time.Second,
+	256 * time.Second, 512 * time.Second,
+}
+
+// RegisterMetrics exports the script layer's instrumentation through reg.
+func RegisterMetrics(reg *obs.Registry) {
+	reg.Register(swiftTasksSubmitted, swiftBatchSize, swiftRedirectDrops)
+	reg.GaugeFunc("swift_compile_seconds",
+		"wall time of the most recent script compilation", func() float64 {
+			return float64(compileNanos.Load()) / 1e9
+		})
+}

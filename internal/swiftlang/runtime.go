@@ -1,0 +1,161 @@
+package swiftlang
+
+// The compiled runtime (crt): frame-based execution with an inline
+// non-blocking fast path. A generator-style script — declarations whose
+// inputs are already set, foreach over resolved bounds, app calls whose
+// arguments are immediate — runs entirely on the caller's goroutine,
+// submitting tasks through the batched executor without ever parking.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"jets/internal/dataflow"
+)
+
+// crt is the state of one compiled-program run.
+type crt struct {
+	cfg  Config
+	eng  *dataflow.Engine
+	exec AsyncExecutor
+	root *frame
+	host builtinHost
+	fast *ectx // shared non-blocking evaluation context
+	seq  atomic.Int64
+
+	// pend tracks in-flight submissions so a canceled run can abandon their
+	// engine holds, mirroring the interpreter's goroutines abandoning their
+	// Done() waits on cancellation.
+	pendMu  sync.Mutex
+	pend    map[int64]func(error)
+	pendSeq int64
+	drained bool
+}
+
+func (rt *crt) nextSeq() int64 { return rt.seq.Add(1) }
+
+// Run executes the compiled program to completion under dataflow semantics.
+func (p *CompiledProgram) Run(ctx context.Context, cfg Config) error {
+	if cfg.Executor == nil {
+		return fmt.Errorf("swift: no executor configured")
+	}
+	if cfg.WorkDir == "" {
+		cfg.WorkDir = "swift-work"
+	}
+	eng := dataflow.NewEngine(ctx)
+	rt := &crt{cfg: cfg, eng: eng, pend: map[int64]func(error){}}
+	rt.host.stdout = cfg.Stdout
+	rt.host.args = cfg.Args
+	rt.fast = &ectx{ctx: eng.Context(), rt: rt, blocking: false}
+	if ax, ok := cfg.Executor.(AsyncExecutor); ok {
+		rt.exec = ax
+	} else {
+		rt.exec = goAsync{ex: cfg.Executor, eng: eng}
+	}
+	go rt.drainOnCancel()
+	rootFr := newFrame(p.root, nil, rt)
+	rt.root = rootFr
+	if err := rt.runBlock(p.root, rootFr); err != nil {
+		eng.Fail(err)
+	}
+	// The whole graph has been walked: push out whatever the executor still
+	// buffers (suspended statements submit later and ride the flush timer).
+	if fl, ok := cfg.Executor.(Flusher); ok {
+		fl.Flush()
+	}
+	return eng.Wait()
+}
+
+// runBlock launches a compiled block's statements against fr. Fast
+// statements run inline in non-blocking mode; one that reaches an unset
+// future retries on a blocking goroutine — the interpreter's cost model for
+// the suspended subset only.
+func (rt *crt) runBlock(bp *blockBP, fr *frame) error {
+	for i := range bp.stmts {
+		st := &bp.stmts[i]
+		if st.fast {
+			err := st.exec(fr, rt.fast)
+			if err == nil {
+				continue
+			}
+			if err != errWouldBlock {
+				return err
+			}
+		}
+		exec := st.exec
+		rt.eng.Go(func(ctx context.Context) error {
+			return exec(fr, &ectx{ctx: ctx, rt: rt, blocking: true})
+		})
+	}
+	return nil
+}
+
+// dispatchApp is phase B of an app invocation: register an engine hold, hand
+// the invocation to the async executor, and return. The completion callback
+// sets the output futures; an execution failure is wrapped exactly as the
+// interpreter wraps it. With notify set (expression-position calls), the
+// outcome goes to the channel instead of the engine.
+func (rt *crt) dispatchApp(inv AppInvocation, outFuts []*dataflow.Future, outVals []FileVal, appName string, line int, notify chan<- error) {
+	release := rt.eng.Hold()
+	untrack := rt.track(release)
+	done := func(execErr error) {
+		untrack()
+		var err error
+		if execErr != nil {
+			err = fmt.Errorf("swift: app %s (line %d): %w", appName, line, execErr)
+		} else {
+			for i, fut := range outFuts {
+				if serr := fut.Set(outVals[i]); serr != nil {
+					err = serr
+					break
+				}
+			}
+		}
+		if notify != nil {
+			release(nil)
+			notify <- err
+			return
+		}
+		release(err)
+	}
+	rt.exec.ExecuteAsync(rt.eng.Context(), inv, done)
+}
+
+// track registers an in-flight submission's release for cancellation drain.
+func (rt *crt) track(release func(error)) func() {
+	rt.pendMu.Lock()
+	if rt.drained {
+		rt.pendMu.Unlock()
+		release(nil)
+		return func() {}
+	}
+	rt.pendSeq++
+	id := rt.pendSeq
+	rt.pend[id] = release
+	rt.pendMu.Unlock()
+	return func() {
+		rt.pendMu.Lock()
+		delete(rt.pend, id)
+		rt.pendMu.Unlock()
+	}
+}
+
+// drainOnCancel abandons the holds of still-running submissions once the
+// run's context ends. Their jobs keep running on the dispatcher; late
+// completion callbacks become no-ops through the holds' once guards.
+func (rt *crt) drainOnCancel() {
+	<-rt.eng.Context().Done()
+	rt.pendMu.Lock()
+	rels := make([]func(error), 0, len(rt.pend))
+	for _, r := range rt.pend {
+		rels = append(rels, r)
+	}
+	rt.pend = nil
+	rt.drained = true
+	rt.pendMu.Unlock()
+	for _, r := range rels {
+		r(nil)
+	}
+}

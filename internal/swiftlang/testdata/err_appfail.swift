@@ -1,0 +1,6 @@
+# Error case: the executor rejects the command, so the failure surfaces
+# through the app-invocation error wrap.
+app () nosuch (int i) {
+    "nosuchcmd" i;
+}
+nosuch(1);

@@ -1,0 +1,5 @@
+# Error case: wrong argument count at an app call site.
+app () one (int i) {
+    "gen" i;
+}
+one(1, 2);

@@ -1,0 +1,5 @@
+# Error case: an MPI size that is not positive.
+app () bad (int i) mpi 0 {
+    "gen" i;
+}
+bad(1);

@@ -1,0 +1,3 @@
+# Error case: duplicate declaration in one scope.
+int a = 1;
+int a = 2;

@@ -1,0 +1,2 @@
+# Error case: a variable that was never declared.
+trace(nope);

@@ -1,0 +1,15 @@
+# Many-task generator: n independent app calls, the §6 "sleep 0" shape.
+# Used by the compile-smoke CI run and BenchmarkSwiftGenerate; n and the
+# MPI size arrive as script arguments.
+
+int n = toInt(arg("n", "100"));
+int size = toInt(arg("size", "1"));
+
+app () gen (int i, int sz) mpi size {
+    "gen" i sz;
+}
+
+foreach i in [1:n] {
+    gen(i, size);
+}
+trace("generated", n, "tasks");

@@ -1,0 +1,27 @@
+# Chained three-stage pipeline with explicit mappers and stdout capture:
+# every cooked[i] depends on raw[i], and the combine step depends on the
+# first and last cooked outputs. Exercises file arrays, @-dereference,
+# stdout=@ redirection, and arithmetic in index expressions.
+
+int n = toInt(arg("n", "4"));
+
+app (file o) mkinput (int i) {
+    "mkinput" i stdout=@o;
+}
+app (file o) process (file a, int i) {
+    "process" @a i stdout=@o;
+}
+app (file o) combine (file a, file b) {
+    "combine" @a @b stdout=@o;
+}
+
+file raw[] <"raw_%d.file">;
+file cooked[] <"cooked_%d.file">;
+file final <"final.file">;
+
+foreach i in [0:n-1] {
+    raw[i] = mkinput(i);
+    cooked[i] = process(raw[i], i * 2);
+}
+final = combine(cooked[0], cooked[n-1]);
+trace("pipeline", n, strcat("w", toString(n)));
