@@ -55,6 +55,7 @@ func run() error {
 	coalesce := flag.Int("write-coalesce", 16, "max outbound frames batched per flush on each worker connection (<=1 disables)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof, and /healthz on this address (e.g. 127.0.0.1:9090; empty disables)")
 	listen := flag.String("listen", "", "dispatcher listen address for external workers (e.g. 0.0.0.0:7001; empty binds an ephemeral loopback port)")
+	dataDir := flag.String("data-dir", "", "directory for the crash-safe dispatcher journal; on restart, uncompleted jobs from a previous run are recovered and re-run (empty disables durability)")
 	alertsOn := flag.Bool("alerts", false, "evaluate the default self-monitoring alert rules (log warnings, export jets_alert_firing, fail /healthz on critical rules)")
 	alertRules := flag.String("alert-rules", "", "load additional alert rules from this file (see internal/alerts.ParseRules; implies -alerts sources)")
 	flag.Parse()
@@ -111,12 +112,20 @@ func run() error {
 		OnEvent:        onEvent,
 		WriteCoalesce:  *coalesce,
 		Obs:            reg,
+		DataDir:        *dataDir,
 	})
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
 	fmt.Printf("jets: dispatcher on %s, %d local workers\n", eng.Addr(), *workers)
+	recovered := eng.RecoveredJobs()
+	if rerr := eng.RecoveryError(); rerr != nil {
+		fmt.Fprintf(os.Stderr, "jets: journal replay: %v (recovery is partial)\n", rerr)
+	}
+	if len(recovered) > 0 {
+		fmt.Printf("jets: recovered %d uncompleted jobs from %s\n", len(recovered), *dataDir)
+	}
 	var alertEngine *alerts.Engine
 	if *alertsOn || *alertRules != "" {
 		alertEngine, err = alerts.NewEngine(alerts.Config{Registry: reg},
@@ -167,6 +176,24 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// The batch above only covers this run's submissions; jobs inherited
+	// from a crashed predecessor complete on the same workers and are
+	// reported separately.
+	recFailed := 0
+	for _, h := range recovered {
+		select {
+		case <-h.Done():
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if res, ok := h.TryResult(); ok && res.Failed {
+			recFailed++
+			fmt.Printf("FAILED %s (recovered): %s\n", res.JobID, res.Err)
+		}
+	}
+	if len(recovered) > 0 {
+		fmt.Printf("recovered:   %d jobs (%d failed)\n", len(recovered), recFailed)
+	}
 	if tracer != nil {
 		// Close (idempotent) flushes the dispatcher's buffered event tail
 		// before the trace is written, so the file carries the full batch.
@@ -190,8 +217,8 @@ func run() error {
 			fmt.Printf("FAILED %s: %s\n", r.JobID, r.Err)
 		}
 	}
-	if rep.Failed() > 0 {
-		return fmt.Errorf("%d jobs failed", rep.Failed())
+	if n := rep.Failed() + recFailed; n > 0 {
+		return fmt.Errorf("%d jobs failed", n)
 	}
 	return nil
 }

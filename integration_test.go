@@ -31,6 +31,8 @@ func TestMain(m *testing.M) {
 	case "seq-app":
 		fmt.Println("sequential helper ran")
 		os.Exit(0)
+	case "crash-dispatcher":
+		os.Exit(helperCrashDispatcher())
 	default:
 		fmt.Fprintln(os.Stderr, "unknown helper", os.Getenv("JETS_HELPER"))
 		os.Exit(2)

@@ -23,6 +23,7 @@ import (
 
 	"jets/internal/dispatch"
 	"jets/internal/hydra"
+	"jets/internal/journal"
 	"jets/internal/metrics"
 	"jets/internal/obs"
 	"jets/internal/proto"
@@ -79,6 +80,15 @@ type Options struct {
 	// hydra/PMI and worker package metrics through the registry, ready for
 	// obs.Serve.
 	Obs *obs.Registry
+	// Journal, when non-nil, makes dispatcher job state durable and recovers
+	// prior state at startup (see dispatch.Config.Journal). The dispatcher
+	// takes ownership and closes it. Takes precedence over DataDir.
+	Journal journal.Journal
+	// DataDir, when non-empty and Journal is nil, opens (creating the
+	// directory if needed) a write-ahead journal there — the stand-alone
+	// tool's -data-dir flag. Jobs accepted by a previous run that never
+	// completed are rebuilt at startup; RecoveredJobs exposes their handles.
+	DataDir string
 }
 
 // Engine is a running JETS instance.
@@ -93,6 +103,14 @@ type Engine struct {
 
 // NewEngine starts the dispatcher and any local workers.
 func NewEngine(opts Options) (*Engine, error) {
+	jnl := opts.Journal
+	if jnl == nil && opts.DataDir != "" {
+		w, err := journal.OpenWAL(journal.Options{Dir: opts.DataDir})
+		if err != nil {
+			return nil, fmt.Errorf("core: open journal: %w", err)
+		}
+		jnl = w
+	}
 	d := dispatch.New(dispatch.Config{
 		Addr:             opts.ListenAddr,
 		HeartbeatTimeout: opts.HeartbeatTimeout,
@@ -109,10 +127,12 @@ func NewEngine(opts Options) (*Engine, error) {
 		OnEvent:          opts.OnEvent,
 		WriteCoalesce:    opts.WriteCoalesce,
 		Obs:              opts.Obs,
+		Journal:          jnl,
 	})
 	if opts.Obs != nil {
 		hydra.RegisterMetrics(opts.Obs)
 		worker.RegisterMetrics(opts.Obs)
+		journal.RegisterMetrics(opts.Obs)
 	}
 	addr, err := d.Start()
 	if err != nil {
@@ -171,6 +191,15 @@ func (e *Engine) Dispatcher() *dispatch.Dispatcher { return e.d }
 // Workers returns the engine's local worker agents (for fault injection in
 // tests and experiments).
 func (e *Engine) Workers() []*worker.Worker { return e.workers }
+
+// RecoveredJobs returns the handles of jobs rebuilt from the journal at
+// startup (empty without a journal). A restarted engine waits on them to
+// finish the workload it inherited.
+func (e *Engine) RecoveredJobs() []*dispatch.Handle { return e.d.RecoveredJobs() }
+
+// RecoveryError reports a journal replay failure during startup; recovery is
+// best-effort past the error point (see dispatch.RecoveryError).
+func (e *Engine) RecoveryError() error { return e.d.RecoveryError() }
 
 // Submit enqueues one job.
 func (e *Engine) Submit(job dispatch.Job) (*dispatch.Handle, error) { return e.d.Submit(job) }

@@ -20,16 +20,26 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"jets/internal/hydra"
+	"jets/internal/journal"
 	"jets/internal/metrics"
 	"jets/internal/obs"
 	"jets/internal/proto"
 )
+
+// ErrDispatcherClosed resolves the handle of any job stranded by Close — a
+// job still in a shard queue, parked in a retry-backoff timer, or requeued
+// after the sweep. Before it existed those handles never completed, leaking
+// every goroutine parked on Done()/OnDone. With a journal configured the
+// job itself is not lost: it stays live in the journal and is recovered on
+// the next start.
+var ErrDispatcherClosed = errors.New("dispatch: dispatcher closed")
 
 // Config parameterizes the dispatcher.
 type Config struct {
@@ -44,12 +54,14 @@ type Config struct {
 	// to worker loss (not application error); default 0.
 	MaxJobRetries int
 	// RetryBackoff delays each faulted job's resubmission, doubling per
-	// attempt up to RetryBackoffMax; default 100ms. Without it a job that
-	// reliably kills or faults its workers respins through the pool as
-	// fast as workers rejoin — the §6.1.5 retry storm. The delay is
-	// timer-driven off the dispatch path and honors Shutdown: Drain counts
-	// a backoff-pending job as live, and Close aborts the timers. Negative
-	// means no delay (the pre-backoff immediate requeue).
+	// attempt up to RetryBackoffMax. Without it a job that reliably kills
+	// or faults its workers respins through the pool as fast as workers
+	// rejoin — the §6.1.5 retry storm. The delay is timer-driven off the
+	// dispatch path and honors Shutdown: Drain counts a backoff-pending job
+	// as live, and Close aborts the timers (resolving their handles with
+	// ErrDispatcherClosed). Zero means the 100ms default, consistent with
+	// core.Options; only a negative value disables the delay entirely (the
+	// pre-backoff immediate requeue).
 	RetryBackoff time.Duration
 	// RetryBackoffMax caps the per-attempt doubling; default 5s, clamped
 	// up to RetryBackoff.
@@ -94,6 +106,14 @@ type Config struct {
 	// and latency histograms through the registry (see instruments.go).
 	// The histograms are maintained either way; export is sampling-only.
 	Obs *obs.Registry
+	// Journal, when non-nil, makes job state durable: accepted submissions,
+	// dispatches, retries, and completions are appended to it, and New
+	// replays any prior records — completed jobs are deduped, queued ones
+	// rebuilt, and formerly running ones requeued through the retry path
+	// (see recovery.go and internal/journal). The dispatcher takes
+	// ownership and closes the journal on Close. nil keeps the seed's
+	// in-memory-only behavior.
+	Journal journal.Journal
 }
 
 // Stats are cumulative dispatcher counters.
@@ -120,6 +140,7 @@ type statsCounters struct {
 	workersJoined   atomic.Int64
 	workersLost     atomic.Int64
 	steals          atomic.Int64
+	jobsReplayed    atomic.Int64
 }
 
 // outFrame is one entry in a worker's send queue: either a typed envelope
@@ -234,6 +255,19 @@ type Dispatcher struct {
 	running map[string]*runningJob
 	records []metrics.JobRecord
 	staged  []proto.Stage
+	// live holds every job ID the dispatcher considers in flight: queued,
+	// running, or waiting in a retry backoff. Submit reserves an ID here
+	// atomically with its duplicate check and the reservation is held
+	// through placement, so a duplicate of a *queued* job and two racing
+	// submits of one ID are both rejected (the old check consulted only the
+	// running table and dropped the lock before placement).
+	live map[string]struct{}
+
+	// Durable state (recovery.go): the journal, the handles of jobs
+	// rebuilt from it at startup, and the first replay error if any.
+	jnl         journal.Journal
+	recovered   []*Handle
+	recoveryErr error
 
 	stats statsCounters
 	ins   *instruments
@@ -293,12 +327,17 @@ func New(cfg Config) *Dispatcher {
 		shards:    newShards(cfg.Shards, func() QueuePolicy { return cfg.NewQueue() }),
 		workers:   make(map[string]*workerConn),
 		running:   make(map[string]*runningJob),
+		live:      make(map[string]struct{}),
+		jnl:       cfg.Journal,
 		idleWait:  make(chan struct{}),
 		retryQuit: make(chan struct{}),
 		ins:       newInstruments(),
 	}
 	if cfg.Obs != nil {
 		d.registerObs(cfg.Obs)
+	}
+	if d.jnl != nil {
+		d.recoverJournal()
 	}
 	return d
 }
@@ -580,6 +619,7 @@ func (d *Dispatcher) registerRunning(job *Job) *runningJob {
 	d.mu.Lock()
 	d.running[job.Spec.JobID] = rj
 	d.mu.Unlock()
+	d.journal(journal.Record{Kind: journal.Dispatched, JobID: job.Spec.JobID})
 	return rj
 }
 
@@ -712,9 +752,17 @@ func (d *Dispatcher) releaseGroup(group []*workerConn) {
 // rejoined. Never called with locks held (finalizeLocked only marks the
 // retry).
 func (d *Dispatcher) requeue(j *Job) {
+	if d.closed.Load() {
+		d.failStranded(j)
+		return
+	}
 	delay := d.retryDelay(j.retries)
 	if delay <= 0 {
 		d.placeJob(j, true)
+		if d.closed.Load() {
+			// Close may have swept the queues before the placement landed.
+			d.failQueued()
+		}
 		d.schedule()
 		return
 	}
@@ -733,11 +781,17 @@ func (d *Dispatcher) requeue(j *Job) {
 			d.mu.Lock()
 			d.kickLocked()
 			d.mu.Unlock()
+			if d.closed.Load() {
+				d.failQueued()
+			}
 			d.schedule()
 		case <-d.retryQuit:
-			// Close aborts pending retries; the job's handle stays
-			// unresolved, like any job stranded in a queue at Close.
+			// Close aborted this backoff: resolve the handle with
+			// ErrDispatcherClosed instead of stranding its waiters forever.
+			// With a journal the job is still durably live and recovers on
+			// the next start.
 			d.pendingRetries.Add(-1)
+			d.failStranded(j)
 			d.mu.Lock()
 			d.kickLocked()
 			d.mu.Unlock()
@@ -747,11 +801,17 @@ func (d *Dispatcher) requeue(j *Job) {
 
 // retryDelay is the backoff before attempt number `attempt` (1-based: set
 // by finalizeLocked before requeue), doubling from RetryBackoff up to
-// RetryBackoffMax. Zero when backoff is disabled (RetryBackoff < 0).
+// RetryBackoffMax. Only a negative RetryBackoff disables the delay; zero
+// means "use the default", matching core.Options — New normalizes zero
+// before this runs, and the check here mirrors that so a zero can never
+// silently mean "no backoff" (the old <= 0 test conflated the two).
 func (d *Dispatcher) retryDelay(attempt int) time.Duration {
 	delay := d.cfg.RetryBackoff
-	if delay <= 0 {
+	if delay < 0 {
 		return 0
+	}
+	if delay == 0 {
+		delay = 100 * time.Millisecond
 	}
 	for i := 1; i < attempt && delay < d.cfg.RetryBackoffMax; i++ {
 		delay *= 2
@@ -880,6 +940,7 @@ func (d *Dispatcher) finalizeLocked(rj *runningJob, overrideErr string) *Job {
 	if rj.failed && rj.faulted && rj.job.retries < d.cfg.MaxJobRetries {
 		rj.job.retries++
 		d.stats.jobsRetried.Add(1)
+		d.journal(journal.Record{Kind: journal.Retried, JobID: rj.job.Spec.JobID, Attempt: rj.job.retries})
 		d.emit(Event{Kind: EvJobRetried, JobID: rj.job.Spec.JobID, Detail: rj.errMsg})
 		return rj.job
 	}
@@ -899,6 +960,10 @@ func (d *Dispatcher) finalizeLocked(rj *runningJob, overrideErr string) *Job {
 		d.stats.jobsFailed.Add(1)
 		d.emit(Event{Kind: EvJobFailed, JobID: rj.job.Spec.JobID, Detail: rj.errMsg})
 	}
+	// Terminal: the Completed record dedupes the job at recovery, and the ID
+	// becomes submittable again.
+	delete(d.live, rj.job.Spec.JobID)
+	d.journal(journal.Record{Kind: journal.Completed, JobID: rj.job.Spec.JobID, Failed: rj.failed})
 	rj.job.handle.complete(JobResult{
 		JobID:       rj.job.Spec.JobID,
 		Failed:      rj.failed,
@@ -961,13 +1026,6 @@ func (d *Dispatcher) Submit(job Job) (*Handle, error) {
 	j.handle = h
 	j.submitted = time.Now()
 
-	d.mu.Lock()
-	if _, dup := d.running[job.Spec.JobID]; dup {
-		d.mu.Unlock()
-		return nil, fmt.Errorf("dispatch: duplicate job id %q", job.Spec.JobID)
-	}
-	d.mu.Unlock()
-
 	// The shared lock spans the draining check and the queue push, so
 	// Shutdown (which takes it exclusively before draining) can never
 	// observe an empty queue while a submission is still mid-flight.
@@ -976,10 +1034,20 @@ func (d *Dispatcher) Submit(job Job) (*Handle, error) {
 		d.subMu.RUnlock()
 		return nil, errors.New("dispatch: dispatcher is shut down")
 	}
+	if !d.reserveID(job.Spec.JobID) {
+		d.subMu.RUnlock()
+		return nil, fmt.Errorf("dispatch: duplicate job id %q", job.Spec.JobID)
+	}
 	j.seq = d.subSeq.Add(1)
 	d.stats.jobsSubmitted.Add(1)
 	d.emit(Event{Kind: EvJobSubmitted, JobID: job.Spec.JobID, Detail: job.Type.String()})
+	d.journal(submittedRecord(j))
 	d.placeJob(j, false)
+	if d.closed.Load() {
+		// Close does not take subMu, so it may have swept the queues between
+		// our check and the placement; sweep again so the handle resolves.
+		d.failQueued()
+	}
 	d.subMu.RUnlock()
 	d.schedule()
 	return h, nil
@@ -998,27 +1066,30 @@ func (d *Dispatcher) SubmitBatch(jobs []Job) ([]*Handle, error) {
 			return nil, fmt.Errorf("dispatch: sequential job %q must have NProcs 1", jobs[i].Spec.JobID)
 		}
 	}
-	d.mu.Lock()
-	seen := make(map[string]struct{}, len(jobs))
-	for i := range jobs {
-		id := jobs[i].Spec.JobID
-		if _, dup := d.running[id]; dup {
-			d.mu.Unlock()
-			return nil, fmt.Errorf("dispatch: duplicate job id %q", id)
-		}
-		if _, dup := seen[id]; dup {
-			d.mu.Unlock()
-			return nil, fmt.Errorf("dispatch: duplicate job id %q", id)
-		}
-		seen[id] = struct{}{}
-	}
-	d.mu.Unlock()
-
 	d.subMu.RLock()
 	if d.closed.Load() || d.draining.Load() {
 		d.subMu.RUnlock()
 		return nil, errors.New("dispatch: dispatcher is shut down")
 	}
+	// Reserve every ID before placing any, under one lock acquisition, so the
+	// batch is accepted or rejected as a whole: a duplicate (against any live
+	// job — queued, running, retry-pending — or within the batch itself)
+	// rolls back the reservations already made.
+	d.mu.Lock()
+	for i := range jobs {
+		id := jobs[i].Spec.JobID
+		if _, dup := d.live[id]; dup {
+			for k := 0; k < i; k++ {
+				delete(d.live, jobs[k].Spec.JobID)
+			}
+			d.mu.Unlock()
+			d.subMu.RUnlock()
+			return nil, fmt.Errorf("dispatch: duplicate job id %q", id)
+		}
+		d.live[id] = struct{}{}
+	}
+	d.mu.Unlock()
+
 	handles := make([]*Handle, len(jobs))
 	now := time.Now()
 	for i := range jobs {
@@ -1029,8 +1100,13 @@ func (d *Dispatcher) SubmitBatch(jobs []Job) ([]*Handle, error) {
 		j.seq = d.subSeq.Add(1)
 		d.stats.jobsSubmitted.Add(1)
 		d.emit(Event{Kind: EvJobSubmitted, JobID: job.Spec.JobID, Detail: job.Type.String()})
+		d.journal(submittedRecord(j))
 		d.placeJob(j, false)
 		handles[i] = j.handle
+	}
+	if d.closed.Load() {
+		// Same race as Submit: Close's sweep may have run mid-batch.
+		d.failQueued()
 	}
 	d.subMu.RUnlock()
 	d.schedule()
@@ -1092,13 +1168,19 @@ func (d *Dispatcher) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// Close releases the listener immediately. Outstanding handles complete
-// with failures as connections drop.
+// Close releases the listener immediately. Every handle still live
+// resolves: jobs stranded in a shard queue or a retry-backoff timer fail
+// with ErrDispatcherClosed (they used to hang forever, leaking every
+// goroutine parked on Done), and running jobs complete with failures as
+// connections drop. A configured journal is flushed and closed last, so
+// the stranded jobs — journaled without a Completed record — recover on
+// the next start.
 func (d *Dispatcher) Close() error {
 	if !d.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	close(d.retryQuit) // abort retry-backoff timers
+	close(d.retryQuit) // abort retry-backoff timers; each resolves its handle
+	d.failQueued()
 	if d.eventsQuit != nil {
 		// Signal the drainer and wait for it to flush the buffered tail, so
 		// an observer (e.g. a trace file written after Close) sees every
@@ -1107,10 +1189,80 @@ func (d *Dispatcher) Close() error {
 		close(d.eventsQuit)
 		d.evWG.Wait()
 	}
+	var err error
 	if d.ln != nil {
-		return d.ln.Close()
+		err = d.ln.Close()
 	}
-	return nil
+	if d.jnl != nil {
+		if jerr := d.jnl.Close(); err == nil {
+			err = jerr
+		}
+	}
+	return err
+}
+
+// reserveID claims a job ID against every live job — queued, running, or
+// parked in a retry backoff. The reservation is made atomically with the
+// duplicate check and held until the job reaches a terminal state, so two
+// racing submits of one ID cannot both pass, and a duplicate of a job that
+// is queued but not yet running is rejected (the old check consulted only
+// the running table, and released the lock before placement).
+func (d *Dispatcher) reserveID(id string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.live[id]; dup {
+		return false
+	}
+	d.live[id] = struct{}{}
+	return true
+}
+
+// failQueued drains every shard queue and resolves the stranded handles
+// with ErrDispatcherClosed. Called by Close once the closed flag is up, and
+// by any placer that observes the flag after pushing (the placement may
+// have raced past Close's sweep) — between the two, no queued job can
+// outlive Close unresolved.
+func (d *Dispatcher) failQueued() {
+	var stranded []*Job
+	d.lockAll()
+	for _, s := range d.shards {
+		for {
+			j := s.queue.Next(math.MaxInt)
+			if j == nil {
+				break
+			}
+			stranded = append(stranded, j)
+		}
+		s.refreshHead()
+	}
+	d.unlockAll()
+	if len(stranded) == 0 {
+		return
+	}
+	for _, j := range stranded {
+		d.failStranded(j)
+	}
+	d.mu.Lock()
+	d.kickLocked()
+	d.mu.Unlock()
+}
+
+// failStranded resolves the handle of one job Close stranded (in a queue or
+// a retry timer) with ErrDispatcherClosed. No Completed record is cut: with
+// a journal configured the job is still durably live and is rebuilt on the
+// next start.
+func (d *Dispatcher) failStranded(j *Job) {
+	d.mu.Lock()
+	delete(d.live, j.Spec.JobID)
+	d.mu.Unlock()
+	d.stats.jobsFailed.Add(1)
+	d.emit(Event{Kind: EvJobFailed, JobID: j.Spec.JobID, Detail: ErrDispatcherClosed.Error()})
+	j.handle.complete(JobResult{
+		JobID:   j.Spec.JobID,
+		Failed:  true,
+		Err:     ErrDispatcherClosed.Error(),
+		Retries: j.retries,
+	})
 }
 
 // StageFile distributes a file to every current and future worker's local

@@ -1,0 +1,137 @@
+package dispatch
+
+import (
+	"time"
+
+	"jets/internal/hydra"
+	"jets/internal/journal"
+)
+
+// Crash recovery over the dispatcher journal (internal/journal). New replays
+// the journal before serving: jobs with a Completed record are deduped and
+// dropped; jobs that were queued are rebuilt and placed; jobs that were
+// Dispatched when the previous process died are requeued through the
+// existing retry/backoff path, exactly like a job whose workers were lost.
+// The rebuilt live set is then re-journaled into fresh segments and the
+// consumed history compacted away, so replay cost stays proportional to the
+// live workload, not to everything the dispatcher ever ran.
+//
+// Recovered jobs get fresh handles (the submitting process is gone);
+// RecoveredJobs exposes them so a restarted engine can wait for — and
+// report — the workload it inherited.
+
+// journal appends one record when a journal is configured. Append never
+// touches the disk (group commit happens on the WAL's flush cadence), so
+// callers may hold scheduling locks.
+func (d *Dispatcher) journal(r journal.Record) {
+	if d.jnl == nil {
+		return
+	}
+	d.jnl.Append(r)
+}
+
+// submittedRecord flattens a job into its durable Submitted record.
+func submittedRecord(j *Job) journal.Record {
+	return journal.Record{
+		Kind:      journal.Submitted,
+		JobID:     j.Spec.JobID,
+		JobType:   int(j.Type),
+		Priority:  j.Priority,
+		NProcs:    j.Spec.NProcs,
+		Cmd:       j.Spec.Cmd,
+		Args:      j.Spec.Args,
+		Env:       j.Spec.Env,
+		Dir:       j.Spec.Dir,
+		WallLimit: j.Spec.WallLimit,
+	}
+}
+
+// recoverJournal rebuilds the scheduling state from the journal. Called from
+// New before any concurrency exists; placement still takes the shard locks
+// it would under load.
+func (d *Dispatcher) recoverJournal() {
+	type jobState struct {
+		job        *Job
+		dispatched bool
+	}
+	var order []string // first-submission order, preserved on requeue
+	live := make(map[string]*jobState)
+	d.recoveryErr = d.jnl.Replay(func(r journal.Record) error {
+		switch r.Kind {
+		case journal.Submitted:
+			j := &Job{
+				Spec: hydra.JobSpec{
+					JobID:     r.JobID,
+					NProcs:    r.NProcs,
+					Cmd:       r.Cmd,
+					Args:      r.Args,
+					Env:       r.Env,
+					Dir:       r.Dir,
+					WallLimit: r.WallLimit,
+				},
+				Type:     JobType(r.JobType),
+				Priority: r.Priority,
+			}
+			if _, seen := live[r.JobID]; !seen {
+				order = append(order, r.JobID)
+			}
+			live[r.JobID] = &jobState{job: j}
+		case journal.Dispatched:
+			if s := live[r.JobID]; s != nil {
+				s.dispatched = true
+			}
+		case journal.Retried:
+			if s := live[r.JobID]; s != nil {
+				s.job.retries = r.Attempt
+				s.dispatched = false // back in a queue when the record was cut
+			}
+		case journal.Completed:
+			delete(live, r.JobID)
+		}
+		return nil
+	})
+
+	for _, id := range order {
+		s, ok := live[id]
+		if !ok {
+			continue // completed in a previous life
+		}
+		j := s.job
+		j.handle = newHandle(id)
+		j.submitted = time.Now()
+		j.seq = d.subSeq.Add(1)
+		d.live[id] = struct{}{}
+		d.stats.jobsReplayed.Add(1)
+		d.recovered = append(d.recovered, j.handle)
+		// Re-journal into the fresh post-open segment so Compact below can
+		// drop the consumed history without losing the live set.
+		d.journal(submittedRecord(j))
+		if j.retries > 0 {
+			d.journal(journal.Record{Kind: journal.Retried, JobID: id, Attempt: j.retries})
+		}
+		if s.dispatched {
+			// Formerly running: the old process died with this job on
+			// workers whose results can never be credited. Route it through
+			// the same backoff'd requeue a worker fault would.
+			d.requeue(j)
+		} else {
+			d.placeJob(j, false)
+		}
+	}
+	d.jnl.Sync()
+	d.jnl.Compact()
+}
+
+// RecoveredJobs returns the handles of jobs rebuilt from the journal at
+// startup, in their original submission order. The handles behave exactly
+// like freshly submitted ones; a restarted engine waits on them to finish
+// the inherited workload.
+func (d *Dispatcher) RecoveredJobs() []*Handle {
+	return append([]*Handle(nil), d.recovered...)
+}
+
+// RecoveryError reports a failure reading the journal during New. Recovery
+// is best-effort past the error point: everything replayed before it is
+// live, anything after is lost (re-submission is safe — completed records
+// that did replay still dedupe).
+func (d *Dispatcher) RecoveryError() error { return d.recoveryErr }

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package journal
+
+import "os"
+
+// fsyncFile commits the file's data; without a portable fdatasync this is
+// a full fsync.
+func fsyncFile(f *os.File) error { return f.Sync() }

@@ -1,0 +1,480 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WAL is the durable Journal: an append-only log split into numbered
+// segment files. Each record is framed as
+//
+//	u32 body length | u32 CRC-32 (IEEE) of the body | body
+//
+// and each segment starts with an 8-byte magic. Appends go into an
+// in-memory buffer under a short mutex; a flusher goroutine group-commits
+// the buffer — one write plus one fsync — on a fixed cadence (default 2 ms,
+// deliberately matching the engine's batch-flush cadence so the durable
+// submit path amortizes the same way the wire path does). A crash loses at
+// most one flush interval of appends; everything behind the last fsync
+// replays exactly.
+//
+// Replay scans the segments that existed at Open in name order, stopping at
+// the first torn or corrupt frame (the unsynced tail of a crash). Records
+// appended after Open land in a fresh segment, so Compact can drop the
+// replayed history once the caller has re-journaled the live state.
+type WAL struct {
+	opts Options
+
+	mu      sync.Mutex // guards pending, spare, size, f, seg, closed, err
+	pending []byte
+	spare   []byte // recycled flush buffer, reused by the next Append
+	f       *os.File
+	seg     int
+	size    int64 // bytes written + pending in the active segment
+	closed  bool
+	err     error // sticky first write/fsync failure
+
+	flushMu sync.Mutex // serializes flush bodies (writer goroutine + Sync)
+
+	replay []string // segments present at Open, consumed by Replay/Compact
+
+	quit chan struct{}
+	done chan struct{}
+}
+
+// Options parameterizes a WAL.
+type Options struct {
+	// Dir holds the segment files; created if missing.
+	Dir string
+	// SegmentBytes rotates the active segment once it exceeds this size;
+	// default 64 MiB. Rotation happens on frame boundaries.
+	SegmentBytes int64
+	// FsyncInterval is the group-commit cadence; default 2ms. Appends are
+	// durable after the flush tick that follows them (or an explicit Sync).
+	FsyncInterval time.Duration
+}
+
+const (
+	walMagic       = "JETSWAL1"
+	frameHeaderLen = 8
+	// maxBodyLen rejects absurd frame lengths when a corrupt header happens
+	// to pass the length read (the CRC catches corrupt bodies; this catches
+	// a corrupt length that would otherwise allocate gigabytes).
+	maxBodyLen = 16 << 20
+)
+
+// ErrClosed is returned by operations on a closed WAL.
+var ErrClosed = errors.New("journal: WAL is closed")
+
+func segmentName(n int) string { return fmt.Sprintf("wal-%08d.log", n) }
+
+// OpenWAL opens (or creates) the journal directory, records the existing
+// segments for Replay, starts a fresh active segment, and begins the
+// flusher.
+func OpenWAL(opts Options) (*WAL, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("journal: empty WAL directory")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 64 << 20
+	}
+	if opts.FsyncInterval <= 0 {
+		opts.FsyncInterval = 2 * time.Millisecond
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []string
+	last := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"))
+		if err != nil {
+			continue
+		}
+		segs = append(segs, filepath.Join(opts.Dir, name))
+		if n > last {
+			last = n
+		}
+	}
+	sort.Strings(segs)
+	w := &WAL{
+		opts:   opts,
+		seg:    last + 1,
+		replay: segs,
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if err := w.openSegment(); err != nil {
+		return nil, err
+	}
+	go w.flusher()
+	return w, nil
+}
+
+// openSegment creates the next active segment and writes its magic. Caller
+// is single-threaded (Open) or holds both flushMu and mu (rotation).
+func (w *WAL) openSegment() error {
+	f, err := os.OpenFile(filepath.Join(w.opts.Dir, segmentName(w.seg)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(walMagic); err != nil {
+		f.Close()
+		return err
+	}
+	if w.f != nil {
+		w.f.Close()
+	}
+	w.f = f
+	w.size = int64(len(walMagic))
+	return nil
+}
+
+// Append implements Journal: encode and buffer the record. The record is
+// encoded straight into the pending buffer (header patched in afterwards),
+// so the submit hot path pays no per-record allocation. The disk is never
+// touched here; durability comes from the flusher cadence or Sync.
+func (w *WAL) Append(r Record) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	if w.pending == nil && w.spare != nil {
+		w.pending, w.spare = w.spare, nil
+	}
+	start := len(w.pending)
+	w.pending = append(w.pending, make([]byte, frameHeaderLen)...)
+	w.pending = encodeRecord(w.pending, r)
+	body := w.pending[start+frameHeaderLen:]
+	binary.LittleEndian.PutUint32(w.pending[start:start+4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(w.pending[start+4:start+8], crc32.ChecksumIEEE(body))
+	w.size += int64(len(w.pending) - start)
+	w.mu.Unlock()
+	appendsTotal.Inc()
+	return nil
+}
+
+// Sync implements Journal: force a group commit now.
+func (w *WAL) Sync() error { return w.flush() }
+
+// flush writes and fsyncs the pending buffer, then rotates the segment if
+// it outgrew SegmentBytes. Serialized by flushMu so the ticker goroutine
+// and explicit Syncs never interleave writes.
+func (w *WAL) flush() error {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	buf := w.pending
+	w.pending = nil
+	f := w.f
+	rotate := w.size > w.opts.SegmentBytes
+	w.mu.Unlock()
+	if len(buf) == 0 && !rotate {
+		return nil
+	}
+	if len(buf) > 0 {
+		start := time.Now()
+		_, err := f.Write(buf)
+		if err == nil {
+			err = fsyncFile(f)
+		}
+		fsyncSeconds.Observe(time.Since(start))
+		if err != nil {
+			w.mu.Lock()
+			if w.err == nil {
+				w.err = err
+			}
+			w.mu.Unlock()
+			return err
+		}
+		if cap(buf) <= 1<<20 { // recycle the buffer unless a burst bloated it
+			w.mu.Lock()
+			w.spare = buf[:0]
+			w.mu.Unlock()
+		}
+	}
+	if rotate {
+		w.mu.Lock()
+		if !w.closed {
+			w.seg++
+			if err := w.openSegment(); err != nil && w.err == nil {
+				w.err = err
+			}
+		}
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+func (w *WAL) flusher() {
+	defer close(w.done)
+	t := time.NewTicker(w.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			w.flush()
+		case <-w.quit:
+			return
+		}
+	}
+}
+
+// Replay implements Journal: stream the records of the segments that
+// existed at Open, oldest first. A torn or corrupt frame ends the scan
+// quietly — it is the unsynced tail of the crash the WAL exists to survive.
+func (w *WAL) Replay(fn func(Record) error) error {
+	for _, path := range w.replay {
+		stop, err := replaySegment(path, fn)
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// replaySegment decodes one segment. It reports stop=true on a torn or
+// corrupt frame (the rest of the log is untrusted) and err only when fn
+// itself fails; unreadable files count as torn.
+func replaySegment(path string, fn func(Record) error) (stop bool, err error) {
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		return true, nil
+	}
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		return true, nil
+	}
+	data = data[len(walMagic):]
+	for len(data) > 0 {
+		if len(data) < frameHeaderLen {
+			return true, nil // torn header
+		}
+		bodyLen := binary.LittleEndian.Uint32(data[0:4])
+		crc := binary.LittleEndian.Uint32(data[4:8])
+		if bodyLen > maxBodyLen || int(bodyLen) > len(data)-frameHeaderLen {
+			return true, nil // torn or corrupt body
+		}
+		body := data[frameHeaderLen : frameHeaderLen+int(bodyLen)]
+		if crc32.ChecksumIEEE(body) != crc {
+			return true, nil
+		}
+		rec, derr := decodeRecord(body)
+		if derr != nil {
+			return true, nil
+		}
+		if err := fn(rec); err != nil {
+			return false, err
+		}
+		data = data[frameHeaderLen+int(bodyLen):]
+	}
+	return false, nil
+}
+
+// Compact implements Journal: delete the segments Replay consumed. Call it
+// only after re-journaling the live state and Syncing — the fresh segments
+// started at Open are never touched, so a crash between Sync and Compact
+// merely replays some records twice (replay is idempotent per job ID).
+func (w *WAL) Compact() error {
+	var first error
+	for _, path := range w.replay {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) && first == nil {
+			first = err
+		}
+	}
+	w.replay = nil
+	return first
+}
+
+// Close implements Journal: stop the flusher, commit the tail, and release
+// the active segment.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.quit)
+	<-w.done
+	err := w.flush()
+	w.mu.Lock()
+	if w.f != nil {
+		if cerr := w.f.Close(); err == nil {
+			err = cerr
+		}
+		w.f = nil
+	}
+	w.mu.Unlock()
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Record encoding. Strings are u32 length + bytes; integers little-endian
+// fixed width. Only the fields the record's Kind uses are written.
+
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendStrings(b []byte, ss []string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+func encodeRecord(b []byte, r Record) []byte {
+	b = append(b, byte(r.Kind))
+	b = appendString(b, r.JobID)
+	switch r.Kind {
+	case Submitted:
+		b = append(b, byte(r.JobType))
+		b = binary.LittleEndian.AppendUint32(b, uint32(int32(r.Priority)))
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.NProcs))
+		b = binary.LittleEndian.AppendUint64(b, uint64(r.WallLimit))
+		b = appendString(b, r.Cmd)
+		b = appendString(b, r.Dir)
+		b = appendStrings(b, r.Args)
+		b = appendStrings(b, r.Env)
+	case Completed:
+		failed := byte(0)
+		if r.Failed {
+			failed = 1
+		}
+		b = append(b, failed)
+	case Retried:
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.Attempt))
+	}
+	return b
+}
+
+// decoder is a bounds-checked cursor over a record body. The CRC already
+// vouches for the bytes; the checks here guard against records written by a
+// future, incompatible version.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+var errShortRecord = errors.New("journal: short record")
+
+func (d *decoder) u8() byte {
+	if d.err != nil || len(d.b) < 1 {
+		d.err = errShortRecord
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.err = errShortRecord
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.err = errShortRecord
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err != nil || uint32(len(d.b)) < n {
+		d.err = errShortRecord
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *decoder) strs() []string {
+	n := d.u32()
+	if d.err == nil && n > uint32(len(d.b)) { // each entry needs at least a length prefix
+		d.err = errShortRecord
+	}
+	if d.err != nil {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, d.str())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func decodeRecord(body []byte) (Record, error) {
+	d := &decoder{b: body}
+	var r Record
+	r.Kind = Kind(d.u8())
+	r.JobID = d.str()
+	switch r.Kind {
+	case Submitted:
+		r.JobType = int(d.u8())
+		r.Priority = int(int32(d.u32()))
+		r.NProcs = int(d.u32())
+		r.WallLimit = time.Duration(d.u64())
+		r.Cmd = d.str()
+		r.Dir = d.str()
+		r.Args = d.strs()
+		r.Env = d.strs()
+	case Completed:
+		r.Failed = d.u8() != 0
+	case Retried:
+		r.Attempt = int(d.u32())
+	case Dispatched:
+	default:
+		return r, fmt.Errorf("journal: unknown record kind %d", r.Kind)
+	}
+	return r, d.err
+}

@@ -83,17 +83,36 @@ type Config struct {
 	// JSON (the v1 seed format). Used for old-peer interop testing and for
 	// A/B measurements of the codec.
 	JSONOnly bool
+
+	// Reconnect makes Run redial and re-register after a lost connection
+	// instead of returning, so a pool of pilot jobs survives a dispatcher
+	// restart (crash recovery): the restarted service sees the same worker
+	// IDs rejoin and hands them the recovered workload. A dispatcher-ordered
+	// shutdown or a context cancellation still ends Run. Ignored when Conn
+	// is set — a pre-established connection cannot be redialed.
+	Reconnect bool
+	// ReconnectBackoff is the initial redial delay; default 250ms, doubling
+	// per consecutive failure up to ReconnectBackoffMax and resetting once a
+	// registration succeeds.
+	ReconnectBackoff time.Duration
+	// ReconnectBackoffMax caps the redial backoff; default 5s.
+	ReconnectBackoffMax time.Duration
 }
 
 // Worker is one pilot-job agent.
 type Worker struct {
-	cfg   Config
-	codec *proto.Codec
+	cfg Config
 
-	started   time.Time
-	busy      atomic.Bool
-	connected atomic.Bool  // registered with the dispatcher and serving
-	tasks     atomic.Int64 // tasks completed
+	// codec is the current connection; codecMu orders its replacement on a
+	// reconnect against Kill reading it from another goroutine.
+	codecMu sync.Mutex
+	codec   *proto.Codec
+
+	started    time.Time
+	busy       atomic.Bool
+	connected  atomic.Bool  // registered with the dispatcher and serving
+	registered atomic.Bool  // this attempt reached registration (resets redial backoff)
+	tasks      atomic.Int64 // tasks completed
 
 	killOnce sync.Once
 	killed   chan struct{}
@@ -128,6 +147,15 @@ func New(cfg Config) (*Worker, error) {
 	if cfg.NoWorkBackoffMax < cfg.NoWorkBackoff {
 		cfg.NoWorkBackoffMax = cfg.NoWorkBackoff
 	}
+	if cfg.ReconnectBackoff <= 0 {
+		cfg.ReconnectBackoff = 250 * time.Millisecond
+	}
+	if cfg.ReconnectBackoffMax <= 0 {
+		cfg.ReconnectBackoffMax = 5 * time.Second
+	}
+	if cfg.ReconnectBackoffMax < cfg.ReconnectBackoff {
+		cfg.ReconnectBackoffMax = cfg.ReconnectBackoff
+	}
 	if cfg.Cores <= 0 {
 		cfg.Cores = 1
 	}
@@ -153,20 +181,64 @@ func (w *Worker) Healthy() error {
 }
 
 // Kill abruptly severs the worker, simulating a node failure (used by the
-// fault-injection experiments, §6.1.5).
+// fault-injection experiments, §6.1.5). A reconnecting worker stays dead:
+// the redial loop observes the kill and exits.
 func (w *Worker) Kill() {
 	w.killOnce.Do(func() {
 		close(w.killed)
-		if w.codec != nil {
-			w.codec.Close()
+		w.codecMu.Lock()
+		c := w.codec
+		w.codecMu.Unlock()
+		if c != nil {
+			c.Close()
 		}
 	})
 }
 
 // Run connects (if needed), registers, and serves the work cycle until the
 // dispatcher shuts the worker down, the context is canceled, or the
-// connection fails. A clean shutdown returns nil.
+// connection fails. A clean shutdown returns nil. With Config.Reconnect set,
+// a connection failure redials with capped exponential backoff instead of
+// returning, so the worker rejoins a restarted dispatcher.
 func (w *Worker) Run(ctx context.Context) error {
+	if !w.cfg.Reconnect || w.cfg.Conn != nil {
+		return w.runOnce(ctx)
+	}
+	backoff := w.cfg.ReconnectBackoff
+	for {
+		w.registered.Store(false)
+		err := w.runOnce(ctx)
+		if err == nil || ctx.Err() != nil {
+			return err // dispatcher-ordered shutdown or canceled context
+		}
+		select {
+		case <-w.killed:
+			return err
+		default:
+		}
+		if w.registered.Load() {
+			backoff = w.cfg.ReconnectBackoff
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-w.killed:
+			t.Stop()
+			return errors.New("worker killed")
+		}
+		t.Stop()
+		backoff *= 2
+		if backoff > w.cfg.ReconnectBackoffMax {
+			backoff = w.cfg.ReconnectBackoffMax
+		}
+	}
+}
+
+// runOnce is one connect-register-serve cycle.
+func (w *Worker) runOnce(ctx context.Context) error {
 	codec := w.cfg.Conn
 	if codec == nil {
 		var err error
@@ -175,7 +247,9 @@ func (w *Worker) Run(ctx context.Context) error {
 			return fmt.Errorf("worker %s: dial: %w", w.cfg.ID, err)
 		}
 	}
+	w.codecMu.Lock()
 	w.codec = codec
+	w.codecMu.Unlock()
 	defer codec.Close()
 	w.started = time.Now()
 
@@ -215,11 +289,12 @@ func (w *Worker) Run(ctx context.Context) error {
 		codec.EnableBinary()
 	}
 	w.connected.Store(true)
+	w.registered.Store(true)
 	defer w.connected.Store(false)
 
 	hbCtx, hbCancel := context.WithCancel(ctx)
 	defer hbCancel()
-	go w.heartbeatLoop(hbCtx)
+	go w.heartbeatLoop(hbCtx, codec)
 
 	// One reusable timer serves every no-work backoff in the cycle below; it
 	// is created lazily (most workers never see a no-work reply) and stopped
@@ -303,7 +378,10 @@ func (w *Worker) runErr(err error) error {
 	}
 }
 
-func (w *Worker) heartbeatLoop(ctx context.Context) {
+// heartbeatLoop reports liveness on its attempt's connection. The codec is
+// passed in rather than read from the Worker: a reconnect replaces w.codec,
+// and a previous attempt's loop may still be winding down when it does.
+func (w *Worker) heartbeatLoop(ctx context.Context, codec *proto.Codec) {
 	t := time.NewTicker(w.cfg.HeartbeatInterval)
 	defer t.Stop()
 	for {
@@ -313,7 +391,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 		case <-w.killed:
 			return
 		case <-t.C:
-			err := w.codec.Send(&proto.Envelope{Kind: proto.KindHeartbeat, Heartbeat: &proto.Heartbeat{
+			err := codec.Send(&proto.Envelope{Kind: proto.KindHeartbeat, Heartbeat: &proto.Heartbeat{
 				WorkerID: w.cfg.ID,
 				Busy:     w.busy.Load(),
 				Uptime:   time.Since(w.started),

@@ -436,3 +436,67 @@ func TestNoWorkBackoffGrowsCapsAndResets(t *testing.T) {
 		t.Fatalf("backoff after real work = %v, want reset toward %v", afterReset, initial)
 	}
 }
+
+// TestWorkerReconnects: with Config.Reconnect, a severed connection (the
+// dispatcher crashed) makes the worker redial and register again, while a
+// dispatcher-ordered shutdown still ends Run cleanly.
+func TestWorkerReconnects(t *testing.T) {
+	fd := newFakeDispatcher(t)
+	w, err := New(Config{
+		ID: "rc", Cores: 1, DispatcherAddr: fd.addr(), Runner: hydra.NewFuncRunner(),
+		Reconnect: true, ReconnectBackoff: 5 * time.Millisecond,
+		ReconnectBackoffMax: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Run(context.Background()) }()
+
+	codec, reg := fd.accept(t)
+	if reg.WorkerID != "rc" {
+		t.Fatalf("register %+v", reg)
+	}
+	// Crash: sever the connection without a shutdown frame.
+	codec.Close()
+
+	// The worker must redial and re-register under the same ID.
+	codec2, reg2 := fd.accept(t)
+	if reg2.WorkerID != "rc" {
+		t.Fatalf("re-register %+v", reg2)
+	}
+	drainUntil(t, codec2, proto.KindWorkRequest)
+	if err := codec2.Send(&proto.Envelope{Kind: proto.KindShutdown}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run after ordered shutdown = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker did not exit on shutdown")
+	}
+}
+
+// TestWorkerNoReconnectByDefault: without the opt-in, a severed connection
+// still ends Run with an error (the seed behavior).
+func TestWorkerNoReconnectByDefault(t *testing.T) {
+	fd := newFakeDispatcher(t)
+	w, err := New(Config{ID: "once", Cores: 1, DispatcherAddr: fd.addr(), Runner: hydra.NewFuncRunner()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Run(context.Background()) }()
+	codec, _ := fd.accept(t)
+	codec.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Run returned nil after a severed connection")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("non-reconnecting worker kept running")
+	}
+}
