@@ -113,6 +113,14 @@ type Config struct {
 	// (see recovery.go and internal/journal). The dispatcher takes
 	// ownership and closes the journal on Close. nil keeps the seed's
 	// in-memory-only behavior.
+	//
+	// Durability window: Submit/SubmitBatch return as soon as the Submitted
+	// record is buffered; it becomes durable at the journal's next group
+	// commit (the WAL's FsyncInterval, default 2 ms). A crash inside that
+	// window can lose acked-but-unsynced submissions. Callers that need
+	// acked-implies-durable should Sync the journal after submitting;
+	// re-submitting after a crash is always safe because completed jobs
+	// dedupe by ID at recovery.
 	Journal journal.Journal
 }
 
@@ -128,6 +136,10 @@ type Stats struct {
 	// Steals counts jobs launched through the cross-shard multi-lock path
 	// (work stealing or cross-shard MPI group assembly).
 	Steals int
+	// JournalErrors counts records dropped because the journal's append
+	// failed (sticky after the WAL's first write/fsync error): nonzero means
+	// the dispatcher is running without durability.
+	JournalErrors int
 }
 
 // statsCounters is the lock-free internal form of Stats.
@@ -141,6 +153,7 @@ type statsCounters struct {
 	workersLost     atomic.Int64
 	steals          atomic.Int64
 	jobsReplayed    atomic.Int64
+	journalErrors   atomic.Int64
 }
 
 // outFrame is one entry in a worker's send queue: either a typed envelope
@@ -265,9 +278,12 @@ type Dispatcher struct {
 
 	// Durable state (recovery.go): the journal, the handles of jobs
 	// rebuilt from it at startup, and the first replay error if any.
-	jnl         journal.Journal
-	recovered   []*Handle
-	recoveryErr error
+	// journalLogOnce gates the one-time log line when appends start failing
+	// (the count is in stats.journalErrors).
+	jnl            journal.Journal
+	recovered      []*Handle
+	recoveryErr    error
+	journalLogOnce sync.Once
 
 	stats statsCounters
 	ins   *instruments
@@ -1013,7 +1029,10 @@ func (d *Dispatcher) kickLocked() {
 	d.idleWait = make(chan struct{})
 }
 
-// Submit enqueues a job and returns its handle.
+// Submit enqueues a job and returns its handle. With a journal configured,
+// acceptance is not yet durability: the Submitted record group-commits on
+// the journal's fsync cadence (see Config.Journal for the window and how to
+// close it).
 func (d *Dispatcher) Submit(job Job) (*Handle, error) {
 	if err := job.Spec.Validate(); err != nil {
 		return nil, err
@@ -1056,7 +1075,8 @@ func (d *Dispatcher) Submit(job Job) (*Handle, error) {
 // SubmitBatch enqueues a group of jobs under one submission-lock acquisition
 // and a single scheduling pass — the submit-side analogue of the wire
 // protocol's write coalescing. All jobs are validated before any is placed,
-// so the batch is accepted or rejected as a whole.
+// so the batch is accepted or rejected as a whole. Acceptance inherits
+// Submit's journal durability window (see Config.Journal).
 func (d *Dispatcher) SubmitBatch(jobs []Job) ([]*Handle, error) {
 	for i := range jobs {
 		if err := jobs[i].Spec.Validate(); err != nil {
@@ -1321,6 +1341,7 @@ func (d *Dispatcher) Stats() Stats {
 		WorkersJoined:   int(d.stats.workersJoined.Load()),
 		WorkersLost:     int(d.stats.workersLost.Load()),
 		Steals:          int(d.stats.steals.Load()),
+		JournalErrors:   int(d.stats.journalErrors.Load()),
 	}
 }
 

@@ -240,6 +240,107 @@ func TestJournalRecoveryLifecycle(t *testing.T) {
 	}
 }
 
+// TestJournalRecoveryResubmitAfterComplete: an ID submitted, completed, and
+// resubmitted within one run appears twice in the journal's submission
+// order. Recovery used to rebuild that *Job twice — placing it twice, and
+// letting two completions race to close one handle's done channel (panic:
+// close of closed channel). Exactly one live instance must come back.
+func TestJournalRecoveryResubmitAfterComplete(t *testing.T) {
+	dir := t.TempDir()
+	w, err := journal.OpenWAL(journal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := []journal.Record{
+		{Kind: journal.Submitted, JobID: "re", NProcs: 1, Cmd: "noop"},
+		{Kind: journal.Dispatched, JobID: "re"},
+		{Kind: journal.Completed, JobID: "re"},
+		{Kind: journal.Submitted, JobID: "re", NProcs: 1, Cmd: "noop"},
+	}
+	for _, r := range records {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := journal.OpenWAL(journal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(Config{Journal: w2})
+	defer d.Close()
+	if rec := d.RecoveredJobs(); len(rec) != 1 {
+		t.Fatalf("recovered %d instances of the resubmitted job, want 1", len(rec))
+	}
+	if got := d.QueuedJobs(); got != 1 {
+		t.Fatalf("queued after recovery = %d, want 1", got)
+	}
+	if got := d.stats.jobsReplayed.Load(); got != 1 {
+		t.Fatalf("jobsReplayed = %d, want 1", got)
+	}
+}
+
+// faultJournal wraps a Nop journal with scripted failures, for exercising
+// the dispatcher's error paths without a real disk fault.
+type faultJournal struct {
+	journal.Nop
+	appendErr error
+	syncErr   error
+	records   []journal.Record // replayed to the dispatcher
+	compacted bool
+}
+
+func (f *faultJournal) Append(journal.Record) error { return f.appendErr }
+func (f *faultJournal) Sync() error                 { return f.syncErr }
+func (f *faultJournal) Compact() error              { f.compacted = true; return nil }
+func (f *faultJournal) Replay(fn func(journal.Record) error) error {
+	for _, r := range f.records {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestRecoverySyncFailureSkipsCompact: if the fsync of the re-journaled live
+// set fails, the replayed segments are the only durable copy of the workload
+// — Compact must not run, and the failure must be visible via RecoveryError.
+func TestRecoverySyncFailureSkipsCompact(t *testing.T) {
+	jnl := &faultJournal{
+		syncErr: fmt.Errorf("disk full"),
+		records: []journal.Record{{Kind: journal.Submitted, JobID: "j", NProcs: 1, Cmd: "noop"}},
+	}
+	d := New(Config{Journal: jnl})
+	defer d.Close()
+	if jnl.compacted {
+		t.Fatal("Compact ran after Sync failed; replayed segments were the only durable copy")
+	}
+	if err := d.RecoveryError(); err == nil {
+		t.Fatal("RecoveryError nil after re-journal fsync failure")
+	}
+	if rec := d.RecoveredJobs(); len(rec) != 1 {
+		t.Fatalf("recovered %d jobs, want 1 (recovery itself still succeeds)", len(rec))
+	}
+}
+
+// TestJournalAppendErrorCounted: a broken journal (sticky write/fsync error)
+// must not silently drop records — every failed append bumps the
+// JournalErrors counter exported as jets_journal_errors_total.
+func TestJournalAppendErrorCounted(t *testing.T) {
+	jnl := &faultJournal{appendErr: fmt.Errorf("io error")}
+	d := New(Config{Journal: jnl})
+	defer d.Close()
+	if _, err := d.Submit(seqJob("a")); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().JournalErrors; got != 1 {
+		t.Fatalf("JournalErrors after one failed append = %d, want 1", got)
+	}
+}
+
 // TestJournalRecoveryRequeuesDispatched: a job with a Dispatched record but
 // no Completed record was running when the process died; recovery must
 // route it back through the requeue path, while completed jobs dedupe.

@@ -61,6 +61,7 @@ func (d *Dispatcher) registerObs(reg *obs.Registry) {
 	reg.CounterFunc("jets_workers_lost_total", "workers declared dead", d.stats.workersLost.Load)
 	reg.CounterFunc("jets_steals_total", "jobs launched through the cross-shard multi-lock path", d.stats.steals.Load)
 	reg.CounterFunc("jets_recovery_jobs_replayed", "jobs rebuilt from the journal at startup", d.stats.jobsReplayed.Load)
+	reg.CounterFunc("jets_journal_errors_total", "journal records dropped after the WAL's sticky write/fsync failure (durability lost)", d.stats.journalErrors.Load)
 	reg.CounterFunc("jets_trace_events_dropped_total", "lifecycle trace events lost to observer backpressure", d.droppedEvents.Load)
 
 	reg.GaugeFunc("jets_workers", "live registered workers", func() float64 { return float64(d.Workers()) })

@@ -1,6 +1,9 @@
 package dispatch
 
 import (
+	"errors"
+	"fmt"
+	"log"
 	"time"
 
 	"jets/internal/hydra"
@@ -22,12 +25,20 @@ import (
 
 // journal appends one record when a journal is configured. Append never
 // touches the disk (group commit happens on the WAL's flush cadence), so
-// callers may hold scheduling locks.
+// callers may hold scheduling locks. An append failure is the WAL's sticky
+// write/fsync error: from that point the dispatcher is effectively running
+// in-memory again, so every dropped record bumps jets_journal_errors_total
+// and the first one is logged.
 func (d *Dispatcher) journal(r journal.Record) {
 	if d.jnl == nil {
 		return
 	}
-	d.jnl.Append(r)
+	if err := d.jnl.Append(r); err != nil {
+		d.stats.journalErrors.Add(1)
+		d.journalLogOnce.Do(func() {
+			log.Printf("dispatch: journal append failed, job state is no longer durable: %v", err)
+		})
+	}
 }
 
 // submittedRecord flattens a job into its durable Submitted record.
@@ -96,6 +107,12 @@ func (d *Dispatcher) recoverJournal() {
 		if !ok {
 			continue // completed in a previous life
 		}
+		// An ID submitted, completed, and resubmitted in one run appears in
+		// order once per submission (the Completed record deletes the live
+		// entry, so the resubmission passes the !seen check again). Consume
+		// the entry so the later occurrence hits the !ok path above instead
+		// of recovering — and double-completing — the same *Job twice.
+		delete(live, id)
 		j := s.job
 		j.handle = newHandle(id)
 		j.submitted = time.Now()
@@ -118,8 +135,22 @@ func (d *Dispatcher) recoverJournal() {
 			d.placeJob(j, false)
 		}
 	}
-	d.jnl.Sync()
-	d.jnl.Compact()
+	// The replayed history may only be compacted away once the re-journaled
+	// live set is durable: if the fsync fails (disk full, IO error), Compact
+	// would delete the only surviving copy of the workload. Skip it and
+	// surface the failure — the old segments stay on disk and replay again,
+	// idempotently, on the next start.
+	if err := d.jnl.Sync(); err != nil {
+		d.recoveryErr = errors.Join(d.recoveryErr,
+			fmt.Errorf("dispatch: re-journaled live set not durable, keeping replayed segments: %w", err))
+		return
+	}
+	if err := d.jnl.Compact(); err != nil {
+		// Correctness-benign — leftover segments replay again next start and
+		// dedupe per job ID — but worth surfacing.
+		d.recoveryErr = errors.Join(d.recoveryErr,
+			fmt.Errorf("dispatch: compacting replayed journal segments: %w", err))
+	}
 }
 
 // RecoveredJobs returns the handles of jobs rebuilt from the journal at
@@ -130,8 +161,10 @@ func (d *Dispatcher) RecoveredJobs() []*Handle {
 	return append([]*Handle(nil), d.recovered...)
 }
 
-// RecoveryError reports a failure reading the journal during New. Recovery
-// is best-effort past the error point: everything replayed before it is
-// live, anything after is lost (re-submission is safe — completed records
-// that did replay still dedupe).
+// RecoveryError reports a failure during journal recovery in New: either a
+// replay error — recovery is best-effort past the error point: everything
+// replayed before it is live, anything after is lost (re-submission is safe,
+// completed records that did replay still dedupe) — or a failure to fsync
+// the re-journaled live set, in which case the replayed segments are kept so
+// no state is lost but durability of this run's journal is not established.
 func (d *Dispatcher) RecoveryError() error { return d.recoveryErr }
