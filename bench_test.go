@@ -20,6 +20,8 @@ import (
 	"jets/internal/core"
 	"jets/internal/dht"
 	"jets/internal/dispatch"
+	"jets/internal/event"
+	"jets/internal/event/legacy"
 	"jets/internal/hydra"
 	"jets/internal/mpi"
 	"jets/internal/pmi"
@@ -206,6 +208,80 @@ func BenchmarkFig18bREMMPI(b *testing.B) {
 			b.ReportMetric(100*util, "util-%")
 		})
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Event-core throughput
+
+// simEventsWorkload is the handler-form half of BenchmarkSimEvents: W workers
+// cycle think -> station service -> think forever, sustaining a large
+// outstanding event population. Handlers carry the worker index as the event
+// arg, so the steady state allocates nothing.
+type simEventsWorkload struct {
+	s  *event.Sim
+	st *event.Station
+}
+
+func (x *simEventsWorkload) thinkOf(w int) time.Duration {
+	return time.Duration(100+w%1000) * time.Microsecond
+}
+
+// Fire is the think-expired handler: the worker requests station service.
+func (x *simEventsWorkload) Fire(w int) {
+	x.st.RequestCall(10*time.Microsecond, (*simEventsServed)(x), w)
+}
+
+// simEventsServed is the service-complete handler: the worker thinks again.
+type simEventsServed simEventsWorkload
+
+func (x *simEventsServed) Fire(w int) {
+	x.s.AfterCall((*simEventsWorkload)(x).thinkOf(w), (*simEventsWorkload)(x), w)
+}
+
+// BenchmarkSimEvents measures raw simulator event throughput under a
+// station-heavy churn workload with 32768 concurrent workers (a large live
+// heap, the regime million-worker sweeps run in). heap=legacy is the frozen
+// pre-optimization core (container/heap of pointers, closure callbacks);
+// heap=flat is the current core driven through the allocation-free
+// handler/arg API. events/s is the headline; the flat core must hold >=5x
+// the legacy core (the BENCH_8 gate).
+func BenchmarkSimEvents(b *testing.B) {
+	const workers = 32768
+	b.Run(fmt.Sprintf("heap=legacy/workers=%d", workers), func(b *testing.B) {
+		s := legacy.New(1)
+		st := legacy.NewStation(s, 64)
+		var cycle func(w int)
+		cycle = func(w int) {
+			think := time.Duration(100+w%1000) * time.Microsecond
+			s.After(think, func() {
+				st.Request(10*time.Microsecond, func() { cycle(w) })
+			})
+		}
+		for w := 0; w < workers; w++ {
+			cycle(w)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if got := s.Run(uint64(b.N)); got != uint64(b.N) {
+			b.Fatalf("ran %d events, want %d", got, b.N)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+	b.Run(fmt.Sprintf("heap=flat/workers=%d", workers), func(b *testing.B) {
+		s := event.New(1)
+		wl := &simEventsWorkload{s: s, st: event.NewStation(s, 64)}
+		for w := 0; w < workers; w++ {
+			s.AfterCall(wl.thinkOf(w), wl, w)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if got := s.Run(uint64(b.N)); got != uint64(b.N) {
+			b.Fatalf("ran %d events, want %d", got, b.N)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
 }
 
 // ---------------------------------------------------------------------------

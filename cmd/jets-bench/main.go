@@ -6,11 +6,15 @@
 //
 // Usage:
 //
-//	jets-bench              # all figures
-//	jets-bench -figure 9    # one figure
+//	jets-bench                        # all figures
+//	jets-bench -figure 9              # one figure
+//	jets-bench -scenario list         # named scenario sweeps
+//	jets-bench -scenario sweep-10k
+//	jets-bench -replay trace.jsonl    # re-execute a live dispatcher trace
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,12 +22,24 @@ import (
 
 	"jets/internal/mpi"
 	"jets/internal/simjets"
+	"jets/internal/simjets/scenario"
 )
 
 func main() {
 	figure := flag.Int("figure", 0, "figure number to run (0 = all)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	scen := flag.String("scenario", "", "run a named scenario from the library ('list' to enumerate)")
+	replay := flag.String("replay", "", "replay a dispatcher -trace JSON-lines file in the simulator")
 	flag.Parse()
+
+	if *scen != "" {
+		runScenario(*scen, *seed)
+		return
+	}
+	if *replay != "" {
+		runReplay(*replay, *seed)
+		return
+	}
 
 	figs := map[int]func(int64){
 		6: fig06, 7: fig07, 8: fig08, 9: fig09, 10: fig10,
@@ -44,6 +60,59 @@ func main() {
 }
 
 func header(s string) { fmt.Printf("\n=== %s ===\n", s) }
+
+// runScenario executes one library scenario and prints its Result as JSON
+// (deterministic for a given seed) plus the wall clock on stderr.
+func runScenario(name string, seed int64) {
+	if name == "list" {
+		fmt.Printf("%-16s %10s %10s %8s %s\n", "name", "workers", "duration", "tenants", "storms")
+		for _, sc := range scenario.Library() {
+			wpn := sc.WorkersPerNode
+			if wpn < 1 {
+				wpn = 1
+			}
+			fmt.Printf("%-16s %10d %10s %8d %d\n", sc.Name, sc.Nodes*wpn, sc.Duration, len(sc.Tenants), len(sc.Storms))
+		}
+		return
+	}
+	sc, ok := scenario.Lookup(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "jets-bench: unknown scenario %q (try -scenario list)\n", name)
+		os.Exit(1)
+	}
+	res := scenario.Run(sc, seed)
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jets-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+	fmt.Fprintf(os.Stderr, "wall clock: %s (%.2fM events/s)\n",
+		res.Wall.Round(time.Millisecond), float64(res.Events)/res.Wall.Seconds()/1e6)
+}
+
+// runReplay parses a recorded dispatcher trace and re-executes it in the
+// simulator, printing the calibration report.
+func runReplay(path string, seed int64) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jets-bench:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := simjets.ReplayTrace(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jets-bench:", err)
+		os.Exit(1)
+	}
+	rep := tr.Run(seed)
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jets-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}
 
 func fig06(seed int64) {
 	header("Fig 6 — JETS sequential task rate, BG/P (sim)")

@@ -1,0 +1,412 @@
+package event
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"jets/internal/event/legacy"
+)
+
+// TestFIFOTieBreakUnderChurn pins FIFO tie-breaking for equal timestamps
+// through heap churn: events scheduled at identical times — including from
+// inside other events, interleaved with pops of earlier timestamps — must
+// execute in scheduling order. This test predates the 4-ary heap swap and
+// gates it.
+func TestFIFOTieBreakUnderChurn(t *testing.T) {
+	s := New(1)
+	var order []int
+	at := 10 * time.Second
+	n := 0
+	add := func() {
+		n++
+		id := n
+		s.At(at, func() { order = append(order, id) })
+	}
+	// A burst scheduled up front...
+	for i := 0; i < 100; i++ {
+		add()
+	}
+	// ...interleaved with earlier events that schedule more ties while the
+	// heap is draining, and with unrelated churn at other timestamps.
+	for i := 0; i < 50; i++ {
+		d := time.Duration(i) * time.Millisecond
+		s.At(d, func() { add() })
+		s.At(d, func() {})
+	}
+	s.Run(0)
+	if len(order) != 150 {
+		t.Fatalf("executed %d tied events, want 150", len(order))
+	}
+	for i, id := range order {
+		if id != i+1 {
+			t.Fatalf("tie-break not FIFO at %d: got id %d\norder=%v", i, id, order)
+		}
+	}
+}
+
+// op is one step of a randomized schedule, replayed identically against the
+// optimized core and the frozen legacy core.
+type op struct {
+	delay   time.Duration
+	spawn   int           // children scheduled when this event fires
+	service time.Duration // station request issued when this event fires
+}
+
+func genOps(rng *rand.Rand, n int) []op {
+	ops := make([]op, n)
+	for i := range ops {
+		// Delays mix scales deliberately: zero delays exercise insertion into
+		// the live calendar bucket, millisecond delays make timestamp ties
+		// likely, and occasional minute-scale delays force traffic through
+		// the far heap and its epoch migration into the calendar window.
+		var d time.Duration
+		switch rng.Intn(10) {
+		case 0:
+			d = 0
+		case 1, 2:
+			d = time.Duration(rng.Intn(2000)) * time.Microsecond
+		case 3:
+			d = time.Duration(rng.Intn(3)) * time.Minute
+		default:
+			d = time.Duration(rng.Intn(50)) * time.Millisecond
+		}
+		ops[i] = op{
+			delay:   d,
+			spawn:   rng.Intn(3),
+			service: time.Duration(rng.Intn(20)) * time.Millisecond,
+		}
+	}
+	return ops
+}
+
+// TestDifferentialAgainstLegacy drives an identical randomized workload —
+// timers spawning timers, single-server station traffic, pool handoffs —
+// through the optimized core and the legacy container/heap core, and
+// requires the execution traces (callback identity and virtual timestamp)
+// to match exactly. This is the ordering oracle for the heap replacement.
+func TestDifferentialAgainstLegacy(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		ops := genOps(rand.New(rand.NewSource(seed)), 200)
+
+		type hit struct {
+			id int
+			at time.Duration
+		}
+		runNew := func() []hit {
+			var trace []hit
+			s := New(seed)
+			st := NewStation(s, 1)
+			p := NewPool(s, 2)
+			next := 0
+			var fire func(id int)
+			fire = func(id int) {
+				trace = append(trace, hit{id, s.Now()})
+				o := ops[id%len(ops)]
+				for k := 0; k < o.spawn && next < len(ops); k++ {
+					child := next
+					next++
+					s.After(ops[child].delay, func() { fire(child) })
+				}
+				st.Request(o.service, func() {
+					trace = append(trace, hit{-id, s.Now()})
+					p.Acquire(func() { s.After(time.Millisecond, p.Release) })
+				})
+			}
+			for i := 0; i < 20 && next < len(ops); i++ {
+				child := next
+				next++
+				s.After(ops[child].delay, func() { fire(child) })
+			}
+			s.Run(0)
+			return trace
+		}
+		runLegacy := func() []hit {
+			var trace []hit
+			s := legacy.New(seed)
+			st := legacy.NewStation(s, 1)
+			p := legacy.NewPool(s, 2)
+			next := 0
+			var fire func(id int)
+			fire = func(id int) {
+				trace = append(trace, hit{id, s.Now()})
+				o := ops[id%len(ops)]
+				for k := 0; k < o.spawn && next < len(ops); k++ {
+					child := next
+					next++
+					s.After(ops[child].delay, func() { fire(child) })
+				}
+				st.Request(o.service, func() {
+					trace = append(trace, hit{-id, s.Now()})
+					p.Acquire(func() { s.After(time.Millisecond, p.Release) })
+				})
+			}
+			for i := 0; i < 20 && next < len(ops); i++ {
+				child := next
+				next++
+				s.After(ops[child].delay, func() { fire(child) })
+			}
+			s.Run(0)
+			return trace
+		}
+
+		a, b := runNew(), runLegacy()
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: trace lengths differ: new=%d legacy=%d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: traces diverge at %d: new=%+v legacy=%+v", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestDifferentialRunUntilStepping replays the same randomized workload
+// through both cores, but advances virtual time in uneven RunUntil steps
+// instead of a single Run. Stepping stops and restarts the scheduler at
+// arbitrary deadlines — between calendar epochs, mid-bucket, with the far
+// heap partially migrated — and the traces must still match legacy exactly.
+func TestDifferentialRunUntilStepping(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		ops := genOps(rand.New(rand.NewSource(seed^0x5eed)), 200)
+
+		type hit struct {
+			id int
+			at time.Duration
+		}
+		type stepper interface {
+			RunUntil(time.Duration)
+			Pending() int
+		}
+		step := func(s stepper, rng *rand.Rand) {
+			deadline := time.Duration(0)
+			for s.Pending() > 0 {
+				deadline += time.Duration(1+rng.Intn(7000)) * time.Millisecond
+				s.RunUntil(deadline)
+			}
+		}
+		runNew := func() []hit {
+			var trace []hit
+			s := New(seed)
+			st := NewStation(s, 2)
+			next := 0
+			var fire func(id int)
+			fire = func(id int) {
+				trace = append(trace, hit{id, s.Now()})
+				o := ops[id%len(ops)]
+				for k := 0; k < o.spawn && next < len(ops); k++ {
+					child := next
+					next++
+					s.After(ops[child].delay, func() { fire(child) })
+				}
+				st.Request(o.service, func() { trace = append(trace, hit{-id, s.Now()}) })
+			}
+			for i := 0; i < 20 && next < len(ops); i++ {
+				child := next
+				next++
+				s.After(ops[child].delay, func() { fire(child) })
+			}
+			step(s, rand.New(rand.NewSource(seed)))
+			return trace
+		}
+		runLegacy := func() []hit {
+			var trace []hit
+			s := legacy.New(seed)
+			st := legacy.NewStation(s, 2)
+			next := 0
+			var fire func(id int)
+			fire = func(id int) {
+				trace = append(trace, hit{id, s.Now()})
+				o := ops[id%len(ops)]
+				for k := 0; k < o.spawn && next < len(ops); k++ {
+					child := next
+					next++
+					s.After(ops[child].delay, func() { fire(child) })
+				}
+				st.Request(o.service, func() { trace = append(trace, hit{-id, s.Now()}) })
+			}
+			for i := 0; i < 20 && next < len(ops); i++ {
+				child := next
+				next++
+				s.After(ops[child].delay, func() { fire(child) })
+			}
+			step(s, rand.New(rand.NewSource(seed)))
+			return trace
+		}
+
+		a, b := runNew(), runLegacy()
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: trace lengths differ: new=%d legacy=%d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: traces diverge at %d: new=%+v legacy=%+v", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestStationConservation checks request conservation under randomized
+// multi-server traffic: at every completion, Requested == Served + QueueLen
+// + InService, and at drain everything requested has been served.
+func TestStationConservation(t *testing.T) {
+	for _, servers := range []int{1, 2, 7} {
+		s := New(11)
+		st := NewStation(s, servers)
+		rng := rand.New(rand.NewSource(int64(servers)))
+		const n = 500
+		check := func() {
+			got := st.Served() + uint64(st.QueueLen()) + uint64(st.InService())
+			if st.Requested() != got {
+				t.Fatalf("servers=%d: conservation violated: requested=%d served=%d queued=%d busy=%d",
+					servers, st.Requested(), st.Served(), st.QueueLen(), st.InService())
+			}
+		}
+		for i := 0; i < n; i++ {
+			at := time.Duration(rng.Intn(1000)) * time.Millisecond
+			svc := time.Duration(rng.Intn(50)) * time.Millisecond
+			s.At(at, func() {
+				st.Request(svc, check)
+				check()
+			})
+		}
+		s.Run(0)
+		check()
+		if st.Requested() != n || st.Served() != n {
+			t.Fatalf("servers=%d: requested=%d served=%d, want %d", servers, st.Requested(), st.Served(), n)
+		}
+		if st.QueueLen() != 0 || st.InService() != 0 {
+			t.Fatalf("servers=%d: drain left queue=%d busy=%d", servers, st.QueueLen(), st.InService())
+		}
+	}
+}
+
+// TestStationBusyTimeBounded checks BusyTime never exceeds the elapsed span
+// (it is normalized by server count), sampled throughout a randomized run.
+func TestStationBusyTimeBounded(t *testing.T) {
+	f := func(nRaw, svcRaw, serversRaw uint8) bool {
+		servers := int(serversRaw%4) + 1
+		n := int(nRaw%50) + 1
+		svc := time.Duration(svcRaw) * time.Millisecond
+		s := New(5)
+		st := NewStation(s, servers)
+		ok := true
+		for i := 0; i < n; i++ {
+			at := time.Duration(i%7) * 10 * time.Millisecond
+			s.At(at, func() {
+				st.Request(svc, func() {
+					if st.BusyTime() > s.Now() {
+						ok = false
+					}
+				})
+			})
+		}
+		s.Run(0)
+		return ok && st.BusyTime() <= s.Now()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolConservation checks token conservation across arbitrary
+// Acquire/Release interleavings: Available + held + Waiting-satisfied
+// bookkeeping always balances back to the initial token count at drain, and
+// Available never exceeds what has been released.
+func TestPoolConservation(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		const tokens = 3
+		s := New(seed)
+		p := NewPool(s, tokens)
+		rng := rand.New(rand.NewSource(seed))
+		held := 0
+		const n = 400
+		for i := 0; i < n; i++ {
+			at := time.Duration(rng.Intn(2000)) * time.Millisecond
+			hold := time.Duration(rng.Intn(30)) * time.Millisecond
+			s.At(at, func() {
+				p.Acquire(func() {
+					held++
+					if held > tokens {
+						t.Fatalf("seed %d: %d tokens held, pool has %d", seed, held, tokens)
+					}
+					s.After(hold, func() {
+						held--
+						p.Release()
+					})
+				})
+				if p.Available()+held != tokens && p.Waiting() == 0 {
+					t.Fatalf("seed %d: available=%d held=%d waiting=%d", seed, p.Available(), held, p.Waiting())
+				}
+			})
+		}
+		s.Run(0)
+		if held != 0 || p.Available() != tokens || p.Waiting() != 0 {
+			t.Fatalf("seed %d: drain left held=%d available=%d waiting=%d", seed, held, p.Available(), p.Waiting())
+		}
+	}
+}
+
+// TestMonotonicTimeWithHandlers is the nondecreasing-time property over the
+// no-alloc AtCall path.
+type monotonicHandler struct {
+	s    *Sim
+	last time.Duration
+	ok   bool
+	n    int
+}
+
+func (m *monotonicHandler) Fire(arg int) {
+	if m.s.Now() < m.last {
+		m.ok = false
+	}
+	m.last = m.s.Now()
+	m.n++
+}
+
+func TestMonotonicTimeWithHandlers(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New(7)
+		h := &monotonicHandler{s: s, ok: true}
+		for i, d := range delays {
+			s.AtCall(time.Duration(d)*time.Millisecond, h, i)
+		}
+		s.Run(0)
+		return h.ok && h.n == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRing exercises the ring buffer through growth and wraparound.
+func TestRing(t *testing.T) {
+	var r Ring[int]
+	next, out := 0, 0
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 10000; step++ {
+		if r.Len() == 0 || rng.Intn(3) > 0 {
+			r.Push(next)
+			next++
+		} else {
+			if *r.Front() != out {
+				t.Fatalf("front=%d want %d", *r.Front(), out)
+			}
+			if got := r.Pop(); got != out {
+				t.Fatalf("pop=%d want %d", got, out)
+			}
+			out++
+		}
+	}
+	for r.Len() > 0 {
+		if got := r.Pop(); got != out {
+			t.Fatalf("drain pop=%d want %d", got, out)
+		}
+		out++
+	}
+	if out != next {
+		t.Fatalf("popped %d of %d", out, next)
+	}
+}

@@ -1,0 +1,248 @@
+// Package legacy is the pre-optimization event core, frozen when
+// internal/event moved to the flat 4-ary value heap: a container/heap of
+// *event pointers with closure-only callbacks and append-slice Station/Pool
+// queues. It is kept for two reasons: the root BenchmarkSimEvents
+// heap=legacy variant is the recorded "before" number for the event-core
+// optimization (EXPERIMENTS.md BENCH_8), and the differential tests in
+// internal/event pin the optimized core's execution order — including FIFO
+// tie-breaking for equal timestamps — against this reference
+// implementation. Do not use it in new model code.
+package legacy
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Sim is one simulation instance. It is not safe for concurrent use: all
+// model code runs inside event callbacks on a single goroutine.
+type Sim struct {
+	now    time.Duration
+	pq     eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	events uint64
+}
+
+// New creates a simulator with a deterministic random source.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand exposes the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Events reports how many events have executed.
+func (s *Sim) Events() uint64 { return s.events }
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// At schedules fn to run at absolute virtual time t; scheduling in the past
+// panics, as that is always a model bug.
+func (s *Sim) At(t time.Duration, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("event: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.pq, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now; negative d panics.
+func (s *Sim) After(d time.Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("event: negative delay %v", d))
+	}
+	s.At(s.now+d, fn)
+}
+
+// Run executes events until the queue empties or the limit of executed
+// events is reached (0 = no limit). It returns the number executed.
+func (s *Sim) Run(limit uint64) uint64 {
+	var n uint64
+	for len(s.pq) > 0 {
+		if limit > 0 && n >= limit {
+			break
+		}
+		e := heap.Pop(&s.pq).(*event)
+		s.now = e.at
+		s.events++
+		n++
+		e.fn()
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps <= deadline; later events remain
+// queued and the clock advances to exactly deadline.
+func (s *Sim) RunUntil(deadline time.Duration) {
+	for len(s.pq) > 0 && s.pq[0].at <= deadline {
+		e := heap.Pop(&s.pq).(*event)
+		s.now = e.at
+		s.events++
+		e.fn()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Pending reports how many events are queued.
+func (s *Sim) Pending() int { return len(s.pq) }
+
+// ---------------------------------------------------------------------------
+
+// Station is a first-come-first-served queueing resource with c servers and
+// a per-request service time: the model of the central JETS dispatcher (one
+// server, per-message service cost) and of filesystem metadata servers.
+type Station struct {
+	sim     *Sim
+	servers int
+	busy    int
+	queue   []stationReq
+
+	// Busy time accounting for utilization reporting.
+	busyTime   time.Duration
+	lastChange time.Duration
+
+	// MaxQueue tracks the high-water mark of the wait queue.
+	MaxQueue int
+}
+
+type stationReq struct {
+	service time.Duration
+	done    func()
+}
+
+// NewStation creates a station with the given server count.
+func NewStation(sim *Sim, servers int) *Station {
+	if servers <= 0 {
+		panic("event: station needs at least one server")
+	}
+	return &Station{sim: sim, servers: servers}
+}
+
+// Request enqueues work needing the given service time; done runs when the
+// service completes.
+func (st *Station) Request(service time.Duration, done func()) {
+	if service < 0 {
+		panic("event: negative service time")
+	}
+	if st.busy < st.servers {
+		st.start(service, done)
+		return
+	}
+	st.queue = append(st.queue, stationReq{service, done})
+	if len(st.queue) > st.MaxQueue {
+		st.MaxQueue = len(st.queue)
+	}
+}
+
+func (st *Station) start(service time.Duration, done func()) {
+	st.account()
+	st.busy++
+	st.sim.After(service, func() {
+		st.account()
+		st.busy--
+		if len(st.queue) > 0 {
+			next := st.queue[0]
+			st.queue = st.queue[1:]
+			st.start(next.service, next.done)
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+func (st *Station) account() {
+	dt := st.sim.Now() - st.lastChange
+	st.busyTime += dt * time.Duration(st.busy) / time.Duration(st.servers)
+	st.lastChange = st.sim.Now()
+}
+
+// BusyTime returns accumulated normalized busy time (virtual seconds a
+// fully-busy station would accumulate).
+func (st *Station) BusyTime() time.Duration {
+	st.account()
+	return st.busyTime
+}
+
+// QueueLen reports requests waiting (not in service).
+func (st *Station) QueueLen() int { return len(st.queue) }
+
+// InService reports requests currently being served.
+func (st *Station) InService() int { return st.busy }
+
+// ---------------------------------------------------------------------------
+
+// Pool is a counting-token resource: acquire blocks (queues) until a token
+// frees. It models bounded resources like worker slots.
+type Pool struct {
+	sim     *Sim
+	tokens  int
+	waiters []func()
+}
+
+// NewPool creates a pool with n tokens.
+func NewPool(sim *Sim, n int) *Pool {
+	if n < 0 {
+		panic("event: negative pool size")
+	}
+	return &Pool{sim: sim, tokens: n}
+}
+
+// Acquire runs fn (immediately, this event) once a token is available.
+func (p *Pool) Acquire(fn func()) {
+	if p.tokens > 0 {
+		p.tokens--
+		fn()
+		return
+	}
+	p.waiters = append(p.waiters, fn)
+}
+
+// Release returns a token, handing it to the oldest waiter if any.
+func (p *Pool) Release() {
+	if len(p.waiters) > 0 {
+		next := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		next()
+		return
+	}
+	p.tokens++
+}
+
+// Available reports free tokens.
+func (p *Pool) Available() int { return p.tokens }
+
+// Waiting reports queued acquirers.
+func (p *Pool) Waiting() int { return len(p.waiters) }

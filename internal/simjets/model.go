@@ -1,11 +1,20 @@
 // Package simjets runs the JETS scheduling architecture inside the
 // discrete-event simulator at the paper's scales (Blue Gene/P racks,
-// multi-hour batches). The model reproduces the pipeline of Fig. 4: pilot
-// workers request work from a central dispatcher (a queueing station whose
-// service time bounds the task rate), MPI jobs fork an mpiexec on the login
-// node, proxies are dispatched and launched per rank, PMI wire-up couples
-// the processes, the application runs (with optional shared-filesystem
-// I/O), and completions free the workers back into the FIFO idle pool.
+// multi-hour batches) and beyond them (million-worker scenario sweeps). The
+// model reproduces the pipeline of Fig. 4: pilot workers request work from a
+// central dispatcher (a queueing station whose service time bounds the task
+// rate), MPI jobs fork an mpiexec on the login node, proxies are dispatched
+// and launched per rank, PMI wire-up couples the processes, the application
+// runs (with optional shared-filesystem I/O), and completions free the
+// workers back into the FIFO idle pool.
+//
+// The sequential-task hot path schedules through the event core's
+// Handler/arg callbacks (no closure allocations in steady state), worker
+// bookkeeping is O(1) per operation (ring-buffer idle pool with lazy
+// dead-entry skipping, swap-remove live set for random kills), and the
+// per-event series samples decimate to a bounded resolution — together these
+// hold a 10⁶-worker, multi-virtual-day run to minutes of wall clock and flat
+// memory.
 package simjets
 
 import (
@@ -47,6 +56,9 @@ type SimJob struct {
 	done    bool
 	aborted bool
 	ready   int
+	// slot is the model's packed gen<<32|index handle while a sequential
+	// job's launch chain is in flight; 0 means none.
+	slot int
 }
 
 func (j *SimJob) procs() int {
@@ -55,6 +67,30 @@ func (j *SimJob) procs() int {
 		ppn = 1
 	}
 	return j.NProcs * ppn
+}
+
+// Reset clears a completed job's bookkeeping so the struct (and its group
+// slice) can be reused for a new submission. Reusing jobs is only safe after
+// a successful completion: an aborted job may still be referenced by
+// in-flight launch events.
+func (j *SimJob) Reset() {
+	j.ID = ""
+	j.NProcs = 0
+	j.PPN = 0
+	j.Think = 0
+	j.Sequential = false
+	j.ReadBytes = 0
+	j.WriteBytes = 0
+	j.MetaOps = 0
+	j.SwiftManaged = false
+	j.OnDone = nil
+	j.group = j.group[:0]
+	j.start = 0
+	j.started = false
+	j.done = false
+	j.aborted = false
+	j.ready = 0
+	j.slot = 0
 }
 
 // Model is one simulated JETS deployment.
@@ -72,27 +108,71 @@ type Model struct {
 	workers int
 	alive   []bool
 	busy    []*SimJob
-	idle    []int
-	queue   []*SimJob
+	// idle is the FIFO idle pool. Entries for workers killed while idle are
+	// skipped lazily on pop (each stale entry costs O(1) exactly once);
+	// idleLive counts the live entries and inIdle flags membership.
+	idle     event.Ring[int32]
+	idleLive int
+	inIdle   []bool
+	queue    event.Ring[*SimJob]
+
+	// live/livePos index the alive workers for O(1) random selection:
+	// livePos[w] is w's position in live, maintained by swap-remove.
+	live    []int32
+	livePos []int32
+
+	// Sequential in-flight jobs are addressed by slot so launch-chain events
+	// carry an int instead of a closure; slotGen detects stale events for
+	// recycled slots (the packed handle is gen<<32|index).
+	slotJob  []*SimJob
+	slotGen  []uint32
+	slotFree event.Ring[int32]
 
 	// Records holds completed jobs; AllRecords additionally includes
-	// aborted jobs with their abort time as Stop.
-	Records    []metrics.JobRecord
-	AllRecords []metrics.JobRecord
-	Completed  int
-	Failed     int
+	// aborted jobs with their abort time as Stop. RecordLimit (when >0)
+	// stops appending to both past that many entries — aggregate results
+	// (Completed, Failed, Span, Utilization) stay exact regardless.
+	Records     []metrics.JobRecord
+	AllRecords  []metrics.JobRecord
+	RecordLimit int
+	Completed   int
+	Failed      int
 	// usefulProcSec accumulates Think x procs over completed jobs — the
 	// numerator of Eq. (1), which counts only application time as useful.
 	usefulProcSec float64
+
+	// Incremental span bounds over completed jobs.
+	firstStart, lastStop time.Duration
+	spanSeen             bool
 
 	aliveCount  int
 	runningJobs int
 	AliveSeries metrics.Series
 	RunSeries   metrics.Series
+	// SeriesCap bounds AliveSeries/RunSeries to about this many points by
+	// decimating to a coarser resolution (see seriesRec); 0 keeps every
+	// sample. Set before Start.
+	SeriesCap int
+	aliveRec  seriesRec
+	runRec    seriesRec
 
 	// BootSpread staggers worker arrival at start (allocation boot skew).
 	BootSpread time.Duration
+
+	// Handler stubs for the allocation-free scheduling paths; scheduled as
+	// pointers to these fields so no interface boxing allocates.
+	hBoot       bootH
+	hReqNet     reqNetH
+	hIdleArrive idleArriveH
+	hSeqSent    seqSentH
+	hSeqLaunch  seqLaunchH
+	hThinkDone  thinkDoneH
+	hNop        nopH
 }
+
+// defaultSeriesCap keeps every sample for paper-scale runs (they produce a
+// few thousand points) while bounding the million-worker sweeps.
+const defaultSeriesCap = 65536
 
 // NewModel builds a model with workersPerNode pilot agents per node.
 func NewModel(sim *event.Sim, prof Profile, workersPerNode int) *Model {
@@ -107,12 +187,25 @@ func NewModel(sim *event.Sim, prof Profile, workersPerNode int) *Model {
 		swift:      event.NewStation(sim, 1),
 		workers:    prof.Nodes * workersPerNode,
 		BootSpread: time.Second,
+		SeriesCap:  defaultSeriesCap,
 	}
 	if prof.NewSharedFS != nil {
 		m.FS = prof.NewSharedFS(sim)
 	}
 	m.alive = make([]bool, m.workers)
 	m.busy = make([]*SimJob, m.workers)
+	m.inIdle = make([]bool, m.workers)
+	m.live = make([]int32, 0, m.workers)
+	m.livePos = make([]int32, m.workers)
+	for i := range m.livePos {
+		m.livePos[i] = -1
+	}
+	m.hBoot.m = m
+	m.hReqNet.m = m
+	m.hIdleArrive.m = m
+	m.hSeqSent.m = m
+	m.hSeqLaunch.m = m
+	m.hThinkDone.m = m
 	return m
 }
 
@@ -122,29 +215,35 @@ func (m *Model) Workers() int { return m.workers }
 // Start boots the workers: each registers and requests work after a
 // uniformly random boot skew.
 func (m *Model) Start() {
+	m.aliveRec.cap = m.SeriesCap
+	m.runRec.cap = m.SeriesCap
 	for w := 0; w < m.workers; w++ {
-		w := w
 		delay := time.Duration(0)
 		if m.BootSpread > 0 {
 			delay = time.Duration(m.Sim.Rand().Int63n(int64(m.BootSpread)))
 		}
-		m.Sim.After(delay, func() {
-			m.alive[w] = true
-			m.aliveCount++
-			m.sampleAlive()
-			m.requestWork(w)
-		})
+		m.Sim.AfterCall(delay, &m.hBoot, w)
 	}
 }
 
+type bootH struct{ m *Model }
+
+func (h *bootH) Fire(w int) {
+	m := h.m
+	m.alive[w] = true
+	m.livePos[w] = int32(len(m.live))
+	m.live = append(m.live, int32(w))
+	m.aliveCount++
+	m.sampleAlive()
+	m.requestWork(w)
+}
+
 func (m *Model) sampleAlive() {
-	m.AliveSeries.T = append(m.AliveSeries.T, m.Sim.Now())
-	m.AliveSeries.V = append(m.AliveSeries.V, float64(m.aliveCount))
+	m.aliveRec.sample(&m.AliveSeries, m.Sim.Now(), float64(m.aliveCount))
 }
 
 func (m *Model) sampleRunning() {
-	m.RunSeries.T = append(m.RunSeries.T, m.Sim.Now())
-	m.RunSeries.V = append(m.RunSeries.V, float64(m.runningJobs))
+	m.runRec.sample(&m.RunSeries, m.Sim.Now(), float64(m.runningJobs))
 }
 
 // Submit queues a job (optionally after the Swift/Coasters stage).
@@ -152,40 +251,103 @@ func (m *Model) Submit(j *SimJob) {
 	if j.NProcs < 1 {
 		panic(fmt.Sprintf("simjets: job %s has %d procs", j.ID, j.NProcs))
 	}
-	enqueue := func() {
-		m.queue = append(m.queue, j)
-		m.trySchedule()
-	}
 	if j.SwiftManaged && m.Prof.SwiftOverhead > 0 {
-		m.swift.Request(m.Prof.SwiftOverhead, enqueue)
-	} else {
-		enqueue()
+		m.swift.Request(m.Prof.SwiftOverhead, func() {
+			m.queue.Push(j)
+			m.trySchedule()
+		})
+		return
 	}
+	m.queue.Push(j)
+	m.trySchedule()
 }
 
 // requestWork models the worker's work-request message: one dispatcher
 // service, after which the worker sits in the FIFO idle pool.
 func (m *Model) requestWork(w int) {
-	m.Sim.After(m.Prof.RTT/2, func() {
-		m.dispatch.Request(m.Prof.DispatchService, func() {
-			if !m.alive[w] {
-				return
-			}
-			m.idle = append(m.idle, w)
-			m.trySchedule()
-		})
-	})
+	m.Sim.AfterCall(m.Prof.RTT/2, &m.hReqNet, w)
+}
+
+// reqNetH delivers the worker's work request to the dispatcher.
+type reqNetH struct{ m *Model }
+
+func (h *reqNetH) Fire(w int) {
+	h.m.dispatch.RequestCall(h.m.Prof.DispatchService, &h.m.hIdleArrive, w)
+}
+
+// idleArriveH parks the worker in the idle pool once the dispatcher has
+// processed its work request.
+type idleArriveH struct{ m *Model }
+
+func (h *idleArriveH) Fire(w int) {
+	m := h.m
+	if !m.alive[w] {
+		return
+	}
+	m.idle.Push(int32(w))
+	m.inIdle[w] = true
+	m.idleLive++
+	m.trySchedule()
+}
+
+// popIdle removes and returns the oldest live idle worker, discarding stale
+// entries for workers killed while parked. The caller must know a live entry
+// exists (idleLive > 0).
+func (m *Model) popIdle() int {
+	for {
+		w := int(m.idle.Pop())
+		if m.inIdle[w] {
+			m.inIdle[w] = false
+			m.idleLive--
+			return w
+		}
+	}
 }
 
 // trySchedule launches queued jobs FIFO while the head fits the idle pool.
 func (m *Model) trySchedule() {
-	for len(m.queue) > 0 && m.queue[0].NProcs <= len(m.idle) {
-		j := m.queue[0]
-		m.queue = m.queue[1:]
-		group := append([]int(nil), m.idle[:j.NProcs]...)
-		m.idle = m.idle[j.NProcs:]
+	for m.queue.Len() > 0 && (*m.queue.Front()).NProcs <= m.idleLive {
+		j := m.queue.Pop()
+		group := j.group[:0]
+		for k := 0; k < j.NProcs; k++ {
+			group = append(group, m.popIdle())
+		}
 		m.launch(j, group)
 	}
+}
+
+// newSlot registers j as an in-flight sequential job and returns its packed
+// handle (gen<<32|index, generation >= 1 so a valid handle is never 0).
+func (m *Model) newSlot(j *SimJob) int {
+	var slot int32
+	if m.slotFree.Len() > 0 {
+		slot = m.slotFree.Pop()
+	} else {
+		m.slotJob = append(m.slotJob, nil)
+		m.slotGen = append(m.slotGen, 0)
+		slot = int32(len(m.slotJob) - 1)
+	}
+	m.slotGen[slot]++
+	m.slotJob[slot] = j
+	return int(uint64(m.slotGen[slot])<<32 | uint64(uint32(slot)))
+}
+
+// slotAt resolves a packed handle, returning nil for stale events (the slot
+// was freed — the job aborted — and possibly reused since).
+func (m *Model) slotAt(packed int) *SimJob {
+	slot := uint32(uint64(packed))
+	gen := uint32(uint64(packed) >> 32)
+	if m.slotGen[slot] != gen {
+		return nil
+	}
+	return m.slotJob[slot]
+}
+
+func (m *Model) freeSlot(packed int) {
+	slot := uint32(uint64(packed))
+	m.slotGen[slot]++
+	m.slotJob[slot] = nil
+	m.slotFree.Push(int32(slot))
 }
 
 func (m *Model) launch(j *SimJob, group []int) {
@@ -200,11 +362,8 @@ func (m *Model) launch(j *SimJob, group []int) {
 
 	if j.Sequential {
 		// Dispatch the single task: one dispatcher message, network, fork.
-		m.dispatch.Request(m.Prof.DispatchService, func() {
-			m.Sim.After(m.Prof.RTT+m.Prof.ProxyLaunch, func() {
-				m.runBody(j)
-			})
-		})
+		j.slot = m.newSlot(j)
+		m.dispatch.RequestCall(m.Prof.DispatchService, &m.hSeqSent, j.slot)
 		return
 	}
 	// MPI path: fork mpiexec on the login node, then dispatch one proxy per
@@ -233,30 +392,75 @@ func (m *Model) launch(j *SimJob, group []int) {
 	})
 }
 
+// seqSentH models the task message leaving the dispatcher: network plus the
+// proxy fork on the compute node.
+type seqSentH struct{ m *Model }
+
+func (h *seqSentH) Fire(packed int) {
+	m := h.m
+	if m.slotAt(packed) == nil {
+		return
+	}
+	m.Sim.AfterCall(m.Prof.RTT+m.Prof.ProxyLaunch, &m.hSeqLaunch, packed)
+}
+
+type seqLaunchH struct{ m *Model }
+
+func (h *seqLaunchH) Fire(packed int) {
+	if j := h.m.slotAt(packed); j != nil {
+		h.m.runBody(j)
+	}
+}
+
 // runBody executes the application: read I/O, think, write I/O.
 func (m *Model) runBody(j *SimJob) {
 	if j.aborted {
+		return
+	}
+	if m.FS == nil || (m.Prof.BinaryBytes == 0 && j.ReadBytes == 0 && j.MetaOps == 0) {
+		m.think(j)
 		return
 	}
 	m.readPhase(j, func() {
 		if j.aborted {
 			return
 		}
-		m.Sim.After(j.Think, func() {
-			if j.aborted {
-				return
-			}
-			m.writePhase(j, func() { m.finish(j, false) })
-		})
+		m.think(j)
 	})
+}
+
+// think runs the application's useful time, allocation-free when the job
+// holds a slot (sequential path).
+func (m *Model) think(j *SimJob) {
+	if j.slot != 0 {
+		m.Sim.AfterCall(j.Think, &m.hThinkDone, j.slot)
+		return
+	}
+	m.Sim.After(j.Think, func() {
+		if j.aborted {
+			return
+		}
+		m.writePhase(j, func() { m.finish(j, false) })
+	})
+}
+
+type thinkDoneH struct{ m *Model }
+
+func (h *thinkDoneH) Fire(packed int) {
+	m := h.m
+	j := m.slotAt(packed)
+	if j == nil {
+		return
+	}
+	if m.FS == nil || (j.WriteBytes == 0 && j.MetaOps == 0) {
+		m.finish(j, false)
+		return
+	}
+	m.writePhase(j, func() { m.finish(j, false) })
 }
 
 // readPhase performs the per-process binary loads and the job's input I/O.
 func (m *Model) readPhase(j *SimJob, done func()) {
-	if m.FS == nil || (m.Prof.BinaryBytes == 0 && j.ReadBytes == 0 && j.MetaOps == 0) {
-		done()
-		return
-	}
 	total := 0
 	finishOne := func() {
 		total--
@@ -318,19 +522,40 @@ func (m *Model) writePhase(j *SimJob, done func()) {
 	}
 }
 
+// nopH absorbs the result-message dispatcher charge.
+type nopH struct{}
+
+func (nopH) Fire(int) {}
+
 func (m *Model) finish(j *SimJob, failed bool) {
 	if j.done {
 		return
 	}
 	j.done = true
+	if j.slot != 0 {
+		m.freeSlot(j.slot)
+		j.slot = 0
+	}
 	rec := metrics.JobRecord{ID: j.ID, Procs: j.procs(), Start: j.start, Stop: m.Sim.Now()}
-	m.AllRecords = append(m.AllRecords, rec)
+	keep := m.RecordLimit <= 0 || len(m.AllRecords) < m.RecordLimit
+	if keep {
+		m.AllRecords = append(m.AllRecords, rec)
+	}
 	if failed {
 		m.Failed++
 	} else {
-		m.Records = append(m.Records, rec)
+		if keep {
+			m.Records = append(m.Records, rec)
+		}
 		m.Completed++
 		m.usefulProcSec += j.Think.Seconds() * float64(j.procs())
+		if !m.spanSeen || rec.Start < m.firstStart {
+			m.firstStart = rec.Start
+		}
+		if !m.spanSeen || rec.Stop > m.lastStop {
+			m.lastStop = rec.Stop
+		}
+		m.spanSeen = true
 	}
 	m.runningJobs--
 	m.sampleRunning()
@@ -339,7 +564,7 @@ func (m *Model) finish(j *SimJob, failed bool) {
 		if m.alive[w] {
 			// The worker's result message and next work request each cost a
 			// dispatcher service; requestWork charges one, charge the other.
-			m.dispatch.Request(m.Prof.DispatchService, func() {})
+			m.dispatch.RequestCall(m.Prof.DispatchService, &m.hNop, 0)
 			m.requestWork(w)
 		}
 	}
@@ -356,13 +581,20 @@ func (m *Model) KillWorker(w int) {
 		return
 	}
 	m.alive[w] = false
+	// Swap-remove from the live index.
+	pos := m.livePos[w]
+	last := m.live[len(m.live)-1]
+	m.live[pos] = last
+	m.livePos[last] = pos
+	m.live = m.live[:len(m.live)-1]
+	m.livePos[w] = -1
 	m.aliveCount--
 	m.sampleAlive()
-	for i, idleW := range m.idle {
-		if idleW == w {
-			m.idle = append(m.idle[:i], m.idle[i+1:]...)
-			return
-		}
+	if m.inIdle[w] {
+		// The ring entry stays behind and is skipped when popped.
+		m.inIdle[w] = false
+		m.idleLive--
+		return
 	}
 	if j := m.busy[w]; j != nil && !j.done {
 		j.aborted = true
@@ -373,24 +605,24 @@ func (m *Model) KillWorker(w int) {
 // KillRandomAlive kills one random live worker, returning false when none
 // remain.
 func (m *Model) KillRandomAlive() bool {
-	live := make([]int, 0, m.workers)
-	for w, a := range m.alive {
-		if a {
-			live = append(live, w)
-		}
-	}
-	if len(live) == 0 {
+	if len(m.live) == 0 {
 		return false
 	}
-	m.KillWorker(live[m.Sim.Rand().Intn(len(live))])
+	m.KillWorker(int(m.live[m.Sim.Rand().Intn(len(m.live))]))
 	return true
 }
 
+// AliveWorkers reports live workers.
+func (m *Model) AliveWorkers() int { return m.aliveCount }
+
 // QueueLen reports jobs waiting for workers.
-func (m *Model) QueueLen() int { return len(m.queue) }
+func (m *Model) QueueLen() int { return m.queue.Len() }
 
 // IdleWorkers reports parked workers.
-func (m *Model) IdleWorkers() int { return len(m.idle) }
+func (m *Model) IdleWorkers() int { return m.idleLive }
+
+// RunningJobs reports jobs currently holding workers.
+func (m *Model) RunningJobs() int { return m.runningJobs }
 
 // Utilization computes Eq. (1) over the completed jobs: useful application
 // proc-seconds (Think x total processes) divided by the allocation's
@@ -408,20 +640,11 @@ func (m *Model) Utilization(coresPerWorker int) float64 {
 	return u
 }
 
-// Span reports the batch makespan: first job start to last job stop.
+// Span reports the batch makespan: first job start to last job stop, over
+// completed jobs (tracked incrementally, so it is exact under RecordLimit).
 func (m *Model) Span() time.Duration {
-	if len(m.Records) == 0 {
+	if !m.spanSeen {
 		return 0
 	}
-	first := m.Records[0].Start
-	last := m.Records[0].Stop
-	for _, r := range m.Records {
-		if r.Start < first {
-			first = r.Start
-		}
-		if r.Stop > last {
-			last = r.Stop
-		}
-	}
-	return last - first
+	return m.lastStop - m.firstStart
 }

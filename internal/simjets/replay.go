@@ -1,0 +1,304 @@
+package simjets
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"jets/internal/dispatch"
+	"jets/internal/event"
+)
+
+// This file replays live dispatcher traces in the simulator: a JSON-lines
+// stream written by the engine's -trace flag (dispatch.Event records) is
+// parsed into a submit schedule plus per-job observed service times, then
+// re-executed against the simulated JETS model. The calibration report
+// compares the simulated makespan and utilization with what the live run
+// recorded — the error is the model's fidelity at that workload.
+
+// TraceJob is one job reconstructed from a dispatcher trace.
+type TraceJob struct {
+	ID string
+	// SubmitAt is the job-submitted offset from the trace epoch.
+	SubmitAt time.Duration
+	// Service is the observed runtime: first task-sent (falling back to
+	// job-started) to job-completed.
+	Service time.Duration
+	// Procs is the rank count, from task-sent events (minimum 1).
+	Procs int
+	// Retries counts job-retried occurrences.
+	Retries int
+}
+
+// Trace is a parsed dispatcher trace.
+type Trace struct {
+	Jobs []TraceJob
+	// Workers is the peak simultaneously-registered worker count.
+	Workers int
+	// WorkersLost counts worker-lost events.
+	WorkersLost int
+	// Failed counts jobs whose last outcome was job-failed.
+	Failed int
+	// RecordedMakespan spans the first job start to the last completion in
+	// the live run; RecordedUtilization is Eq. (1) over the same window at
+	// one core per worker.
+	RecordedMakespan    time.Duration
+	RecordedUtilization float64
+}
+
+// traceAgg accumulates one job's events during parsing.
+type traceAgg struct {
+	submitAt  time.Duration
+	hasSubmit bool
+	startAt   time.Duration // first job-started
+	hasStart  bool
+	sentAt    time.Duration // first task-sent (preferred service start)
+	hasSent   bool
+	doneAt    time.Duration
+	completed bool
+	failed    bool
+	procs     int
+	retries   int
+}
+
+// ReplayTrace parses a dispatcher -trace JSON-lines stream. Blank lines are
+// skipped; a malformed line or a line that is not a JSON object returns an
+// error naming the line. Unknown event kinds and out-of-order timestamps
+// are tolerated (negative intervals clamp to zero): traces from concurrent
+// dispatchers interleave loosely.
+func ReplayTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	jobs := make(map[string]*traceAgg)
+	var order []string
+	alive, peak := 0, 0
+	lost := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		trimmed := false
+		for _, c := range raw {
+			if c != ' ' && c != '\t' && c != '\r' {
+				trimmed = true
+				break
+			}
+		}
+		if !trimmed {
+			continue
+		}
+		var ev dispatch.Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("simjets: trace line %d: %w", line, err)
+		}
+		if ev.T < 0 {
+			ev.T = 0
+		}
+		switch ev.Kind {
+		case dispatch.EvWorkerJoined:
+			alive++
+			if alive > peak {
+				peak = alive
+			}
+		case dispatch.EvWorkerLost:
+			lost++
+			if alive > 0 {
+				alive--
+			}
+		case dispatch.EvJobSubmitted, dispatch.EvJobQueued, dispatch.EvJobStarted,
+			dispatch.EvTaskSent, dispatch.EvTaskDone, dispatch.EvJobCompleted,
+			dispatch.EvJobFailed, dispatch.EvJobRetried, dispatch.EvGroupAssembled,
+			dispatch.EvPMIWired:
+			if ev.JobID == "" {
+				continue
+			}
+			a := jobs[ev.JobID]
+			if a == nil {
+				a = &traceAgg{}
+				jobs[ev.JobID] = a
+				order = append(order, ev.JobID)
+			}
+			switch ev.Kind {
+			case dispatch.EvJobSubmitted:
+				if !a.hasSubmit {
+					a.submitAt = ev.T
+					a.hasSubmit = true
+				}
+			case dispatch.EvJobStarted:
+				if !a.hasStart {
+					a.startAt = ev.T
+					a.hasStart = true
+				}
+			case dispatch.EvTaskSent:
+				a.procs++
+				if !a.hasSent {
+					a.sentAt = ev.T
+					a.hasSent = true
+				}
+			case dispatch.EvJobCompleted:
+				a.doneAt = ev.T
+				a.completed = true
+				a.failed = false
+			case dispatch.EvJobFailed:
+				a.doneAt = ev.T
+				a.failed = true
+			case dispatch.EvJobRetried:
+				a.retries++
+			}
+		default:
+			// Unknown kind: tolerate — newer engines may add kinds.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("simjets: trace read: %w", err)
+	}
+
+	tr := &Trace{Workers: peak, WorkersLost: lost}
+	var firstStart, lastDone time.Duration
+	seen := false
+	var busy float64
+	for _, id := range order {
+		a := jobs[id]
+		if a.failed && !a.completed {
+			tr.Failed++
+			continue
+		}
+		if !a.completed {
+			continue // still running at trace end
+		}
+		start := a.submitAt
+		switch {
+		case a.hasSent:
+			start = a.sentAt
+		case a.hasStart:
+			start = a.startAt
+		}
+		svc := a.doneAt - start
+		if svc < 0 {
+			svc = 0
+		}
+		sub := a.submitAt
+		if !a.hasSubmit {
+			sub = start
+		}
+		procs := a.procs
+		if procs < 1 {
+			procs = 1
+		}
+		tr.Jobs = append(tr.Jobs, TraceJob{
+			ID: id, SubmitAt: sub, Service: svc, Procs: procs, Retries: a.retries,
+		})
+		if !seen || start < firstStart {
+			firstStart = start
+		}
+		if !seen || a.doneAt > lastDone {
+			lastDone = a.doneAt
+		}
+		seen = true
+		busy += svc.Seconds() * float64(procs)
+	}
+	if len(tr.Jobs) == 0 {
+		return nil, fmt.Errorf("simjets: trace contains no completed jobs")
+	}
+	tr.RecordedMakespan = lastDone - firstStart
+	if tr.Workers > 0 && tr.RecordedMakespan > 0 {
+		tr.RecordedUtilization = busy / (float64(tr.Workers) * tr.RecordedMakespan.Seconds())
+		if tr.RecordedUtilization > 1 {
+			tr.RecordedUtilization = 1
+		}
+	}
+	return tr, nil
+}
+
+// ReplayReport compares a trace's live measurements with its re-execution
+// in the simulator.
+type ReplayReport struct {
+	Jobs    int `json:"jobs"`
+	Workers int `json:"workers"`
+	// Recorded values come from the trace; Simulated from the re-execution.
+	RecordedMakespan  time.Duration `json:"recorded_makespan"`
+	SimulatedMakespan time.Duration `json:"simulated_makespan"`
+	// MakespanError is (simulated-recorded)/recorded.
+	MakespanError        float64 `json:"makespan_error"`
+	RecordedUtilization  float64 `json:"recorded_utilization"`
+	SimulatedUtilization float64 `json:"simulated_utilization"`
+	// UtilizationError is the absolute difference.
+	UtilizationError float64 `json:"utilization_error"`
+	Completed        int     `json:"completed"`
+	Failed           int     `json:"failed"`
+}
+
+// Run re-executes the trace on the simulated model: the same worker count
+// (Breadboard x86 profile — live engines run on cluster-class hosts), jobs
+// submitted at their recorded offsets with their observed service times as
+// think time. Single-rank jobs take the sequential path; multi-rank jobs
+// the mpiexec path.
+func (tr *Trace) Run(seed int64) ReplayReport {
+	sim := event.New(seed)
+	nodes := tr.Workers
+	if nodes < 1 {
+		nodes = 1
+	}
+	prof := Breadboard(nodes)
+	prof.NewSharedFS = nil
+	// The observed service time spans first task-sent to completion in the
+	// live run, so it already embeds proxy launch, wire-up, and mpiexec
+	// costs; zero those in the replay profile to avoid double-charging.
+	// Dispatcher service and the RTT stay — they model the queueing ahead of
+	// task-sent, which the service interval does not cover.
+	prof.ProxyLaunch = 0
+	prof.MPIExecSpawn = 0
+	prof.WireUpBase = 0
+	prof.WireUpPerRank = 0
+	m := NewModel(sim, prof, 1)
+	// Boot everyone quickly: the live trace's clock starts with workers
+	// already registering, and submit offsets below are shifted past boot.
+	m.BootSpread = 10 * time.Millisecond
+	m.Start()
+	const shift = 20 * time.Millisecond
+	// Clamp offsets and services so hand-edited or corrupt traces (huge
+	// timestamps near the int64 limit) cannot overflow virtual time.
+	const horizon = 365 * 24 * time.Hour
+	for i := range tr.Jobs {
+		tj := &tr.Jobs[i]
+		procs := tj.Procs
+		if procs > nodes {
+			procs = nodes
+		}
+		at, svc := tj.SubmitAt, tj.Service
+		if at > horizon {
+			at = horizon
+		}
+		if svc > horizon {
+			svc = horizon
+		}
+		j := &SimJob{
+			ID:         tj.ID,
+			NProcs:     procs,
+			Think:      svc,
+			Sequential: procs == 1,
+		}
+		sim.At(shift+at, func() { m.Submit(j) })
+	}
+	sim.Run(0)
+	rep := ReplayReport{
+		Jobs:                 len(tr.Jobs),
+		Workers:              tr.Workers,
+		RecordedMakespan:     tr.RecordedMakespan,
+		SimulatedMakespan:    m.Span(),
+		RecordedUtilization:  tr.RecordedUtilization,
+		SimulatedUtilization: m.Utilization(1),
+		Completed:            m.Completed,
+		Failed:               m.Failed,
+	}
+	if rep.RecordedMakespan > 0 {
+		rep.MakespanError = (rep.SimulatedMakespan - rep.RecordedMakespan).Seconds() / rep.RecordedMakespan.Seconds()
+	}
+	rep.UtilizationError = rep.SimulatedUtilization - rep.RecordedUtilization
+	if rep.UtilizationError < 0 {
+		rep.UtilizationError = -rep.UtilizationError
+	}
+	return rep
+}

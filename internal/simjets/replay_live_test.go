@@ -1,0 +1,85 @@
+package simjets
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"jets/internal/core"
+	"jets/internal/dispatch"
+	"jets/internal/hydra"
+)
+
+// TestReplayLiveEngineTrace is the capture → replay round trip on a real
+// engine: run a batch on in-process workers with tracing on, feed the
+// recorded JSON-lines trace through ReplayTrace, and require the simulated
+// re-execution to land within the documented tolerance (±30% makespan,
+// ±0.15 utilization — see EXPERIMENTS.md) of what the live run recorded.
+// The live side runs real goroutine workers on a shared machine, so its
+// timings carry genuine scheduler noise; the tolerance absorbs that, not
+// model error (the synthetic round trip above pins the model at ±10%).
+func TestReplayLiveEngineTrace(t *testing.T) {
+	rec := &dispatch.TraceRecorder{}
+	runner := hydra.NewFuncRunner()
+	runner.Register("sleep.sh", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		time.Sleep(40 * time.Millisecond)
+		return 0
+	})
+	e, err := core.NewEngine(core.Options{
+		LocalWorkers:   4,
+		CoresPerWorker: 1,
+		Runner:         runner,
+		OnEvent:        rec.Record,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []dispatch.Job
+	for i := 0; i < 16; i++ {
+		jobs = append(jobs, dispatch.Job{
+			Spec: hydra.JobSpec{JobID: fmt.Sprintf("r%d", i), NProcs: 1, Cmd: "sleep.sh"},
+			Type: dispatch.Sequential,
+		})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := e.RunBatch(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() != 0 {
+		t.Fatalf("%d live jobs failed", rep.Failed())
+	}
+	e.Close()
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReplayTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 16 {
+		t.Fatalf("trace reconstructed %d jobs, want 16", len(tr.Jobs))
+	}
+	if tr.Workers != 4 {
+		t.Fatalf("trace saw %d workers, want 4", tr.Workers)
+	}
+
+	out := tr.Run(1)
+	if out.Completed != 16 || out.Failed != 0 {
+		t.Fatalf("replay completed=%d failed=%d", out.Completed, out.Failed)
+	}
+	if e := out.MakespanError; e < -0.30 || e > 0.30 {
+		t.Fatalf("makespan error %.3f outside ±30%%: recorded %v simulated %v",
+			e, out.RecordedMakespan, out.SimulatedMakespan)
+	}
+	if out.UtilizationError > 0.15 {
+		t.Fatalf("utilization error %.3f > 0.15 (recorded %.3f simulated %.3f)",
+			out.UtilizationError, out.RecordedUtilization, out.SimulatedUtilization)
+	}
+}

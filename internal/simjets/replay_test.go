@@ -1,0 +1,135 @@
+package simjets
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"jets/internal/dispatch"
+)
+
+func TestReplayTraceParse(t *testing.T) {
+	in := `
+{"t":1000000,"kind":"worker-joined","worker":"w0"}
+{"t":2000000,"kind":"worker-joined","worker":"w1"}
+{"t":5000000,"kind":"job-submitted","job":"a"}
+{"t":6000000,"kind":"job-queued","job":"a"}
+{"t":7000000,"kind":"job-started","job":"a"}
+{"t":7100000,"kind":"task-sent","job":"a","task":"a/seq","worker":"w0"}
+{"t":57000000,"kind":"task-done","job":"a","task":"a/seq","worker":"w0"}
+{"t":58000000,"kind":"job-completed","job":"a"}
+{"t":8000000,"kind":"job-submitted","job":"b"}
+{"t":9000000,"kind":"task-sent","job":"b","task":"b/0","worker":"w0"}
+{"t":9000000,"kind":"task-sent","job":"b","task":"b/1","worker":"w1"}
+{"t":80000000,"kind":"job-completed","job":"b"}
+{"t":10000000,"kind":"job-submitted","job":"c"}
+{"t":12000000,"kind":"job-failed","job":"c"}
+{"t":90000000,"kind":"worker-lost","worker":"w1"}
+`
+	tr, err := ReplayTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Workers != 2 || tr.WorkersLost != 1 {
+		t.Fatalf("workers=%d lost=%d, want 2/1", tr.Workers, tr.WorkersLost)
+	}
+	if len(tr.Jobs) != 2 || tr.Failed != 1 {
+		t.Fatalf("jobs=%d failed=%d, want 2/1", len(tr.Jobs), tr.Failed)
+	}
+	a, b := tr.Jobs[0], tr.Jobs[1]
+	if a.ID != "a" || a.SubmitAt != 5*time.Millisecond || a.Procs != 1 {
+		t.Fatalf("job a: %+v", a)
+	}
+	// Service: first task-sent (7.1ms) to completion (58ms).
+	if a.Service != 58*time.Millisecond-7100*time.Microsecond {
+		t.Fatalf("job a service = %v", a.Service)
+	}
+	if b.Procs != 2 {
+		t.Fatalf("job b procs = %d, want 2", b.Procs)
+	}
+	// Makespan: first start 7.1ms to last completion 80ms.
+	if tr.RecordedMakespan != 80*time.Millisecond-7100*time.Microsecond {
+		t.Fatalf("makespan = %v", tr.RecordedMakespan)
+	}
+	if tr.RecordedUtilization <= 0 || tr.RecordedUtilization > 1 {
+		t.Fatalf("utilization = %v", tr.RecordedUtilization)
+	}
+}
+
+func TestReplayTraceMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad json":    "{\"t\":1,\"kind\":\"job-submitted\"\n",
+		"not object":  "[1,2,3]\n",
+		"empty trace": "",
+		"no complete": `{"t":1,"kind":"job-submitted","job":"x"}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ReplayTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Tolerated inputs: blank lines, unknown kinds, out-of-order and
+	// negative timestamps.
+	ok := `
+
+{"t":-5,"kind":"future-kind","job":"z"}
+{"t":9000000,"kind":"job-completed","job":"x"}
+{"t":5000000,"kind":"job-submitted","job":"x"}
+{"t":1,"kind":"worker-joined","worker":"w"}
+`
+	tr, err := ReplayTrace(strings.NewReader(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order lines still reconstruct: submit 5ms, done 9ms.
+	if len(tr.Jobs) != 1 || tr.Jobs[0].Service != 4*time.Millisecond {
+		t.Fatalf("tolerant parse: %+v", tr.Jobs)
+	}
+}
+
+// TestReplayRoundTripSynthetic replays a synthetic-but-realistic trace and
+// checks the simulator lands close to the recorded aggregates: a pure
+// think-time workload on an uncontended allocation should replay within a
+// tight tolerance, since the model's extra launch overheads are milliseconds
+// against second-scale services.
+func TestReplayRoundTripSynthetic(t *testing.T) {
+	var sb strings.Builder
+	for w := 0; w < 8; w++ {
+		sb.WriteString(`{"t":0,"kind":"worker-joined","worker":"w"}` + "\n")
+	}
+	// 32 sequential jobs, 2s each, submitted 250ms apart: 8 workers stay
+	// saturated for ~8s.
+	for i := 0; i < 32; i++ {
+		at := time.Duration(i) * 250 * time.Millisecond
+		start := at + 10*time.Millisecond
+		done := start + 2*time.Second
+		sb.WriteString(evLine(dispatch.EvJobSubmitted, at, "j", i))
+		sb.WriteString(evLine(dispatch.EvJobStarted, start, "j", i))
+		sb.WriteString(evLine(dispatch.EvTaskSent, start, "j", i))
+		sb.WriteString(evLine(dispatch.EvJobCompleted, done, "j", i))
+	}
+	tr, err := ReplayTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 32 || tr.Workers != 8 {
+		t.Fatalf("parsed jobs=%d workers=%d", len(tr.Jobs), tr.Workers)
+	}
+	rep := tr.Run(1)
+	if rep.Failed != 0 || rep.Completed != 32 {
+		t.Fatalf("replay: %+v", rep)
+	}
+	if e := rep.MakespanError; e < -0.1 || e > 0.1 {
+		t.Fatalf("makespan error %.3f outside ±10%%: recorded %v simulated %v",
+			e, rep.RecordedMakespan, rep.SimulatedMakespan)
+	}
+	if rep.UtilizationError > 0.1 {
+		t.Fatalf("utilization error %.3f > 0.1 (recorded %.3f simulated %.3f)",
+			rep.UtilizationError, rep.RecordedUtilization, rep.SimulatedUtilization)
+	}
+}
+
+func evLine(kind dispatch.EventKind, at time.Duration, prefix string, i int) string {
+	return fmt.Sprintf(`{"t":%d,"kind":%q,"job":"%s%d"}`+"\n", int64(at), kind, prefix, i)
+}

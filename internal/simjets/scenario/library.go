@@ -1,0 +1,194 @@
+package scenario
+
+import "time"
+
+// Library returns the named scenarios cmd/jets-bench exposes. The 10⁴-worker
+// entries are CI-sized (seconds of wall clock); million-agents is the
+// flagship whose wall clock EXPERIMENTS.md documents.
+func Library() []Scenario {
+	return []Scenario{
+		sweep10k(),
+		storm10k(),
+		heavyTail10k(),
+		millionAgents(),
+	}
+}
+
+// Lookup finds a library scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	for _, sc := range Library() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// sweep10k is the basic 10⁴-worker Poisson sweep: short sequential tasks at
+// ~70% of dispatcher-bound capacity, drained at the horizon.
+func sweep10k() Scenario {
+	return Scenario{
+		Name:           "sweep-10k",
+		Machine:        Surveyor,
+		Nodes:          2500,
+		WorkersPerNode: 4,
+		NoSharedFS:     true,
+		Duration:       30 * time.Minute,
+		Drain:          true,
+		Tenants: []Tenant{{
+			Name:    "sweep",
+			Arrival: Arrival{Kind: Poisson, Rate: 120},
+			Classes: []TaskClass{{
+				Name:       "short",
+				Weight:     1,
+				Sequential: true,
+				Think:      Dist{Kind: Uniform, Value: 40 * time.Second, Spread: 40 * time.Second},
+			}},
+		}},
+	}
+}
+
+// storm10k runs steady sequential load through two correlated rack-failure
+// storms (a quarter of the racks at half strength, then a smaller second
+// wave), exercising abort/reschedule at scale.
+func storm10k() Scenario {
+	return Scenario{
+		Name:           "storm-10k",
+		Machine:        Surveyor,
+		Nodes:          2500,
+		WorkersPerNode: 4,
+		NoSharedFS:     true,
+		Duration:       20 * time.Minute,
+		Tenants: []Tenant{{
+			Name:    "load",
+			Arrival: Arrival{Kind: Poisson, Rate: 200},
+			Classes: []TaskClass{{
+				Name:       "fixed",
+				Weight:     1,
+				Sequential: true,
+				Think:      Dist{Kind: Fixed, Value: 30 * time.Second},
+			}},
+		}},
+		Storms: []Storm{
+			{At: 5 * time.Minute, Racks: 16, RackSize: 156, Fraction: 0.5, Spread: 30 * time.Second},
+			{At: 12 * time.Minute, Racks: 4, RackSize: 156, Fraction: 1.0, Spread: 5 * time.Second},
+		},
+	}
+}
+
+// heavyTail10k mixes a lognormal body, a Pareto tail, and a small MPI class
+// under two tenants — one steady, one bursty — at ~75% utilization.
+func heavyTail10k() Scenario {
+	return Scenario{
+		Name:           "heavy-tail-10k",
+		Machine:        Surveyor,
+		Nodes:          2500,
+		WorkersPerNode: 4,
+		NoSharedFS:     true,
+		Duration:       30 * time.Minute,
+		Drain:          true,
+		Tenants: []Tenant{
+			{
+				Name:    "steady",
+				Arrival: Arrival{Kind: Poisson, Rate: 60},
+				Classes: []TaskClass{
+					{
+						Name:       "body",
+						Weight:     0.75,
+						Sequential: true,
+						// exp(3.3 + 0.8²/2) ≈ 37 s mean, right-skewed.
+						Think: Dist{Kind: Lognormal, Mu: 3.3, Sigma: 0.8, Max: 20 * time.Minute},
+					},
+					{
+						Name:       "tail",
+						Weight:     0.2,
+						Sequential: true,
+						// Power-law tail, mean ≈ 1.3·60/(0.3) = 260 s before the clamp.
+						Think: Dist{Kind: Pareto, Scale: time.Minute, Alpha: 1.3, Max: time.Hour},
+					},
+					{
+						Name:   "mpi4",
+						Weight: 0.05,
+						NProcs: 4,
+						Think:  Dist{Kind: Fixed, Value: 2 * time.Minute},
+					},
+				},
+			},
+			{
+				Name: "bursty",
+				Arrival: Arrival{
+					Kind: Bursty,
+					Rate: 150,
+					On:   Dist{Kind: Uniform, Value: time.Minute, Spread: 2 * time.Minute},
+					Off:  Dist{Kind: Uniform, Value: 3 * time.Minute, Spread: 4 * time.Minute},
+				},
+				Classes: []TaskClass{{
+					Name:       "spike",
+					Weight:     1,
+					Sequential: true,
+					Think:      Dist{Kind: Uniform, Value: 10 * time.Second, Spread: 20 * time.Second},
+				}},
+			},
+		},
+	}
+}
+
+// millionAgents is the flagship: 10⁶ pilot workers on a scaled-out BG/P
+// profile running two virtual days of mixed heavy-tailed load from two
+// tenants, through a 16-rack correlated storm at the one-day mark. The
+// arrival rates hold ~80% of the fleet busy (mean think ≈ 20 min →
+// steady-state demand ≈ 675·1190 ≈ 8·10⁵ busy workers), so the run
+// sustains roughly 7,000 events per virtual second for ~1.2·10⁹ events
+// total. EXPERIMENTS.md records the measured wall clock.
+func millionAgents() Scenario {
+	return Scenario{
+		Name:           "million-agents",
+		Machine:        Surveyor,
+		Nodes:          250_000,
+		WorkersPerNode: 4,
+		NoSharedFS:     true,
+		BootSpread:     5 * time.Minute,
+		Duration:       48 * time.Hour,
+		Tenants: []Tenant{
+			{
+				Name:    "campaign",
+				Arrival: Arrival{Kind: Poisson, Rate: 600},
+				Classes: []TaskClass{
+					{
+						Name:       "body",
+						Weight:     0.8,
+						Sequential: true,
+						// exp(6.6 + 1.0²/2) ≈ 22 min mean.
+						Think: Dist{Kind: Lognormal, Mu: 6.6, Sigma: 1.0, Max: 6 * time.Hour},
+					},
+					{
+						Name:       "tail",
+						Weight:     0.2,
+						Sequential: true,
+						Think:      Dist{Kind: Pareto, Scale: 5 * time.Minute, Alpha: 1.4, Max: 12 * time.Hour},
+					},
+				},
+			},
+			{
+				Name: "interactive",
+				Arrival: Arrival{
+					Kind: Bursty,
+					Rate: 300,
+					On:   Dist{Kind: Uniform, Value: 10 * time.Minute, Spread: 20 * time.Minute},
+					Off:  Dist{Kind: Uniform, Value: 30 * time.Minute, Spread: time.Hour},
+				},
+				Classes: []TaskClass{{
+					Name:       "quick",
+					Weight:     1,
+					Sequential: true,
+					Think:      Dist{Kind: Uniform, Value: time.Minute, Spread: 4 * time.Minute},
+				}},
+			},
+		},
+		Storms: []Storm{
+			// 16 racks of 4,096 workers — 6.5% of the fleet — lost over a
+			// minute at hour 24.
+			{At: 24 * time.Hour, Racks: 16, RackSize: 4096, Fraction: 1.0, Spread: time.Minute},
+		},
+	}
+}

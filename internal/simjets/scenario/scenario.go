@@ -1,0 +1,511 @@
+// Package scenario layers a declarative workload-generation language over
+// the simjets model: heavy-tailed task mixes, multi-tenant arrival
+// processes, and correlated failure storms compose into a Scenario value
+// that runs deterministically under a seed. The library (library.go) holds
+// the named sweeps cmd/jets-bench exposes, up to the million-worker
+// flagship.
+//
+// Everything is generated incrementally inside the simulation: each arrival
+// schedules the next, completed jobs recycle through a free pool, and the
+// model's series decimate — so a multi-virtual-day, million-worker run
+// holds steady-state memory, not per-job memory.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"jets/internal/event"
+	"jets/internal/simjets"
+)
+
+// ---------------------------------------------------------------------------
+// Distributions.
+
+// DistKind selects a duration distribution family.
+type DistKind string
+
+const (
+	// Fixed always returns Value.
+	Fixed DistKind = "fixed"
+	// Uniform draws from [Value, Value+Spread).
+	Uniform DistKind = "uniform"
+	// Lognormal draws exp(N(Mu, Sigma²)) seconds: the heavy-but-thin tail of
+	// application wall times (the paper's NAMD segments are near-lognormal).
+	Lognormal DistKind = "lognormal"
+	// Pareto draws Scale/U^(1/Alpha): the power-law tail of trace-derived
+	// task-duration mixes. Alpha <= 1 has infinite mean — clamp with Max.
+	Pareto DistKind = "pareto"
+)
+
+// Dist is a declarative duration distribution.
+type Dist struct {
+	Kind DistKind `json:"kind"`
+	// Value is the fixed duration, or the uniform lower bound.
+	Value time.Duration `json:"value,omitempty"`
+	// Spread is the uniform width.
+	Spread time.Duration `json:"spread,omitempty"`
+	// Mu and Sigma parameterize Lognormal in log-seconds.
+	Mu    float64 `json:"mu,omitempty"`
+	Sigma float64 `json:"sigma,omitempty"`
+	// Scale and Alpha parameterize Pareto; Scale is the minimum.
+	Scale time.Duration `json:"scale,omitempty"`
+	Alpha float64       `json:"alpha,omitempty"`
+	// Min and Max truncate any family when nonzero.
+	Min time.Duration `json:"min,omitempty"`
+	Max time.Duration `json:"max,omitempty"`
+}
+
+// Sample draws one duration.
+func (d Dist) Sample(rng *rand.Rand) time.Duration {
+	var v time.Duration
+	switch d.Kind {
+	case Fixed, "":
+		v = d.Value
+	case Uniform:
+		v = d.Value
+		if d.Spread > 0 {
+			v += time.Duration(rng.Int63n(int64(d.Spread)))
+		}
+	case Lognormal:
+		v = time.Duration(math.Exp(d.Mu+d.Sigma*rng.NormFloat64()) * float64(time.Second))
+	case Pareto:
+		alpha := d.Alpha
+		if alpha <= 0 {
+			alpha = 1
+		}
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		v = time.Duration(float64(d.Scale) / math.Pow(u, 1/alpha))
+	default:
+		panic(fmt.Sprintf("scenario: unknown dist kind %q", d.Kind))
+	}
+	if d.Min > 0 && v < d.Min {
+		v = d.Min
+	}
+	if d.Max > 0 && v > d.Max {
+		v = d.Max
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Task classes and tenants.
+
+// TaskClass is one kind of job a tenant submits, drawn by Weight.
+type TaskClass struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+	Think  Dist    `json:"think"`
+	// NProcs/PPN/Sequential mirror simjets.SimJob; NProcs defaults to 1.
+	NProcs     int  `json:"nprocs,omitempty"`
+	PPN        int  `json:"ppn,omitempty"`
+	Sequential bool `json:"sequential,omitempty"`
+	// I/O volumes per job (need a profile with a shared FS to take effect).
+	ReadBytes    int  `json:"read_bytes,omitempty"`
+	WriteBytes   int  `json:"write_bytes,omitempty"`
+	MetaOps      int  `json:"meta_ops,omitempty"`
+	SwiftManaged bool `json:"swift_managed,omitempty"`
+}
+
+// ArrivalKind selects a tenant's arrival process.
+type ArrivalKind string
+
+const (
+	// Poisson arrivals: exponential interarrivals at Rate jobs/sec.
+	Poisson ArrivalKind = "poisson"
+	// Bursty arrivals: alternating on/off phases (durations drawn from On and
+	// Off); during on-phases jobs arrive Poisson at Rate.
+	Bursty ArrivalKind = "bursty"
+	// Batch submits MaxJobs all at once at the tenant's Start time — the
+	// paper's queue-everything-up-front experiments.
+	Batch ArrivalKind = "batch"
+)
+
+// Arrival is a declarative arrival process.
+type Arrival struct {
+	Kind ArrivalKind `json:"kind"`
+	// Rate is jobs/sec (Poisson and Bursty on-phases).
+	Rate float64 `json:"rate,omitempty"`
+	On   Dist    `json:"on,omitempty"`
+	Off  Dist    `json:"off,omitempty"`
+}
+
+// Tenant is one workload stream multiplexed onto the machine.
+type Tenant struct {
+	Name    string      `json:"name"`
+	Arrival Arrival     `json:"arrival"`
+	Classes []TaskClass `json:"classes"`
+	// Start delays the tenant's first activity.
+	Start time.Duration `json:"start,omitempty"`
+	// MaxJobs caps the tenant's submissions; 0 means unbounded (the stream
+	// stops at the scenario Duration). Batch tenants require MaxJobs.
+	MaxJobs int `json:"max_jobs,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// Failure storms.
+
+// Storm is a correlated failure burst: Racks contiguous blocks of RackSize
+// workers each are selected at random at time At, and Fraction of each
+// block's workers are killed, the kills spread uniformly across Spread
+// (all at once when zero). This reproduces rack-level power or switch loss
+// rather than the independent kills of Fig. 10.
+type Storm struct {
+	At       time.Duration `json:"at"`
+	Racks    int           `json:"racks"`
+	RackSize int           `json:"rack_size"`
+	Fraction float64       `json:"fraction"`
+	Spread   time.Duration `json:"spread,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// Scenario.
+
+// Machine names a calibrated profile from the simjets package.
+type Machine string
+
+const (
+	Surveyor   Machine = "surveyor"
+	Breadboard Machine = "breadboard"
+	Eureka     Machine = "eureka"
+)
+
+func (m Machine) profile(nodes int) simjets.Profile {
+	switch m {
+	case Surveyor, "":
+		return simjets.Surveyor(nodes)
+	case Breadboard:
+		return simjets.Breadboard(nodes)
+	case Eureka:
+		return simjets.Eureka(nodes)
+	}
+	panic(fmt.Sprintf("scenario: unknown machine %q", m))
+}
+
+// Scenario is a complete declarative experiment.
+type Scenario struct {
+	Name    string  `json:"name"`
+	Machine Machine `json:"machine"`
+	Nodes   int     `json:"nodes"`
+	// WorkersPerNode defaults to 1.
+	WorkersPerNode int `json:"workers_per_node,omitempty"`
+	// NoSharedFS strips the profile's filesystem model (I/O volumes in task
+	// classes then cost nothing) — for scales where the FS model's per-job
+	// closures would dominate.
+	NoSharedFS bool `json:"no_shared_fs,omitempty"`
+	// BootSpread staggers worker boot; zero keeps the model default (1s).
+	BootSpread time.Duration `json:"boot_spread,omitempty"`
+	// Duration is the virtual time horizon: open-ended tenants stop
+	// submitting at it. Zero runs until all bounded tenants drain.
+	Duration time.Duration `json:"duration"`
+	// Drain, when set, keeps simulating past Duration until in-flight and
+	// queued jobs finish; otherwise the run cuts off at Duration.
+	Drain   bool     `json:"drain,omitempty"`
+	Tenants []Tenant `json:"tenants"`
+	Storms  []Storm  `json:"storms,omitempty"`
+	// RecordLimit bounds per-job records (default 4096, -1 unbounded);
+	// SeriesCap bounds series points (0 keeps the model default).
+	RecordLimit int `json:"record_limit,omitempty"`
+	SeriesCap   int `json:"series_cap,omitempty"`
+}
+
+// Result is the deterministic outcome of a run: byte-identical JSON across
+// runs with the same scenario and seed.
+type Result struct {
+	Scenario  string `json:"scenario"`
+	Seed      int64  `json:"seed"`
+	Workers   int    `json:"workers"`
+	Submitted int    `json:"submitted"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	// QueuedAtEnd and RunningAtEnd report work cut off at the horizon.
+	QueuedAtEnd  int `json:"queued_at_end"`
+	RunningAtEnd int `json:"running_at_end"`
+	AliveAtEnd   int `json:"alive_at_end"`
+	Killed       int `json:"killed"`
+	// Makespan is first job start to last job stop (completed jobs).
+	Makespan time.Duration `json:"makespan"`
+	// Utilization is Eq. (1) at one core per worker.
+	Utilization float64 `json:"utilization"`
+	// VirtualEnd is the simulator clock at return; Events the count fired.
+	VirtualEnd time.Duration `json:"virtual_end"`
+	Events     uint64        `json:"events"`
+	// Wall is the host wall-clock of the run, excluded from the JSON
+	// encoding so result dumps stay deterministic.
+	Wall time.Duration `json:"-"`
+}
+
+// Run executes the scenario under the seed. The same (scenario, seed) pair
+// yields an identical Result (and identical internal event order) on every
+// run: all randomness flows from two seeded PRNGs in a single-threaded
+// event loop.
+func Run(sc Scenario, seed int64) Result {
+	res, _ := RunModel(sc, seed)
+	return res
+}
+
+// RunModel is Run exposing the model for callers that need the records or
+// series (tests, jets-bench table output).
+func RunModel(sc Scenario, seed int64) (Result, *simjets.Model) {
+	start := time.Now()
+	sim := event.New(seed)
+	prof := sc.Machine.profile(sc.Nodes)
+	if sc.NoSharedFS {
+		prof.NewSharedFS = nil
+	}
+	wpn := sc.WorkersPerNode
+	if wpn < 1 {
+		wpn = 1
+	}
+	m := simjets.NewModel(sim, prof, wpn)
+	if sc.BootSpread > 0 {
+		m.BootSpread = sc.BootSpread
+	}
+	switch {
+	case sc.RecordLimit > 0:
+		m.RecordLimit = sc.RecordLimit
+	case sc.RecordLimit == 0:
+		m.RecordLimit = 4096
+	}
+	if sc.SeriesCap > 0 {
+		m.SeriesCap = sc.SeriesCap
+	}
+	// The generator rng is distinct from the simulator's (which drives boot
+	// skew and any model-internal randomness) so scenario sampling does not
+	// perturb model behavior for a given seed.
+	r := &runner{
+		sc:     &sc,
+		sim:    sim,
+		m:      m,
+		rng:    rand.New(rand.NewSource(seed ^ 0x5ca1ab1e)),
+		counts: make([]int, len(sc.Tenants)),
+		stopAt: 1<<63 - 1,
+	}
+	if sc.Duration > 0 {
+		r.stopAt = sc.Duration
+	}
+	m.Start()
+	for ti := range sc.Tenants {
+		r.startTenant(ti)
+	}
+	for _, st := range sc.Storms {
+		storm := st
+		sim.At(storm.At, func() { r.fireStorm(storm) })
+	}
+	if sc.Duration > 0 {
+		sim.RunUntil(sc.Duration)
+		if sc.Drain {
+			sim.Run(0)
+		}
+	} else {
+		sim.Run(0)
+	}
+	return Result{
+		Scenario:     sc.Name,
+		Seed:         seed,
+		Workers:      m.Workers(),
+		Submitted:    r.submitted,
+		Completed:    m.Completed,
+		Failed:       m.Failed,
+		QueuedAtEnd:  m.QueueLen(),
+		RunningAtEnd: m.RunningJobs(),
+		AliveAtEnd:   m.AliveWorkers(),
+		Killed:       r.killed,
+		Makespan:     m.Span(),
+		Utilization:  m.Utilization(1),
+		VirtualEnd:   sim.Now(),
+		Events:       sim.Events(),
+		Wall:         time.Since(start),
+	}, m
+}
+
+// runner carries the per-run generation state.
+type runner struct {
+	sc  *Scenario
+	sim *event.Sim
+	m   *simjets.Model
+	rng *rand.Rand
+	// free recycles completed jobs (only successful completions are safe to
+	// reuse; aborted jobs may still be referenced by in-flight events).
+	free []*simjets.SimJob
+	// counts is submissions per tenant index.
+	counts    []int
+	submitted int
+	killed    int
+	stopAt    time.Duration
+	jobSeq    int
+}
+
+// startTenant schedules the tenant's first activity.
+func (r *runner) startTenant(ti int) {
+	t := &r.sc.Tenants[ti]
+	switch t.Arrival.Kind {
+	case Batch:
+		r.sim.At(t.Start, func() {
+			for i := 0; i < t.MaxJobs; i++ {
+				r.submit(t, ti)
+			}
+		})
+	case Bursty:
+		r.sim.At(t.Start, func() { r.burstOn(t, ti) })
+	case Poisson, "":
+		r.sim.At(t.Start, func() { r.nextArrival(t, ti) })
+	default:
+		panic(fmt.Sprintf("scenario: unknown arrival kind %q", t.Arrival.Kind))
+	}
+}
+
+func (r *runner) tenantDone(t *Tenant, ti int) bool {
+	return t.MaxJobs > 0 && r.counts[ti] >= t.MaxJobs
+}
+
+// nextArrival submits one job and schedules the following arrival —
+// incremental generation, one pending event per tenant.
+func (r *runner) nextArrival(t *Tenant, ti int) {
+	if r.sim.Now() >= r.stopAt || r.tenantDone(t, ti) {
+		return
+	}
+	r.submit(t, ti)
+	if r.tenantDone(t, ti) {
+		return
+	}
+	r.sim.After(expInterarrival(r.rng, t.Arrival.Rate), func() { r.nextArrival(t, ti) })
+}
+
+// burstOn runs one on-phase: Poisson arrivals at Rate for a drawn duration,
+// then an off-phase of drawn duration, then the next cycle.
+func (r *runner) burstOn(t *Tenant, ti int) {
+	if r.sim.Now() >= r.stopAt || r.tenantDone(t, ti) {
+		return
+	}
+	on := t.Arrival.On.Sample(r.rng)
+	phaseEnd := r.sim.Now() + on
+	var arrive func()
+	arrive = func() {
+		if r.sim.Now() >= r.stopAt || r.sim.Now() >= phaseEnd || r.tenantDone(t, ti) {
+			return
+		}
+		r.submit(t, ti)
+		r.sim.After(expInterarrival(r.rng, t.Arrival.Rate), arrive)
+	}
+	arrive()
+	off := t.Arrival.Off.Sample(r.rng)
+	r.sim.After(on+off, func() { r.burstOn(t, ti) })
+}
+
+func expInterarrival(rng *rand.Rand, rate float64) time.Duration {
+	if rate <= 0 {
+		return time.Hour // effectively idle
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return time.Duration(-math.Log(u) / rate * float64(time.Second))
+}
+
+// pickClass draws a task class by weight.
+func (r *runner) pickClass(t *Tenant) *TaskClass {
+	if len(t.Classes) == 1 {
+		return &t.Classes[0]
+	}
+	total := 0.0
+	for i := range t.Classes {
+		total += t.Classes[i].Weight
+	}
+	x := r.rng.Float64() * total
+	for i := range t.Classes {
+		x -= t.Classes[i].Weight
+		if x < 0 {
+			return &t.Classes[i]
+		}
+	}
+	return &t.Classes[len(t.Classes)-1]
+}
+
+// submit draws a class, builds (or recycles) a job, and submits it.
+func (r *runner) submit(t *Tenant, ti int) {
+	c := r.pickClass(t)
+	var j *simjets.SimJob
+	if n := len(r.free); n > 0 {
+		j = r.free[n-1]
+		r.free = r.free[:n-1]
+	} else {
+		j = &simjets.SimJob{}
+	}
+	r.jobSeq++
+	j.ID = fmt.Sprintf("%s-%d", t.Name, r.jobSeq)
+	j.NProcs = c.NProcs
+	if j.NProcs < 1 {
+		j.NProcs = 1
+	}
+	j.PPN = c.PPN
+	j.Sequential = c.Sequential
+	j.Think = c.Think.Sample(r.rng)
+	j.ReadBytes = c.ReadBytes
+	j.WriteBytes = c.WriteBytes
+	j.MetaOps = c.MetaOps
+	j.SwiftManaged = c.SwiftManaged
+	j.OnDone = func(done *simjets.SimJob, failed bool) {
+		if !failed {
+			done.Reset()
+			r.free = append(r.free, done)
+		}
+	}
+	r.submitted++
+	r.counts[ti]++
+	r.m.Submit(j)
+}
+
+// fireStorm selects the racks and schedules the kills.
+func (r *runner) fireStorm(st Storm) {
+	w := r.m.Workers()
+	size := st.RackSize
+	if size < 1 {
+		size = 1
+	}
+	nracks := (w + size - 1) / size
+	picked := r.rng.Perm(nracks)
+	if st.Racks > 0 && st.Racks < len(picked) {
+		picked = picked[:st.Racks]
+	}
+	frac := st.Fraction
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	for _, rack := range picked {
+		lo := rack * size
+		hi := lo + size
+		if hi > w {
+			hi = w
+		}
+		for wi := lo; wi < hi; wi++ {
+			if frac < 1 && r.rng.Float64() >= frac {
+				continue
+			}
+			victim := wi
+			delay := time.Duration(0)
+			if st.Spread > 0 {
+				delay = time.Duration(r.rng.Int63n(int64(st.Spread)))
+			}
+			r.sim.After(delay, func() { r.kill(victim) })
+		}
+	}
+}
+
+// kill terminates one worker, counting only kills that land on a live one.
+func (r *runner) kill(w int) {
+	before := r.m.AliveWorkers()
+	r.m.KillWorker(w)
+	if r.m.AliveWorkers() < before {
+		r.killed++
+	}
+}

@@ -1,0 +1,218 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// smokeLibrary returns the CI-sized library entries (the flagship is run
+// manually; see EXPERIMENTS.md).
+func smokeLibrary(t *testing.T) []Scenario {
+	t.Helper()
+	var out []Scenario
+	for _, sc := range Library() {
+		if sc.Nodes*sc.WorkersPerNode <= 10_000 {
+			out = append(out, sc)
+		}
+	}
+	if len(out) < 3 {
+		t.Fatalf("library has %d smoke scenarios, want >= 3", len(out))
+	}
+	return out
+}
+
+// TestDeterminism runs every smoke scenario twice under the same seed and
+// requires the JSON-encoded results to be byte-identical; a different seed
+// must produce a different outcome.
+func TestDeterminism(t *testing.T) {
+	for _, sc := range smokeLibrary(t) {
+		a, err := json.Marshal(Run(sc, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(Run(sc, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: same-seed runs differ:\n%s\n%s", sc.Name, a, b)
+		}
+		c, err := json.Marshal(Run(sc, 43))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(a, c) {
+			t.Errorf("%s: seeds 42 and 43 produced identical results — rng not wired through", sc.Name)
+		}
+	}
+}
+
+// TestSweepSmoke checks the basic sweep completes its offered load at sane
+// utilization and conserves jobs.
+func TestSweepSmoke(t *testing.T) {
+	res := Run(sweep10k(), 7)
+	if res.Workers != 10_000 {
+		t.Fatalf("workers = %d, want 10000", res.Workers)
+	}
+	if res.Submitted == 0 || res.Completed == 0 {
+		t.Fatalf("no work ran: %+v", res)
+	}
+	if got := res.Completed + res.Failed + res.QueuedAtEnd + res.RunningAtEnd; got != res.Submitted {
+		t.Fatalf("job conservation: %d accounted of %d submitted", got, res.Submitted)
+	}
+	// Drained sweep: everything completes, nothing fails.
+	if res.Failed != 0 || res.QueuedAtEnd != 0 || res.RunningAtEnd != 0 {
+		t.Fatalf("drained sweep left failed=%d queued=%d running=%d", res.Failed, res.QueuedAtEnd, res.RunningAtEnd)
+	}
+	if res.Utilization <= 0.3 || res.Utilization > 1 {
+		t.Fatalf("utilization = %.3f, want (0.3, 1]", res.Utilization)
+	}
+}
+
+// TestStormKillsAndRecovers checks the correlated storm actually removes
+// workers, aborts in-flight jobs, and that the survivors keep completing
+// work afterwards.
+func TestStormKillsAndRecovers(t *testing.T) {
+	sc := storm10k()
+	res := Run(sc, 11)
+	if res.Killed == 0 {
+		t.Fatal("storm killed nobody")
+	}
+	if res.AliveAtEnd != res.Workers-res.Killed {
+		t.Fatalf("alive=%d killed=%d workers=%d: mismatch", res.AliveAtEnd, res.Killed, res.Workers)
+	}
+	// Expected kills: 16 racks x 156 x 0.5 (binomial) + 4 racks x 156.
+	if res.Killed < 1500 || res.Killed > 2100 {
+		t.Fatalf("killed = %d, want ~1872", res.Killed)
+	}
+	if res.Failed == 0 {
+		t.Fatal("no in-flight jobs were aborted by the storm")
+	}
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	// Load (200/s x 30s = 6000 busy) fits the post-storm fleet (~8100), so
+	// the queue must not be growing without bound at the horizon.
+	if res.QueuedAtEnd > res.Workers {
+		t.Fatalf("queue backed up: %d at end", res.QueuedAtEnd)
+	}
+}
+
+// TestHeavyTailMix checks the mixed scenario exercises both tenants and
+// that job conservation holds through the drain.
+func TestHeavyTailMix(t *testing.T) {
+	res := Run(heavyTail10k(), 3)
+	if res.Completed == 0 || res.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d", res.Completed, res.Failed)
+	}
+	if got := res.Completed + res.QueuedAtEnd + res.RunningAtEnd; got != res.Submitted {
+		t.Fatalf("job conservation: %d accounted of %d submitted", got, res.Submitted)
+	}
+	if res.QueuedAtEnd != 0 || res.RunningAtEnd != 0 {
+		t.Fatalf("drain left queued=%d running=%d", res.QueuedAtEnd, res.RunningAtEnd)
+	}
+}
+
+// TestDistSample pins the distribution families' shapes.
+func TestDistSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+
+	mean := func(d Dist) float64 {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += d.Sample(rng).Seconds()
+		}
+		return sum / n
+	}
+
+	if got := mean(Dist{Kind: Fixed, Value: 5 * time.Second}); got != 5 {
+		t.Fatalf("fixed mean = %v, want 5", got)
+	}
+	if got := mean(Dist{Kind: Uniform, Value: 4 * time.Second, Spread: 2 * time.Second}); math.Abs(got-5) > 0.1 {
+		t.Fatalf("uniform mean = %v, want ~5", got)
+	}
+	// Lognormal mean = exp(mu + sigma²/2) = exp(1 + 0.125) ≈ 3.08.
+	if got := mean(Dist{Kind: Lognormal, Mu: 1, Sigma: 0.5}); math.Abs(got-3.08) > 0.2 {
+		t.Fatalf("lognormal mean = %v, want ~3.08", got)
+	}
+	// Pareto(scale=1s, alpha=2) mean = alpha/(alpha-1) = 2.
+	if got := mean(Dist{Kind: Pareto, Scale: time.Second, Alpha: 2}); math.Abs(got-2) > 0.3 {
+		t.Fatalf("pareto mean = %v, want ~2", got)
+	}
+	// Truncation clamps.
+	d := Dist{Kind: Pareto, Scale: time.Second, Alpha: 1.1, Min: 2 * time.Second, Max: 10 * time.Second}
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(rng)
+		if v < 2*time.Second || v > 10*time.Second {
+			t.Fatalf("truncated sample %v outside [2s, 10s]", v)
+		}
+	}
+	// A heavy tail is actually heavy: max sample far above the median.
+	tail := Dist{Kind: Pareto, Scale: time.Second, Alpha: 1.2}
+	var max time.Duration
+	for i := 0; i < n; i++ {
+		if v := tail.Sample(rng); v > max {
+			max = v
+		}
+	}
+	if max < 30*time.Second {
+		t.Fatalf("pareto(1.2) max of %d samples = %v — tail too light", n, max)
+	}
+}
+
+// TestBurstyGating checks a bursty tenant submits during on-phases only:
+// with an off-heavy duty cycle the submitted count lands well below the
+// always-on Poisson volume.
+func TestBurstyGating(t *testing.T) {
+	base := Scenario{
+		Name:           "bursty-gate",
+		Machine:        Surveyor,
+		Nodes:          250,
+		WorkersPerNode: 4,
+		NoSharedFS:     true,
+		Duration:       20 * time.Minute,
+		Tenants: []Tenant{{
+			Name: "b",
+			Arrival: Arrival{
+				Kind: Bursty,
+				Rate: 50,
+				On:   Dist{Kind: Fixed, Value: time.Minute},
+				Off:  Dist{Kind: Fixed, Value: 4 * time.Minute},
+			},
+			Classes: []TaskClass{{
+				Name: "t", Weight: 1, Sequential: true,
+				Think: Dist{Kind: Fixed, Value: 2 * time.Second},
+			}},
+		}},
+	}
+	res := Run(base, 5)
+	alwaysOn := 50.0 * base.Duration.Seconds()
+	// 20% duty cycle: expect ~0.2x the always-on volume, generously bounded.
+	if res.Submitted == 0 || float64(res.Submitted) > 0.35*alwaysOn {
+		t.Fatalf("bursty submitted %d of always-on %v — off-phases not gating", res.Submitted, alwaysOn)
+	}
+	if float64(res.Submitted) < 0.08*alwaysOn {
+		t.Fatalf("bursty submitted %d — on-phases not arriving at rate", res.Submitted)
+	}
+}
+
+// TestRecordLimitBounded checks the default record cap holds on a run with
+// far more jobs than the cap.
+func TestRecordLimitBounded(t *testing.T) {
+	res, m := RunModel(sweep10k(), 9)
+	if res.Completed <= 4096 {
+		t.Skipf("scenario too small to exercise the cap: %d jobs", res.Completed)
+	}
+	if len(m.AllRecords) > 4096 || len(m.Records) > 4096 {
+		t.Fatalf("record cap breached: all=%d completed=%d", len(m.AllRecords), len(m.Records))
+	}
+	// Aggregates stay exact past the cap.
+	if res.Makespan <= 0 || res.Utilization <= 0 {
+		t.Fatalf("aggregates lost under cap: %+v", res)
+	}
+}

@@ -1,0 +1,62 @@
+package simjets
+
+import (
+	"time"
+
+	"jets/internal/metrics"
+)
+
+// seriesRec bounds a metrics.Series to a maximum point count by decimating
+// to a coarser time resolution as the run grows. At 10⁶ workers a
+// per-event-sampled series dominates memory (every job start/stop appends a
+// point); decimation keeps the series a faithful step function at a bounded
+// resolution instead.
+//
+// Strategy: points closer than gap to the previously kept point coalesce
+// into it (the kept point takes the latest timestamp and value, so the
+// series always ends on the most recent sample). When the series still
+// reaches cap points, the whole series is compacted in place at a doubled
+// gap sized so roughly cap/2 points span the run so far. Queries through
+// metrics.Series.At are exact at kept points and off by at most one gap
+// window between them. A cap of 0 disables decimation entirely.
+type seriesRec struct {
+	cap int
+	gap time.Duration
+}
+
+func (r *seriesRec) sample(s *metrics.Series, t time.Duration, v float64) {
+	n := len(s.T)
+	if n > 0 && r.gap > 0 && t-s.T[n-1] < r.gap {
+		s.T[n-1], s.V[n-1] = t, v
+		return
+	}
+	if r.cap > 0 && n >= r.cap {
+		r.compact(s, t)
+	}
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// compact rewrites the series keeping the last sample of each gap window,
+// after widening gap to target about cap/2 surviving points.
+func (r *seriesRec) compact(s *metrics.Series, now time.Duration) {
+	span := now - s.T[0]
+	min := span / time.Duration(r.cap/2)
+	if r.gap >= min {
+		min = r.gap * 2
+	}
+	if min <= 0 {
+		min = 1
+	}
+	r.gap = min
+	out := 0
+	for i := 0; i < len(s.T); i++ {
+		if out > 0 && s.T[i]-s.T[out-1] < r.gap {
+			s.T[out-1], s.V[out-1] = s.T[i], s.V[i]
+			continue
+		}
+		s.T[out], s.V[out] = s.T[i], s.V[i]
+		out++
+	}
+	s.T, s.V = s.T[:out], s.V[:out]
+}
