@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"jets/internal/alerts"
@@ -55,6 +56,8 @@ func run() error {
 	coalesce := flag.Int("write-coalesce", 16, "max outbound frames batched per flush on each worker connection (<=1 disables)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof, and /healthz on this address (e.g. 127.0.0.1:9090; empty disables)")
 	listen := flag.String("listen", "", "dispatcher listen address for external workers (e.g. 0.0.0.0:7001; empty binds an ephemeral loopback port)")
+	federate := flag.Int("federate", 1, "dispatcher instances to run behind the work router (>=2 federates)")
+	peers := flag.String("peers", "", "comma-separated addresses of external dispatcher instances to federate with")
 	dataDir := flag.String("data-dir", "", "directory for the crash-safe dispatcher journal; on restart, uncompleted jobs from a previous run are recovered and re-run (empty disables durability)")
 	alertsOn := flag.Bool("alerts", false, "evaluate the default self-monitoring alert rules (log warnings, export jets_alert_firing, fail /healthz on critical rules)")
 	alertRules := flag.String("alert-rules", "", "load additional alert rules from this file (see internal/alerts.ParseRules; implies -alerts sources)")
@@ -113,12 +116,18 @@ func run() error {
 		WriteCoalesce:  *coalesce,
 		Obs:            reg,
 		DataDir:        *dataDir,
+		Federate:       *federate,
+		FederatePeers:  splitPeers(*peers),
 	})
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
-	fmt.Printf("jets: dispatcher on %s, %d local workers\n", eng.Addr(), *workers)
+	if addrs := eng.Addrs(); len(addrs) > 1 {
+		fmt.Printf("jets: %d federated dispatchers on %v, %d local workers\n", len(addrs), addrs, *workers)
+	} else {
+		fmt.Printf("jets: dispatcher on %s, %d local workers\n", eng.Addr(), *workers)
+	}
 	recovered := eng.RecoveredJobs()
 	if rerr := eng.RecoveryError(); rerr != nil {
 		fmt.Fprintf(os.Stderr, "jets: journal replay: %v (recovery is partial)\n", rerr)
@@ -250,6 +259,19 @@ func (o *outputDir) Close() {
 	for _, f := range o.files {
 		f.Close()
 	}
+}
+
+func splitPeers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func sanitize(s string) string {

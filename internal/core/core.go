@@ -14,6 +14,7 @@ package core
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -27,6 +28,7 @@ import (
 	"jets/internal/metrics"
 	"jets/internal/obs"
 	"jets/internal/proto"
+	"jets/internal/router"
 	"jets/internal/worker"
 )
 
@@ -89,20 +91,40 @@ type Options struct {
 	// tool's -data-dir flag. Jobs accepted by a previous run that never
 	// completed are rebuilt at startup; RecoveredJobs exposes their handles.
 	DataDir string
+	// Federate, when >= 2, runs that many dispatcher instances in this
+	// process behind a work router (internal/router): submissions partition
+	// across the instances by consistent hash with least-loaded fallback,
+	// queued work rebalances between them, and local workers spread across
+	// the instances round-robin (each carrying the full address rotation for
+	// failover). With DataDir set, each instance journals under
+	// DataDir/inst<i> and the router's routing table under DataDir/router,
+	// so any subset of the federation recovers after a crash. 0 or 1 keeps
+	// the single-dispatcher engine unchanged.
+	Federate int
+	// FederatePeers adds out-of-process dispatcher instances (by address) to
+	// the federation; the router attaches to them over the wire protocol.
+	FederatePeers []string
 }
 
-// Engine is a running JETS instance.
+// Engine is a running JETS instance — or, with Options.Federate, a running
+// federation of instances behind one router presenting the same API.
 type Engine struct {
-	d    *dispatch.Dispatcher
-	addr string
+	d     *dispatch.Dispatcher   // first (or only) instance
+	insts []*dispatch.Dispatcher // all instances; len > 1 when federated
+	rtr   *router.Router         // nil in single-dispatcher mode
+	addr  string
+	addrs []string // every instance's worker endpoint
 
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 	workers []*worker.Worker
 }
 
-// NewEngine starts the dispatcher and any local workers.
+// NewEngine starts the dispatcher(s) and any local workers.
 func NewEngine(opts Options) (*Engine, error) {
+	if opts.Federate >= 2 || len(opts.FederatePeers) > 0 {
+		return newFederatedEngine(opts)
+	}
 	jnl := opts.Journal
 	if jnl == nil && opts.DataDir != "" {
 		w, err := journal.OpenWAL(journal.Options{Dir: opts.DataDir})
@@ -138,7 +160,7 @@ func NewEngine(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{d: d, addr: addr}
+	e := &Engine{d: d, insts: []*dispatch.Dispatcher{d}, addr: addr, addrs: []string{addr}}
 	ctx, cancel := context.WithCancel(context.Background())
 	e.cancel = cancel
 
@@ -182,11 +204,25 @@ func NewEngine(opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// Addr returns the dispatcher endpoint for external workers.
+// Addr returns the dispatcher endpoint for external workers (the first
+// instance's, when federated; Addrs has them all).
 func (e *Engine) Addr() string { return e.addr }
 
-// Dispatcher exposes the underlying dispatcher for advanced composition.
+// Addrs returns every instance's worker endpoint.
+func (e *Engine) Addrs() []string { return append([]string(nil), e.addrs...) }
+
+// Dispatcher exposes the underlying dispatcher (the first instance, when
+// federated) for advanced composition.
 func (e *Engine) Dispatcher() *dispatch.Dispatcher { return e.d }
+
+// Dispatchers exposes every federated instance (a single-element slice in
+// single-dispatcher mode).
+func (e *Engine) Dispatchers() []*dispatch.Dispatcher {
+	return append([]*dispatch.Dispatcher(nil), e.insts...)
+}
+
+// Router exposes the federation router; nil in single-dispatcher mode.
+func (e *Engine) Router() *router.Router { return e.rtr }
 
 // Workers returns the engine's local worker agents (for fault injection in
 // tests and experiments).
@@ -194,30 +230,86 @@ func (e *Engine) Workers() []*worker.Worker { return e.workers }
 
 // RecoveredJobs returns the handles of jobs rebuilt from the journal at
 // startup (empty without a journal). A restarted engine waits on them to
-// finish the workload it inherited.
-func (e *Engine) RecoveredJobs() []*dispatch.Handle { return e.d.RecoveredJobs() }
+// finish the workload it inherited. Federated engines report the router's
+// recovered routing table — the handles clients were waiting on.
+func (e *Engine) RecoveredJobs() []*dispatch.Handle {
+	if e.rtr != nil {
+		return e.rtr.RecoveredJobs()
+	}
+	return e.d.RecoveredJobs()
+}
 
 // RecoveryError reports a journal replay failure during startup; recovery is
 // best-effort past the error point (see dispatch.RecoveryError).
-func (e *Engine) RecoveryError() error { return e.d.RecoveryError() }
+func (e *Engine) RecoveryError() error {
+	var errs []error
+	for _, d := range e.insts {
+		errs = append(errs, d.RecoveryError())
+	}
+	if e.rtr != nil {
+		errs = append(errs, e.rtr.RecoveryError())
+	}
+	return errors.Join(errs...)
+}
 
-// Submit enqueues one job.
-func (e *Engine) Submit(job dispatch.Job) (*dispatch.Handle, error) { return e.d.Submit(job) }
+// Submit enqueues one job, through the router when federated.
+func (e *Engine) Submit(job dispatch.Job) (*dispatch.Handle, error) {
+	if e.rtr != nil {
+		return e.rtr.Submit(job)
+	}
+	return e.d.Submit(job)
+}
 
 // SubmitBatch enqueues a group of jobs in one dispatcher pass; see
 // dispatch.SubmitBatch.
 func (e *Engine) SubmitBatch(jobs []dispatch.Job) ([]*dispatch.Handle, error) {
+	if e.rtr != nil {
+		return e.rtr.SubmitBatch(jobs)
+	}
 	return e.d.SubmitBatch(jobs)
 }
 
-// StageFile pushes a file to every worker's local cache.
-func (e *Engine) StageFile(name string, data []byte) { e.d.StageFile(name, data) }
+// StageFile pushes a file to every worker's local cache (every instance's
+// workers, when federated).
+func (e *Engine) StageFile(name string, data []byte) {
+	for _, d := range e.insts {
+		d.StageFile(name, data)
+	}
+}
 
-// Close shuts the engine down without draining.
+// Close shuts the engine down without draining: router first (stops
+// rebalancing and fails un-routed handles), then every instance.
 func (e *Engine) Close() {
-	e.d.Close()
+	if e.rtr != nil {
+		e.rtr.Close()
+	}
+	for _, d := range e.insts {
+		d.Close()
+	}
 	e.cancel()
 	e.wg.Wait()
+}
+
+// workerTotal sums registered workers across instances.
+func (e *Engine) workerTotal() int {
+	n := 0
+	for _, d := range e.insts {
+		n += d.Workers()
+	}
+	return n
+}
+
+// records merges per-instance job records (submission interleaving across
+// instances has no global order; callers summarize, they don't sequence).
+func (e *Engine) records() []metrics.JobRecord {
+	if len(e.insts) == 1 {
+		return e.d.Records()
+	}
+	var recs []metrics.JobRecord
+	for _, d := range e.insts {
+		recs = append(recs, d.Records()...)
+	}
+	return recs
 }
 
 // BatchReport summarizes one batch execution.
@@ -246,13 +338,13 @@ func (e *Engine) RunBatch(ctx context.Context, jobs []dispatch.Job) (*BatchRepor
 	start := time.Now()
 	handles := make([]*dispatch.Handle, 0, len(jobs))
 	for _, j := range jobs {
-		h, err := e.d.Submit(j)
+		h, err := e.Submit(j)
 		if err != nil {
 			return nil, fmt.Errorf("core: submit %s: %w", j.Spec.JobID, err)
 		}
 		handles = append(handles, h)
 	}
-	report := &BatchReport{Allocation: e.d.Workers()}
+	report := &BatchReport{Allocation: e.workerTotal()}
 	for _, h := range handles {
 		select {
 		case <-h.Done():
@@ -263,7 +355,7 @@ func (e *Engine) RunBatch(ctx context.Context, jobs []dispatch.Job) (*BatchRepor
 		report.Results = append(report.Results, res)
 	}
 	report.Elapsed = time.Since(start)
-	report.Records = e.d.Records()
+	report.Records = e.records()
 	report.Summary = metrics.Summarize(report.Records, report.Allocation)
 	return report, nil
 }

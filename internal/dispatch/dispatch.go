@@ -45,6 +45,12 @@ var ErrDispatcherClosed = errors.New("dispatch: dispatcher closed")
 type Config struct {
 	// Addr to listen on; default "127.0.0.1:0".
 	Addr string
+	// Instance names this dispatcher when several share one process (and one
+	// obs registry): every exported series gets an `instance="<name>"` label,
+	// so a second instance no longer collides with the first's registrations
+	// and silently loses its metrics. Empty keeps the unlabeled single-
+	// instance series names.
+	Instance string
 	// HeartbeatTimeout after which a silent worker is declared dead;
 	// default 10s. A worker whose connection has been silent for half this
 	// long is also evicted eagerly when a new connection registers under
@@ -275,6 +281,10 @@ type Dispatcher struct {
 	// submits of one ID are both rejected (the old check consulted only the
 	// running table and dropped the lock before placement).
 	live map[string]struct{}
+	// handles indexes the live jobs' handles by ID (same lifetime as the
+	// live reservation), so a federation peer link can re-subscribe to jobs
+	// this instance recovered from its journal after a restart.
+	handles map[string]*Handle
 
 	// Durable state (recovery.go): the journal, the handles of jobs
 	// rebuilt from it at startup, and the first replay error if any.
@@ -301,6 +311,14 @@ type Dispatcher struct {
 	eventsQuit    chan struct{}
 	evWG          sync.WaitGroup // tracks the drainer; Close waits for its flush
 	droppedEvents atomic.Int64
+
+	// peerOut routes output chunks of peer-submitted jobs back to the
+	// attached router (federate.go). peerOutN mirrors len(peerOut) so the
+	// per-chunk check on the output hot path is one atomic load when no
+	// peer is attached.
+	peerOutMu sync.Mutex
+	peerOut   map[string]*peerSender
+	peerOutN  atomic.Int64
 }
 
 // New creates a dispatcher with defaults applied. Call Start to serve.
@@ -344,10 +362,11 @@ func New(cfg Config) *Dispatcher {
 		workers:   make(map[string]*workerConn),
 		running:   make(map[string]*runningJob),
 		live:      make(map[string]struct{}),
+		handles:   make(map[string]*Handle),
 		jnl:       cfg.Journal,
 		idleWait:  make(chan struct{}),
 		retryQuit: make(chan struct{}),
-		ins:       newInstruments(),
+		ins:       newInstruments(cfg.Instance),
 	}
 	if cfg.Obs != nil {
 		d.registerObs(cfg.Obs)
@@ -453,7 +472,17 @@ func (d *Dispatcher) register(wc *workerConn) bool {
 func (d *Dispatcher) serveWorker(codec *proto.Codec) {
 	defer codec.Close()
 	first, err := codec.Recv()
-	if err != nil || first.Kind != proto.KindRegister || first.Register == nil {
+	if err != nil {
+		return
+	}
+	if first.Kind == proto.KindPeerAttach && first.PeerAttach != nil {
+		// A router attaching as a federation peer, not a worker registering.
+		// Same listener, same wire protocol — the first frame's kind is the
+		// only discriminator, so existing workers and clients need no changes.
+		d.servePeer(codec, first)
+		return
+	}
+	if first.Kind != proto.KindRegister || first.Register == nil {
 		codec.Send(&proto.Envelope{Kind: proto.KindError, Error: "expected register"})
 		return
 	}
@@ -889,10 +918,19 @@ func (d *Dispatcher) handleOutput(f *proto.Frame) {
 	if d.cfg.OnOutputFrame != nil {
 		d.cfg.OnOutputFrame(f)
 	}
+	relay := d.peerOutN.Load() > 0
+	if d.cfg.OnOutput == nil && !relay {
+		return
+	}
+	env, err := f.Envelope()
+	if err != nil || env.Output == nil {
+		return
+	}
 	if d.cfg.OnOutput != nil {
-		if env, err := f.Envelope(); err == nil && env.Output != nil {
-			d.cfg.OnOutput(env.Output.TaskID, env.Output.Stream, env.Output.Data)
-		}
+		d.cfg.OnOutput(env.Output.TaskID, env.Output.Stream, env.Output.Data)
+	}
+	if relay {
+		d.relayPeerOutput(env.Output)
 	}
 }
 
@@ -979,6 +1017,7 @@ func (d *Dispatcher) finalizeLocked(rj *runningJob, overrideErr string) *Job {
 	// Terminal: the Completed record dedupes the job at recovery, and the ID
 	// becomes submittable again.
 	delete(d.live, rj.job.Spec.JobID)
+	delete(d.handles, rj.job.Spec.JobID)
 	d.journal(journal.Record{Kind: journal.Completed, JobID: rj.job.Spec.JobID, Failed: rj.failed})
 	rj.job.handle.complete(JobResult{
 		JobID:       rj.job.Spec.JobID,
@@ -1053,7 +1092,7 @@ func (d *Dispatcher) Submit(job Job) (*Handle, error) {
 		d.subMu.RUnlock()
 		return nil, errors.New("dispatch: dispatcher is shut down")
 	}
-	if !d.reserveID(job.Spec.JobID) {
+	if !d.reserveID(job.Spec.JobID, h) {
 		d.subMu.RUnlock()
 		return nil, fmt.Errorf("dispatch: duplicate job id %q", job.Spec.JobID)
 	}
@@ -1094,35 +1133,40 @@ func (d *Dispatcher) SubmitBatch(jobs []Job) ([]*Handle, error) {
 	// Reserve every ID before placing any, under one lock acquisition, so the
 	// batch is accepted or rejected as a whole: a duplicate (against any live
 	// job — queued, running, retry-pending — or within the batch itself)
-	// rolls back the reservations already made.
+	// rolls back the reservations already made. Handles are created first so
+	// the index entry lands atomically with the reservation.
+	handles := make([]*Handle, len(jobs))
+	for i := range jobs {
+		handles[i] = newHandle(jobs[i].Spec.JobID)
+	}
 	d.mu.Lock()
 	for i := range jobs {
 		id := jobs[i].Spec.JobID
 		if _, dup := d.live[id]; dup {
 			for k := 0; k < i; k++ {
 				delete(d.live, jobs[k].Spec.JobID)
+				delete(d.handles, jobs[k].Spec.JobID)
 			}
 			d.mu.Unlock()
 			d.subMu.RUnlock()
 			return nil, fmt.Errorf("dispatch: duplicate job id %q", id)
 		}
 		d.live[id] = struct{}{}
+		d.handles[id] = handles[i]
 	}
 	d.mu.Unlock()
 
-	handles := make([]*Handle, len(jobs))
 	now := time.Now()
 	for i := range jobs {
 		job := jobs[i]
 		j := &job
-		j.handle = newHandle(job.Spec.JobID)
+		j.handle = handles[i]
 		j.submitted = now
 		j.seq = d.subSeq.Add(1)
 		d.stats.jobsSubmitted.Add(1)
 		d.emit(Event{Kind: EvJobSubmitted, JobID: job.Spec.JobID, Detail: job.Type.String()})
 		d.journal(submittedRecord(j))
 		d.placeJob(j, false)
-		handles[i] = j.handle
 	}
 	if d.closed.Load() {
 		// Same race as Submit: Close's sweep may have run mid-batch.
@@ -1226,14 +1270,17 @@ func (d *Dispatcher) Close() error {
 // duplicate check and held until the job reaches a terminal state, so two
 // racing submits of one ID cannot both pass, and a duplicate of a job that
 // is queued but not yet running is rejected (the old check consulted only
-// the running table, and released the lock before placement).
-func (d *Dispatcher) reserveID(id string) bool {
+// the running table, and released the lock before placement). The handle is
+// indexed under the same lifetime so federation peers can look live jobs up
+// by ID.
+func (d *Dispatcher) reserveID(id string, h *Handle) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, dup := d.live[id]; dup {
 		return false
 	}
 	d.live[id] = struct{}{}
+	d.handles[id] = h
 	return true
 }
 
@@ -1274,6 +1321,7 @@ func (d *Dispatcher) failQueued() {
 func (d *Dispatcher) failStranded(j *Job) {
 	d.mu.Lock()
 	delete(d.live, j.Spec.JobID)
+	delete(d.handles, j.Spec.JobID)
 	d.mu.Unlock()
 	d.stats.jobsFailed.Add(1)
 	d.emit(Event{Kind: EvJobFailed, JobID: j.Spec.JobID, Detail: ErrDispatcherClosed.Error()})

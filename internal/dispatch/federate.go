@@ -1,0 +1,513 @@
+package dispatch
+
+// Federation surface: what one dispatcher instance exposes to the work
+// router tier (internal/router). The router partitions submissions across N
+// instances and rebalances queued work between them; this file provides the
+// instance side of that contract:
+//
+//   - StealQueued / SubmitStolen move *queued* (never running) jobs between
+//     instances, generalizing the intra-dispatcher shard steal (steal.go)
+//     one level up. The victim journals a Migrated record — terminal locally
+//     — and the thief journals a fresh Submitted record, so each instance's
+//     WAL stays self-contained across migrations.
+//
+//   - servePeer speaks the existing v2 wire protocol on the same listener
+//     workers use: a KindPeerAttach first frame (instead of KindRegister)
+//     selects the peer path, so remote routers need no new port and workers
+//     and clients need no changes.
+//
+//   - LiveJobs / HandleOf / Load expose the reconciliation and balancing
+//     inputs the router needs; in-process federation calls them directly,
+//     remote federation gets them via PeerAttached and LoadReport frames.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"jets/internal/hydra"
+	"jets/internal/journal"
+	"jets/internal/proto"
+)
+
+// ErrDraining rejects work arriving at an instance that has begun shutting
+// down. SubmitStolen returns it so a routing tier can distinguish "re-place
+// this job elsewhere" from a fatal submission error: the job never entered
+// this instance's state.
+var ErrDraining = errors.New("dispatch: dispatcher is draining")
+
+// StolenJob is a queued job extracted from one instance for placement on
+// another: the durable submission payload plus the retry budget already
+// consumed, which the thief preserves so migration never resets a job's
+// attempt accounting.
+type StolenJob struct {
+	Spec     hydra.JobSpec
+	Type     JobType
+	Priority int
+	Retries  int
+}
+
+// StealQueued extracts up to max queued jobs — oldest first, by submit
+// sequence — for migration to the instance named dest. Running jobs are
+// never taken: their workers, PMI wiring, and results live here. Each taken
+// job is journaled as Migrated (terminal locally, so a crash between steal
+// and re-placement recovers it on the destination, not twice), its local
+// handle is abandoned, and its ID becomes free locally.
+//
+// Only a routing tier that owns completion delivery may call this: whoever
+// holds the returned jobs is responsible for re-submitting them (thief-side
+// SubmitStolen) and routing their completions back to the original
+// submitter's handle. Directly submitted jobs must not be stolen out from
+// under a caller waiting on the instance handle.
+func (d *Dispatcher) StealQueued(max int, dest string) []StolenJob {
+	if max <= 0 {
+		return nil
+	}
+	var jobs []*Job
+	d.lockAll()
+	for len(jobs) < max {
+		// Exact global minimum under the full multi-lock, mirroring
+		// launchStolen: steal the oldest queued work so the destination's
+		// front-of-queue placement approximates the federation-wide FIFO.
+		best, bestSeq := -1, noJob
+		for i, s := range d.shards {
+			if j := s.queue.Peek(); j != nil && j.seq < bestSeq {
+				best, bestSeq = i, j.seq
+			}
+		}
+		if best < 0 {
+			break
+		}
+		s := d.shards[best]
+		j := s.queue.Next(math.MaxInt)
+		s.refreshHead()
+		if j == nil {
+			break
+		}
+		jobs = append(jobs, j)
+	}
+	d.unlockAll()
+	if len(jobs) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	for _, j := range jobs {
+		// Release the ID reservation and the handle index: the job is no
+		// longer this instance's. The local handle is abandoned unresolved —
+		// the routing tier owns the client-facing handle (see NewHandle).
+		delete(d.live, j.Spec.JobID)
+		delete(d.handles, j.Spec.JobID)
+	}
+	d.mu.Unlock()
+	out := make([]StolenJob, 0, len(jobs))
+	for _, j := range jobs {
+		d.journal(journal.Record{Kind: journal.Migrated, JobID: j.Spec.JobID, Node: dest})
+		d.emit(Event{Kind: EvJobMigrated, JobID: j.Spec.JobID, Detail: dest})
+		out = append(out, StolenJob{Spec: j.Spec, Type: j.Type, Priority: j.Priority, Retries: j.retries})
+	}
+	return out
+}
+
+// SubmitStolen places a job stolen from a peer instance. It differs from
+// Submit in three ways: the job keeps its consumed retry budget (journaled
+// as a Retried record so the budget survives a crash), it is placed at the
+// front of a shard queue — it was the victim's oldest work — and a
+// dispatcher that has begun draining refuses it with ErrDraining.
+//
+// The draining gate matters: Shutdown flips the draining flag under subMu
+// and then waits for the queues to empty. A steal placement that landed
+// after that flip would resurrect a job behind the drain wait, running it
+// against workers already being told to exit (or hanging its handle
+// forever). Taking subMu shared across the check-and-place — exactly like
+// Submit — makes the gate race-free; the caller re-places the job on
+// another instance.
+func (d *Dispatcher) SubmitStolen(sj StolenJob) (*Handle, error) {
+	if err := sj.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if sj.Type == Sequential && sj.Spec.NProcs != 1 {
+		return nil, fmt.Errorf("dispatch: sequential job %q must have NProcs 1", sj.Spec.JobID)
+	}
+	h := newHandle(sj.Spec.JobID)
+	j := &Job{
+		Spec:      sj.Spec,
+		Type:      sj.Type,
+		Priority:  sj.Priority,
+		retries:   sj.Retries,
+		handle:    h,
+		submitted: time.Now(),
+	}
+	d.subMu.RLock()
+	if d.closed.Load() || d.draining.Load() {
+		d.subMu.RUnlock()
+		return nil, ErrDraining
+	}
+	if !d.reserveID(sj.Spec.JobID, h) {
+		d.subMu.RUnlock()
+		return nil, fmt.Errorf("dispatch: duplicate job id %q", sj.Spec.JobID)
+	}
+	j.seq = d.subSeq.Add(1)
+	d.stats.jobsSubmitted.Add(1)
+	d.emit(Event{Kind: EvJobSubmitted, JobID: sj.Spec.JobID, Detail: "stolen"})
+	d.journal(submittedRecord(j))
+	if j.retries > 0 {
+		d.journal(journal.Record{Kind: journal.Retried, JobID: sj.Spec.JobID, Attempt: j.retries})
+	}
+	d.placeJob(j, true)
+	if d.closed.Load() {
+		// Same race as Submit: Close's sweep may have run between the check
+		// and the placement.
+		d.failQueued()
+	}
+	d.subMu.RUnlock()
+	d.schedule()
+	return h, nil
+}
+
+// LiveJobs returns the IDs of every job this instance considers in flight:
+// queued, running, or parked in a retry backoff. The router reconciles its
+// routing table against this set after an instance restarts.
+func (d *Dispatcher) LiveJobs() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := make([]string, 0, len(d.live))
+	for id := range d.live {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// HandleOf returns the live job's handle. A router re-attaching after a
+// restart subscribes to recovered jobs through this; a false return means
+// the job is not live here (never arrived, or already terminal).
+func (d *Dispatcher) HandleOf(id string) (*Handle, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h, ok := d.handles[id]
+	return h, ok
+}
+
+// Load samples the balancing inputs the router's least-loaded and steal
+// decisions run on. Advisory (lock-free mirrors), like the scheduling pass
+// itself.
+func (d *Dispatcher) Load() (queued, running, idle, workers int) {
+	return d.queuedCount(), d.RunningJobs(), d.idleCount(), d.Workers()
+}
+
+// Draining reports whether Shutdown has begun: a draining instance refuses
+// stolen work and should stop being offered new placements.
+func (d *Dispatcher) Draining() bool { return d.draining.Load() }
+
+// Instance returns the configured instance name (Config.Instance); the
+// router uses it as the member's stable routing name.
+func (d *Dispatcher) Instance() string { return d.cfg.Instance }
+
+// ---------------------------------------------------------------------------
+// Remote peer links (router process ≠ dispatcher process)
+
+// peerSender serializes outbound frames to an attached router. Completion
+// callbacks run on the dispatcher's completion goroutine and must not block,
+// so they append under a mutex and a writer goroutine drains — the peer-link
+// analogue of a worker's sendq, unbounded because dropping a JobDone would
+// strand the router-side handle forever (the backlog is bounded by the
+// number of live jobs).
+type peerSender struct {
+	codec *proto.Codec
+
+	mu      sync.Mutex
+	pending []*proto.Envelope
+
+	kick chan struct{}
+	quit chan struct{}
+	once sync.Once
+	done chan struct{}
+}
+
+func newPeerSender(codec *proto.Codec) *peerSender {
+	p := &peerSender{
+		codec: codec,
+		kick:  make(chan struct{}, 1),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+func (p *peerSender) enqueue(e *proto.Envelope) {
+	p.mu.Lock()
+	p.pending = append(p.pending, e)
+	p.mu.Unlock()
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (p *peerSender) stop() { p.once.Do(func() { close(p.quit) }) }
+
+func (p *peerSender) run() {
+	defer close(p.done)
+	flush := func() error {
+		p.mu.Lock()
+		batch := p.pending
+		p.pending = nil
+		p.mu.Unlock()
+		for _, e := range batch {
+			if err := p.codec.SendBuffered(e); err != nil {
+				return err
+			}
+		}
+		if len(batch) == 0 {
+			return nil
+		}
+		return p.codec.Flush()
+	}
+	for {
+		select {
+		case <-p.kick:
+			if flush() != nil {
+				return
+			}
+		case <-p.quit:
+			flush() // best-effort final drain
+			return
+		}
+	}
+}
+
+// registerPeerOutput subscribes an attached router to the output chunks of
+// one peer-submitted job. Without this, a job routed to an out-of-process
+// member would run fine but its stdout would stay on the executing instance,
+// invisible to the router-side client.
+func (d *Dispatcher) registerPeerOutput(jobID string, snd *peerSender) {
+	d.peerOutMu.Lock()
+	if d.peerOut == nil {
+		d.peerOut = make(map[string]*peerSender)
+	}
+	if _, ok := d.peerOut[jobID]; !ok {
+		d.peerOutN.Add(1)
+	}
+	d.peerOut[jobID] = snd
+	d.peerOutMu.Unlock()
+}
+
+// unregisterPeerOutput drops the subscription at job completion. The sender
+// identity check keeps a stale link's teardown (callbacks wired before a
+// reattach) from dropping the subscription the new link just registered.
+func (d *Dispatcher) unregisterPeerOutput(jobID string, snd *peerSender) {
+	d.peerOutMu.Lock()
+	if d.peerOut[jobID] == snd {
+		delete(d.peerOut, jobID)
+		d.peerOutN.Add(-1)
+	}
+	d.peerOutMu.Unlock()
+}
+
+// dropPeerOutputs sweeps every subscription held by a disconnecting link;
+// the router's reconcile-on-reattach re-registers the jobs still live here.
+func (d *Dispatcher) dropPeerOutputs(snd *peerSender) {
+	d.peerOutMu.Lock()
+	for id, s := range d.peerOut {
+		if s == snd {
+			delete(d.peerOut, id)
+			d.peerOutN.Add(-1)
+		}
+	}
+	d.peerOutMu.Unlock()
+}
+
+// relayPeerOutput forwards one decoded output chunk to the router attached
+// to its job, if any. Task IDs are jobID+"/seq" or jobID+"/rankN" (see
+// launch and hydra.Decompose). The data slice aliases the worker frame's
+// buffer, which the caller releases after this returns, so the relay copy
+// is mandatory, not defensive.
+func (d *Dispatcher) relayPeerOutput(out *proto.Output) {
+	jobID := out.TaskID
+	if i := strings.LastIndexByte(jobID, '/'); i >= 0 {
+		jobID = jobID[:i]
+	}
+	d.peerOutMu.Lock()
+	snd := d.peerOut[jobID]
+	d.peerOutMu.Unlock()
+	if snd == nil {
+		return
+	}
+	snd.enqueue(&proto.Envelope{Kind: proto.KindOutput, Output: &proto.Output{
+		TaskID: out.TaskID,
+		Stream: out.Stream,
+		Data:   append([]byte(nil), out.Data...),
+	}})
+}
+
+// servePeer runs one attached router connection. The first frame (already
+// read by serveWorker) carries the router's outstanding-job set; the reply
+// reports which of those are live here, wiring completion callbacks for
+// each in the same pass — OnDone fires immediately for a handle that
+// completed between lookup and wiring, so no completion can fall in a gap.
+// Thereafter the link carries PeerSubmit/StealRequest inbound and
+// JobDone/LoadReport outbound until either side closes.
+func (d *Dispatcher) servePeer(codec *proto.Codec, first *proto.Envelope) {
+	attach := first.PeerAttach
+	ver := proto.Negotiate(first.Proto)
+	if ver >= proto.VersionBinary {
+		codec.EnableBinary()
+	}
+	snd := newPeerSender(codec)
+	defer func() {
+		d.dropPeerOutputs(snd)
+		snd.stop()
+		<-snd.done
+	}()
+
+	notify := func(h *Handle) {
+		d.registerPeerOutput(h.JobID(), snd)
+		h.OnDone(func(res JobResult) {
+			d.unregisterPeerOutput(res.JobID, snd)
+			snd.enqueue(&proto.Envelope{Kind: proto.KindJobDone, JobDone: &proto.JobDone{
+				JobID:   res.JobID,
+				Failed:  res.Failed,
+				Err:     res.Err,
+				Retries: res.Retries,
+			}})
+		})
+	}
+
+	info := &proto.PeerInfo{}
+	for _, id := range attach.Outstanding {
+		if h, ok := d.HandleOf(id); ok {
+			info.Live = append(info.Live, id)
+			notify(h)
+		}
+	}
+	if err := codec.Send(&proto.Envelope{Kind: proto.KindPeerAttached, Proto: ver, PeerInfo: info}); err != nil {
+		return
+	}
+
+	// Periodic load reports drive the router's least-loaded placement and
+	// steal scheduling without a request round trip per decision.
+	loadEvery := attach.LoadEvery
+	if loadEvery <= 0 {
+		loadEvery = 50 * time.Millisecond
+	}
+	tickerQuit := make(chan struct{})
+	tickerDone := make(chan struct{})
+	go func() {
+		defer close(tickerDone)
+		t := time.NewTicker(loadEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				q, r, i, w := d.Load()
+				snd.enqueue(&proto.Envelope{Kind: proto.KindLoadReport, LoadReport: &proto.LoadReport{
+					Queued: q, Running: r, Idle: i, Workers: w,
+				}})
+			case <-tickerQuit:
+				return
+			}
+		}
+	}()
+	defer close(tickerQuit)
+	defer func() { <-tickerDone }()
+
+	for {
+		env, err := codec.Recv()
+		if err != nil {
+			return
+		}
+		switch env.Kind {
+		case proto.KindPeerSubmit:
+			if env.PeerSubmit == nil {
+				continue
+			}
+			d.handlePeerSubmit(env.PeerSubmit, snd, notify)
+		case proto.KindStealRequest:
+			if env.StealRequest == nil {
+				continue
+			}
+			jobs := d.StealQueued(env.StealRequest.Max, env.StealRequest.Dest)
+			reply := &proto.StealReply{Jobs: make([]proto.PeerSubmit, len(jobs))}
+			for i, sj := range jobs {
+				reply.Jobs[i] = peerSubmitOf(sj)
+			}
+			snd.enqueue(&proto.Envelope{Kind: proto.KindStealReply, StealReply: reply})
+		case proto.KindHeartbeat:
+			// liveness only
+		default:
+		}
+	}
+}
+
+// handlePeerSubmit places one routed job, replying with a Rejected JobDone
+// if it cannot enter this instance (the router re-places or fails it —
+// either way the job never ran here). A submit for an ID already live here
+// is idempotent: it re-wires the completion callback instead of erroring,
+// which is what a router retrying over a link that dropped mid-submit needs.
+func (d *Dispatcher) handlePeerSubmit(ps *proto.PeerSubmit, snd *peerSender, notify func(*Handle)) {
+	if h, ok := d.HandleOf(ps.JobID); ok {
+		notify(h)
+		return
+	}
+	var (
+		h   *Handle
+		err error
+	)
+	if ps.Stolen {
+		h, err = d.SubmitStolen(stolenJobOf(ps))
+	} else {
+		sj := stolenJobOf(ps)
+		h, err = d.Submit(Job{Spec: sj.Spec, Type: sj.Type, Priority: sj.Priority})
+	}
+	if err != nil {
+		snd.enqueue(&proto.Envelope{Kind: proto.KindJobDone, JobDone: &proto.JobDone{
+			JobID:    ps.JobID,
+			Failed:   true,
+			Rejected: true,
+			Err:      err.Error(),
+		}})
+		return
+	}
+	notify(h)
+}
+
+// stolenJobOf rebuilds the dispatch-level job from its wire form.
+func stolenJobOf(ps *proto.PeerSubmit) StolenJob {
+	return StolenJob{
+		Spec: hydra.JobSpec{
+			JobID:     ps.JobID,
+			NProcs:    ps.NProcs,
+			Cmd:       ps.Cmd,
+			Args:      ps.Args,
+			Env:       ps.Env,
+			Dir:       ps.Dir,
+			WallLimit: ps.WallLimit,
+		},
+		Type:     JobType(ps.JobType),
+		Priority: ps.Priority,
+		Retries:  ps.Retries,
+	}
+}
+
+// peerSubmitOf flattens a stolen job into its wire form.
+func peerSubmitOf(sj StolenJob) proto.PeerSubmit {
+	return proto.PeerSubmit{
+		JobID:     sj.Spec.JobID,
+		JobType:   int(sj.Type),
+		Priority:  sj.Priority,
+		NProcs:    sj.Spec.NProcs,
+		Cmd:       sj.Spec.Cmd,
+		Args:      sj.Spec.Args,
+		Env:       sj.Spec.Env,
+		Dir:       sj.Spec.Dir,
+		WallLimit: sj.Spec.WallLimit,
+		// Every StolenJob came out of StealQueued, so the destination uses
+		// the front-of-queue stolen placement; a router's first placement of
+		// a fresh submission sends Stolen false and goes through Submit.
+		Stolen:  true,
+		Retries: sj.Retries,
+	}
+}

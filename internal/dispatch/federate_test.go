@@ -1,0 +1,272 @@
+package dispatch
+
+// Tests for the federation surface (ISSUE 9): the instance-level steal/
+// submit hooks the router tier builds on, the steal-vs-shutdown draining
+// gate, and the per-instance obs namespacing that lets several dispatchers
+// share one process-wide registry.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jets/internal/hydra"
+	"jets/internal/journal"
+	"jets/internal/obs"
+)
+
+// memJournal captures appended records for assertions.
+type memJournal struct {
+	mu   sync.Mutex
+	recs []journal.Record
+}
+
+func (m *memJournal) Append(r journal.Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recs = append(m.recs, r)
+	return nil
+}
+func (m *memJournal) Sync() error                                { return nil }
+func (m *memJournal) Replay(fn func(journal.Record) error) error { return nil }
+func (m *memJournal) Compact() error                             { return nil }
+func (m *memJournal) Close() error                               { return nil }
+
+func (m *memJournal) byKind(k journal.Kind) []journal.Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []journal.Record
+	for _, r := range m.recs {
+		if r.Kind == k {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TestInstanceLabelsKeepSharedRegistryCollisionFree is the satellite-1
+// regression: before Config.Instance existed, the second dispatcher in a
+// process re-registered every series name and Registry's first-wins rule
+// silently froze its metrics. With instance labels both export.
+func TestInstanceLabelsKeepSharedRegistryCollisionFree(t *testing.T) {
+	reg := obs.NewRegistry()
+	da := New(Config{Instance: "a", Obs: reg})
+	db := New(Config{Instance: "b", Obs: reg})
+	defer da.Close()
+	defer db.Close()
+	if _, err := da.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// One submission on each instance; no workers, the jobs just queue.
+	for i, d := range []*Dispatcher{da, db} {
+		if _, err := d.Submit(Job{Spec: hydra.JobSpec{JobID: fmt.Sprintf("col%d", i), NProcs: 1, Cmd: "x"}, Type: Sequential}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`jets_jobs_submitted_total{instance="a"} 1`,
+		`jets_jobs_submitted_total{instance="b"} 1`,
+		`jets_queued_jobs{instance="a"} 1`,
+		`jets_queued_jobs{instance="b"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	// Both instances' shard gauges must be present too (instance label
+	// composed with the shard label).
+	if !strings.Contains(text, `jets_shard_queued_jobs{instance="a",shard="0"}`) ||
+		!strings.Contains(text, `jets_shard_queued_jobs{instance="b",shard="0"}`) {
+		t.Errorf("per-shard series not instance-qualified:\n%s", text)
+	}
+}
+
+// TestEmptyInstanceKeepsUnlabeledSeries pins the back-compat contract: a
+// dispatcher without an instance name exports the exact historical series
+// names (the CI metrics smoke greps `^jets_jobs_submitted_total <n>`).
+func TestEmptyInstanceKeepsUnlabeledSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	d := New(Config{Obs: reg})
+	defer d.Close()
+	if _, err := d.Submit(Job{Spec: hydra.JobSpec{JobID: "plain", NProcs: 1, Cmd: "x"}, Type: Sequential}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if line == "jets_jobs_submitted_total 1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unlabeled series renamed:\n%s", sb.String())
+	}
+}
+
+// TestStealQueuedTakesOldestAndReleasesIDs covers the victim half of a
+// migration: the oldest queued jobs leave in submit order, their IDs and
+// handles are released locally, running jobs are untouched, and each exit is
+// journaled as Migrated with the destination recorded.
+func TestStealQueuedTakesOldestAndReleasesIDs(t *testing.T) {
+	jnl := &memJournal{}
+	tc := startCluster(t, 1, Config{Journal: jnl})
+	release := make(chan struct{})
+	tc.runner.Register("blocker", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return 0
+	})
+	defer close(release)
+	hRun, err := tc.d.Submit(Job{Spec: hydra.JobSpec{JobID: "running", NProcs: 1, Cmd: "blocker"}, Type: Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tc.d.RunningJobs() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := tc.d.Submit(Job{Spec: hydra.JobSpec{JobID: fmt.Sprintf("q%d", i), NProcs: 1, Cmd: "blocker"}, Type: Sequential}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stolen := tc.d.StealQueued(2, "inst-east")
+	if len(stolen) != 2 || stolen[0].Spec.JobID != "q0" || stolen[1].Spec.JobID != "q1" {
+		t.Fatalf("stole %+v, want q0,q1 oldest-first", stolen)
+	}
+	if got := tc.d.QueuedJobs(); got != 2 {
+		t.Fatalf("queued=%d after steal, want 2", got)
+	}
+	// The running job was never a candidate.
+	if _, ok := tc.d.HandleOf("running"); !ok {
+		t.Fatal("running job stolen")
+	}
+	// Stolen IDs are fully released: no handle, and the ID is reusable.
+	if _, ok := tc.d.HandleOf("q0"); ok {
+		t.Fatal("stolen job still has a local handle")
+	}
+	if _, err := tc.d.Submit(Job{Spec: hydra.JobSpec{JobID: "q0", NProcs: 1, Cmd: "blocker"}, Type: Sequential}); err != nil {
+		t.Fatalf("stolen ID not released: %v", err)
+	}
+	migrated := jnl.byKind(journal.Migrated)
+	if len(migrated) != 2 || migrated[0].JobID != "q0" || migrated[0].Node != "inst-east" {
+		t.Fatalf("migrated records %+v", migrated)
+	}
+	_ = hRun
+}
+
+// TestSubmitStolenPreservesRetryBudget: migration must not reset a job's
+// attempt accounting, and the journaled Retried record makes the budget
+// crash-durable on the thief.
+func TestSubmitStolenPreservesRetryBudget(t *testing.T) {
+	jnl := &memJournal{}
+	tc := startCluster(t, 1, Config{Journal: jnl, MaxJobRetries: 3})
+	tc.runner.Register("ok", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int { return 0 })
+	h, err := tc.d.SubmitStolen(StolenJob{
+		Spec: hydra.JobSpec{JobID: "moved", NProcs: 1, Cmd: "ok"},
+		Type: Sequential, Retries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := h.Wait()
+	if res.Failed || res.Retries != 2 {
+		t.Fatalf("result %+v, want success with retries=2 preserved", res)
+	}
+	retried := jnl.byKind(journal.Retried)
+	if len(retried) != 1 || retried[0].Attempt != 2 {
+		t.Fatalf("retried records %+v", retried)
+	}
+}
+
+// TestSubmitStolenRefusedWhileDraining is the satellite-2 regression: a
+// steal placement that lands after Shutdown flipped the draining flag must
+// be refused with ErrDraining, not resurrect a job behind the drain wait.
+// Before the gate, SubmitStolen would enqueue the job while Shutdown was
+// already waiting for the queues to empty — the job either hung its handle
+// forever (no workers left) or ran against workers being told to exit.
+func TestSubmitStolenRefusedWhileDraining(t *testing.T) {
+	tc := startCluster(t, 1, Config{})
+	release := make(chan struct{})
+	tc.runner.Register("blocker", func(ctx context.Context, args []string, env map[string]string, stdout io.Writer) int {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return 0
+	})
+	if _, err := tc.d.Submit(Job{Spec: hydra.JobSpec{JobID: "slow", NProcs: 1, Cmd: "blocker"}, Type: Sequential}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tc.d.RunningJobs() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Shutdown blocks on the running job; the draining flag flips first.
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- tc.d.Shutdown(ctx)
+	}()
+	for !tc.d.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("Shutdown never entered draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	h, err := tc.d.SubmitStolen(StolenJob{
+		Spec: hydra.JobSpec{JobID: "late-steal", NProcs: 1, Cmd: "blocker"},
+		Type: Sequential,
+	})
+	if err != ErrDraining {
+		t.Fatalf("SubmitStolen during drain = (%v, %v), want ErrDraining", h, err)
+	}
+	// The refused job left no trace: no reservation, no queue entry.
+	if _, ok := tc.d.HandleOf("late-steal"); ok {
+		t.Fatal("refused steal left a handle behind")
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if st := tc.d.Stats(); st.JobsCompleted != 1 {
+		t.Fatalf("stats %+v: drain must complete exactly the pre-drain job", st)
+	}
+}
+
+// TestStealQueuedRespectsRunningOnly: with nothing queued there is nothing
+// to steal, whatever max says.
+func TestStealQueuedNothingQueued(t *testing.T) {
+	tc := startCluster(t, 2, Config{})
+	if got := tc.d.StealQueued(8, "elsewhere"); got != nil {
+		t.Fatalf("stole %+v from an empty queue", got)
+	}
+}

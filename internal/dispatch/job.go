@@ -69,26 +69,58 @@ type JobResult struct {
 // Handle tracks an in-flight job.
 type Handle struct {
 	jobID string
-	done  chan struct{}
 
-	mu  sync.Mutex
-	res JobResult
-	cbs []func(JobResult)
+	mu        sync.Mutex
+	done      chan struct{} // lazily allocated: callers on the OnDone demux never pay for it
+	completed bool
+	res       JobResult
+	cbs       []func(JobResult)
 }
+
+// closedChan is the shared already-closed channel handed to Done() callers
+// who ask after completion but before any waiter forced an allocation.
+var closedChan = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
 
 func newHandle(jobID string) *Handle {
-	return &Handle{jobID: jobID, done: make(chan struct{})}
+	return &Handle{jobID: jobID}
 }
+
+// NewHandle creates a detached handle not owned by any dispatcher. The
+// federation router uses these as the stable client-facing handle for a job
+// whose execution may migrate between instances: the router re-wires
+// instance-level handles underneath and resolves the detached handle exactly
+// once via Complete.
+func NewHandle(jobID string) *Handle { return newHandle(jobID) }
+
+// Complete resolves a detached handle (see NewHandle). It must be called at
+// most once, and never on a handle returned by a dispatcher's Submit — the
+// owning dispatcher resolves those itself.
+func (h *Handle) Complete(res JobResult) { h.complete(res) }
 
 // JobID returns the job's identifier.
 func (h *Handle) JobID() string { return h.jobID }
 
 // Done is closed when the job reaches a terminal state.
-func (h *Handle) Done() <-chan struct{} { return h.done }
+func (h *Handle) Done() <-chan struct{} {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done == nil {
+		if h.completed {
+			h.done = closedChan
+		} else {
+			h.done = make(chan struct{})
+		}
+	}
+	return h.done
+}
 
 // Wait blocks until the job completes and returns its result.
 func (h *Handle) Wait() JobResult {
-	<-h.done
+	<-h.Done()
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.res
@@ -96,14 +128,12 @@ func (h *Handle) Wait() JobResult {
 
 // TryResult returns the result if the job has completed.
 func (h *Handle) TryResult() (JobResult, bool) {
-	select {
-	case <-h.done:
-		h.mu.Lock()
-		defer h.mu.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.completed {
 		return h.res, true
-	default:
-		return JobResult{}, false
 	}
+	return JobResult{}, false
 }
 
 // OnDone registers fn to run once when the job reaches a terminal state; if
@@ -113,13 +143,11 @@ func (h *Handle) TryResult() (JobResult, bool) {
 // parked on Done() per job. fn must not block.
 func (h *Handle) OnDone(fn func(JobResult)) {
 	h.mu.Lock()
-	select {
-	case <-h.done:
+	if h.completed {
 		res := h.res
 		h.mu.Unlock()
 		fn(res)
 		return
-	default:
 	}
 	h.cbs = append(h.cbs, fn)
 	h.mu.Unlock()
@@ -128,9 +156,12 @@ func (h *Handle) OnDone(fn func(JobResult)) {
 func (h *Handle) complete(res JobResult) {
 	h.mu.Lock()
 	h.res = res
+	h.completed = true
 	cbs := h.cbs
 	h.cbs = nil
-	close(h.done)
+	if h.done != nil {
+		close(h.done)
+	}
 	h.mu.Unlock()
 	for _, fn := range cbs {
 		fn(res)

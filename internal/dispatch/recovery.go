@@ -98,6 +98,10 @@ func (d *Dispatcher) recoverJournal() {
 			}
 		case journal.Completed:
 			delete(live, r.JobID)
+		case journal.Migrated:
+			// Terminal locally: the job now lives on (and is journaled by)
+			// the destination instance named in the record.
+			delete(live, r.JobID)
 		}
 		return nil
 	})
@@ -118,6 +122,7 @@ func (d *Dispatcher) recoverJournal() {
 		j.submitted = time.Now()
 		j.seq = d.subSeq.Add(1)
 		d.live[id] = struct{}{}
+		d.handles[id] = j.handle
 		d.stats.jobsReplayed.Add(1)
 		d.recovered = append(d.recovered, j.handle)
 		// Re-journal into the fresh post-open segment so Compact below can

@@ -53,6 +53,11 @@ const (
 	// Retried records a faulted job re-entering the queue; Attempt keeps
 	// the retry budget accounting across restarts.
 	Retried Kind = 4
+	// Migrated records the job leaving this journal's owner for another node
+	// (federation steal/rebalance, Node naming the destination). Terminal
+	// locally — recovery treats it like Completed — while the destination's
+	// own Submitted record carries the job's durability from then on.
+	Migrated Kind = 5
 )
 
 func (k Kind) String() string {
@@ -65,6 +70,8 @@ func (k Kind) String() string {
 		return "completed"
 	case Retried:
 		return "retried"
+	case Migrated:
+		return "migrated"
 	}
 	return "unknown"
 }
@@ -91,6 +98,10 @@ type Record struct {
 
 	// Retried payload.
 	Attempt int
+
+	// Migrated payload — and, in a router's routing-table journal, the
+	// instance a Submitted record assigned the job to.
+	Node string
 }
 
 // Journal persists dispatcher state transitions. Appends are buffered and

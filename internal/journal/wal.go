@@ -380,6 +380,8 @@ func encodeRecord(b []byte, r Record) []byte {
 		b = append(b, failed)
 	case Retried:
 		b = binary.LittleEndian.AppendUint32(b, uint32(r.Attempt))
+	case Migrated:
+		b = appendString(b, r.Node)
 	}
 	return b
 }
@@ -472,6 +474,8 @@ func decodeRecord(body []byte) (Record, error) {
 		r.Failed = d.u8() != 0
 	case Retried:
 		r.Attempt = int(d.u32())
+	case Migrated:
+		r.Node = d.str()
 	case Dispatched:
 	default:
 		return r, fmt.Errorf("journal: unknown record kind %d", r.Kind)

@@ -67,8 +67,10 @@ const binMagic = 0xBF
 var ErrCorruptFrame = errors.New("proto: corrupt binary frame")
 
 // Binary kind codes. The hot kinds (1-5) shipped with v2; the cold kinds
-// (6-10) with v2.1. Kinds without a code (no-work, shutdown) ride the JSON
-// fallback, which keeps that path continuously exercised on every
+// (6-10) with v2.1; the federation hot pair (11-12) with the router tier
+// (decoding stays per-frame self-describing, so no version bump). Kinds
+// without a code (no-work, shutdown, the federation control kinds) ride the
+// JSON fallback, which keeps that path continuously exercised on every
 // connection.
 const (
 	binWorkRequest = 1
@@ -81,6 +83,8 @@ const (
 	binStage       = 8
 	binStaged      = 9
 	binError       = 10
+	binPeerSubmit  = 11
+	binJobDone     = 12
 )
 
 // binKindOf maps a binary kind code to its Kind without decoding the frame
@@ -107,6 +111,10 @@ func binKindOf(code byte) (Kind, bool) {
 		return KindStaged, true
 	case binError:
 		return KindError, true
+	case binPeerSubmit:
+		return KindPeerSubmit, true
+	case binJobDone:
+		return KindJobDone, true
 	}
 	return "", false
 }
@@ -212,6 +220,38 @@ func appendBinary(buf []byte, e *Envelope) ([]byte, bool) {
 		buf = appendUvarint(buf, e.Seq)
 		buf = appendString(buf, e.Error)
 		return buf, true
+	case KindPeerSubmit:
+		if e.PeerSubmit == nil {
+			return buf, false
+		}
+		p := e.PeerSubmit
+		buf = append(buf, binMagic, binPeerSubmit)
+		buf = appendUvarint(buf, e.Seq)
+		buf = appendString(buf, p.JobID)
+		buf = appendString(buf, p.Cmd)
+		buf = appendString(buf, p.Dir)
+		buf = appendStrings(buf, p.Args)
+		buf = appendStrings(buf, p.Env)
+		buf = appendVarint(buf, int64(p.JobType))
+		buf = appendVarint(buf, int64(p.Priority))
+		buf = appendVarint(buf, int64(p.NProcs))
+		buf = appendVarint(buf, int64(p.WallLimit))
+		buf = appendVarint(buf, int64(p.Retries))
+		buf = appendBool(buf, p.Stolen)
+		return buf, true
+	case KindJobDone:
+		if e.JobDone == nil {
+			return buf, false
+		}
+		jd := e.JobDone
+		buf = append(buf, binMagic, binJobDone)
+		buf = appendUvarint(buf, e.Seq)
+		buf = appendString(buf, jd.JobID)
+		buf = appendString(buf, jd.Err)
+		buf = appendVarint(buf, int64(jd.Retries))
+		buf = appendBool(buf, jd.Failed)
+		buf = appendBool(buf, jd.Rejected)
+		return buf, true
 	default:
 		return buf, false
 	}
@@ -292,6 +332,30 @@ func decodeBinary(buf []byte) (*Envelope, error) {
 	case binError:
 		e.Kind = KindError
 		e.Error = r.str()
+	case binPeerSubmit:
+		e.Kind = KindPeerSubmit
+		p := &PeerSubmit{}
+		p.JobID = r.str()
+		p.Cmd = r.str()
+		p.Dir = r.str()
+		p.Args = r.strs()
+		p.Env = r.strs()
+		p.JobType = int(r.varint())
+		p.Priority = int(r.varint())
+		p.NProcs = int(r.varint())
+		p.WallLimit = time.Duration(r.varint())
+		p.Retries = int(r.varint())
+		p.Stolen = r.bool()
+		e.PeerSubmit = p
+	case binJobDone:
+		e.Kind = KindJobDone
+		jd := &JobDone{}
+		jd.JobID = r.str()
+		jd.Err = r.str()
+		jd.Retries = int(r.varint())
+		jd.Failed = r.bool()
+		jd.Rejected = r.bool()
+		e.JobDone = jd
 	default:
 		return nil, fmt.Errorf("%w: unknown kind code %d", ErrCorruptFrame, buf[1])
 	}

@@ -69,6 +69,15 @@ type Envelope struct {
 	Heartbeat *Heartbeat `json:"heartbeat,omitempty"`
 	Stage     *Stage     `json:"stage,omitempty"`
 	Error     string     `json:"error,omitempty"`
+
+	// Federation payloads (federate.go): router <-> dispatcher traffic.
+	PeerAttach   *PeerAttach   `json:"peer_attach,omitempty"`
+	PeerInfo     *PeerInfo     `json:"peer_info,omitempty"`
+	PeerSubmit   *PeerSubmit   `json:"peer_submit,omitempty"`
+	JobDone      *JobDone      `json:"job_done,omitempty"`
+	LoadReport   *LoadReport   `json:"load_report,omitempty"`
+	StealRequest *StealRequest `json:"steal_request,omitempty"`
+	StealReply   *StealReply   `json:"steal_reply,omitempty"`
 }
 
 // Register announces a worker to the dispatcher.
