@@ -606,6 +606,47 @@ func BenchmarkDispatchThroughputJournaled(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
+// BenchmarkDispatchThroughputSpilled is the journaled configuration with a
+// deliberately tiny hot queue window, so the submitted backlog spills to the
+// on-disk store and every job is rehydrated through the read-ahead refill
+// path before it dispatches. It prices the full spill round trip (encode,
+// segment write, pread, decode) on top of the WAL, the worst case for the
+// disk-backed cold queue.
+func BenchmarkDispatchThroughputSpilled(b *testing.B) {
+	runner := hydra.NewFuncRunner()
+	workload.RegisterApps(runner)
+	eng, err := core.NewEngine(core.Options{
+		LocalWorkers: 8, Runner: runner,
+		WriteCoalesce: 16,
+		DataDir:       b.TempDir(),
+		HotQueueJobs:  64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	b.ResetTimer()
+	handles := make([]*dispatch.Handle, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		h, err := eng.Submit(dispatch.Job{
+			Spec: hydra.JobSpec{JobID: fmt.Sprintf("s%d", i), NProcs: 1, Cmd: workload.NoopApp},
+			Type: dispatch.Sequential,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		if res := h.Wait(); res.Failed {
+			b.Fatal("job failed")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+	b.ReportMetric(float64(eng.Dispatcher().Stats().JobsSpilled)/float64(b.N), "spilled/job")
+}
+
 // BenchmarkFederatedThroughput measures aggregate sequential job throughput
 // with the work router in front of federated dispatcher instances (ISSUE 9),
 // against a single dispatcher serving the same total worker pool. The

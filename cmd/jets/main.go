@@ -59,6 +59,7 @@ func run() error {
 	federate := flag.Int("federate", 1, "dispatcher instances to run behind the work router (>=2 federates)")
 	peers := flag.String("peers", "", "comma-separated addresses of external dispatcher instances to federate with")
 	dataDir := flag.String("data-dir", "", "directory for the crash-safe dispatcher journal; on restart, uncompleted jobs from a previous run are recovered and re-run (empty disables durability)")
+	hotQueue := flag.Int("hot-queue", 0, "max fully-hydrated queued jobs held in memory per scheduling shard; the excess backlog spills to disk (0 = default, negative disables spilling)")
 	alertsOn := flag.Bool("alerts", false, "evaluate the default self-monitoring alert rules (log warnings, export jets_alert_firing, fail /healthz on critical rules)")
 	alertRules := flag.String("alert-rules", "", "load additional alert rules from this file (see internal/alerts.ParseRules; implies -alerts sources)")
 	flag.Parse()
@@ -116,6 +117,7 @@ func run() error {
 		WriteCoalesce:  *coalesce,
 		Obs:            reg,
 		DataDir:        *dataDir,
+		HotQueueJobs:   *hotQueue,
 		Federate:       *federate,
 		FederatePeers:  splitPeers(*peers),
 	})

@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -34,13 +35,17 @@ const fedJobs = 60
 // instance with no workers of its own. It announces its listen address on
 // stdout and then blocks until killed. JETS_FED_ADDR pins the listen address
 // (the restarted second life must rebind the first life's port, so it
-// retries the bind while the kernel releases it).
+// retries the bind while the kernel releases it). JETS_FED_HOT, when set,
+// caps the hot queue window so the instance's backlog crashes with its specs
+// in a durable spill store next to the journal.
 func helperFederateInstance() int {
-	wal, err := journal.OpenWAL(journal.Options{Dir: os.Getenv("JETS_FED_DIR")})
+	jdir := os.Getenv("JETS_FED_DIR")
+	wal, err := journal.OpenWAL(journal.Options{Dir: jdir})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "federate helper:", err)
 		return 1
 	}
+	hot, _ := strconv.Atoi(os.Getenv("JETS_FED_HOT"))
 	addr := os.Getenv("JETS_FED_ADDR")
 	if addr == "" {
 		addr = "127.0.0.1:0"
@@ -50,9 +55,11 @@ func helperFederateInstance() int {
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		d = dispatch.New(dispatch.Config{
-			Addr:     addr,
-			Instance: os.Getenv("JETS_FED_NAME"),
-			Journal:  wal,
+			Addr:         addr,
+			Instance:     os.Getenv("JETS_FED_NAME"),
+			Journal:      wal,
+			HotQueueJobs: hot,
+			SpillDir:     filepath.Join(jdir, "spill"),
 		})
 		bound, err = d.Start()
 		if err == nil {
@@ -70,7 +77,7 @@ func helperFederateInstance() int {
 }
 
 // startFedInstance forks one instance child and returns its address.
-func startFedInstance(t *testing.T, name, dir, addr string) (*exec.Cmd, string) {
+func startFedInstance(t *testing.T, name, dir, addr string, hot int) (*exec.Cmd, string) {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=TestMain")
 	cmd.Env = append(os.Environ(),
@@ -78,6 +85,7 @@ func startFedInstance(t *testing.T, name, dir, addr string) (*exec.Cmd, string) 
 		"JETS_FED_NAME="+name,
 		"JETS_FED_DIR="+dir,
 		"JETS_FED_ADDR="+addr,
+		fmt.Sprintf("JETS_FED_HOT=%d", hot),
 	)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
@@ -103,7 +111,15 @@ func startFedInstance(t *testing.T, name, dir, addr string) (*exec.Cmd, string) 
 	return cmd, bound
 }
 
-func TestFederatedCrashRecoveryKill9(t *testing.T) {
+func TestFederatedCrashRecoveryKill9(t *testing.T) { runFederatedCrashRecoveryKill9(t, 0) }
+
+// TestFederatedCrashRecoveryKill9Spilled is the same federated crash with a
+// one-job hot window per instance: the victim's backlog crashes with nearly
+// every spec in the on-disk spill store, and its second life must recover the
+// cold queue from there.
+func TestFederatedCrashRecoveryKill9Spilled(t *testing.T) { runFederatedCrashRecoveryKill9(t, 1) }
+
+func runFederatedCrashRecoveryKill9(t *testing.T, hot int) {
 	if testing.Short() {
 		t.Skip("forks real dispatcher processes")
 	}
@@ -115,7 +131,7 @@ func TestFederatedCrashRecoveryKill9(t *testing.T) {
 	dirs := make([]string, nInst)
 	for i := 0; i < nInst; i++ {
 		dirs[i] = t.TempDir()
-		cmds[i], addrs[i] = startFedInstance(t, fmt.Sprintf("inst%d", i), dirs[i], "")
+		cmds[i], addrs[i] = startFedInstance(t, fmt.Sprintf("inst%d", i), dirs[i], "", hot)
 	}
 	defer func() {
 		for _, c := range cmds {
@@ -218,7 +234,7 @@ func TestFederatedCrashRecoveryKill9(t *testing.T) {
 	// Second life: same journal directory, same address. The helper retries
 	// the bind until the port frees up; the router's peer link re-attaches
 	// and reconciles, and the pinned workers reconnect.
-	cmds[victim], _ = startFedInstance(t, fmt.Sprintf("inst%d", victim), dirs[victim], addrs[victim])
+	cmds[victim], _ = startFedInstance(t, fmt.Sprintf("inst%d", victim), dirs[victim], addrs[victim], hot)
 
 	for i, h := range handles {
 		select {

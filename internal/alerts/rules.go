@@ -32,6 +32,9 @@ import (
 //   - queue-depth (warning): sustained deep backlog.
 //   - trace-drops (warning): lifecycle trace events lost to observer
 //     backpressure inside the window.
+//   - journal-errors (critical): journal records dropped inside the window —
+//     the WAL's degraded-mode buffer overflowed, so job state written during
+//     the outage is not durable and a crash there loses work.
 func ForDispatcher(d *dispatch.Dispatcher) []Rule {
 	return []Rule{
 		{
@@ -84,6 +87,14 @@ func ForDispatcher(d *dispatch.Dispatcher) []Rule {
 		{
 			Name: "trace-drops", Severity: Warning,
 			Counter:   func() int64 { return int64(d.DroppedEvents()) },
+			Op:        Above,
+			Threshold: 0,
+			Window:    30 * time.Second,
+			Hold:      10 * time.Second,
+		},
+		{
+			Name: "journal-errors", Severity: Critical,
+			Counter:   func() int64 { return int64(d.Stats().JournalErrors) },
 			Op:        Above,
 			Threshold: 0,
 			Window:    30 * time.Second,

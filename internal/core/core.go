@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -91,6 +92,15 @@ type Options struct {
 	// tool's -data-dir flag. Jobs accepted by a previous run that never
 	// completed are rebuilt at startup; RecoveredJobs exposes their handles.
 	DataDir string
+	// HotQueueJobs bounds the fully-hydrated in-memory queue window per
+	// scheduling shard; the excess backlog spills to disk as a cold tail
+	// (see dispatch.Config.HotQueueJobs). 0 uses the dispatcher default;
+	// negative disables spilling.
+	HotQueueJobs int
+	// CompactSegments triggers an online journal checkpoint once the WAL
+	// exceeds that many segment files (see dispatch.Config.CompactSegments).
+	// 0 uses the dispatcher default; negative disables online compaction.
+	CompactSegments int
 	// Federate, when >= 2, runs that many dispatcher instances in this
 	// process behind a work router (internal/router): submissions partition
 	// across the instances by consistent hash with least-loaded fallback,
@@ -150,6 +160,9 @@ func NewEngine(opts Options) (*Engine, error) {
 		WriteCoalesce:    opts.WriteCoalesce,
 		Obs:              opts.Obs,
 		Journal:          jnl,
+		HotQueueJobs:     opts.HotQueueJobs,
+		CompactSegments:  opts.CompactSegments,
+		SpillDir:         spillDir(opts.DataDir),
 	})
 	if opts.Obs != nil {
 		hydra.RegisterMetrics(opts.Obs)
@@ -202,6 +215,17 @@ func NewEngine(opts Options) (*Engine, error) {
 		time.Sleep(time.Millisecond)
 	}
 	return e, nil
+}
+
+// spillDir derives the cold-queue spill directory from a data directory:
+// specs spilled to disk live beside the journal they are referenced from, so
+// recovery after a restart finds both or neither. Empty (no DataDir) keeps
+// the dispatcher's ephemeral temp-dir store.
+func spillDir(dataDir string) string {
+	if dataDir == "" {
+		return ""
+	}
+	return filepath.Join(dataDir, "spill")
 }
 
 // Addr returns the dispatcher endpoint for external workers (the first

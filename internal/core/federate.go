@@ -53,6 +53,10 @@ func newFederatedEngine(opts Options) (*Engine, error) {
 		if i == 0 {
 			listen = opts.ListenAddr // a fixed endpoint can only go to one instance
 		}
+		spill := ""
+		if opts.DataDir != "" {
+			spill = spillDir(filepath.Join(opts.DataDir, name))
+		}
 		d := dispatch.New(dispatch.Config{
 			Addr:             listen,
 			Instance:         name,
@@ -71,6 +75,9 @@ func newFederatedEngine(opts Options) (*Engine, error) {
 			WriteCoalesce:    opts.WriteCoalesce,
 			Obs:              opts.Obs,
 			Journal:          jnl,
+			HotQueueJobs:     opts.HotQueueJobs,
+			CompactSegments:  opts.CompactSegments,
+			SpillDir:         spill,
 		})
 		addr, err := d.Start()
 		if err != nil {

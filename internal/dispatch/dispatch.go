@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -128,7 +129,38 @@ type Config struct {
 	// re-submitting after a crash is always safe because completed jobs
 	// dedupe by ID at recovery.
 	Journal journal.Journal
+	// HotQueueJobs bounds the fully-hydrated jobs held in memory per
+	// scheduling shard. Beyond it, newly placed jobs are spilled: the queue
+	// keeps only the job's ID and scheduling metadata while the full spec is
+	// persisted in a SpillStore, and a read-ahead path rehydrates specs in
+	// batches as the hot window drains (spill.go). Zero means the default
+	// (131072 per shard — generous enough that ordinary workloads never
+	// spill); negative disables spilling entirely, restoring the unbounded
+	// in-memory queue.
+	HotQueueJobs int
+	// SpillDir is the spill store's directory. Set it alongside Journal
+	// (the engine uses <DataDir>/spill) so spilled specs survive restarts —
+	// required for journal checkpoints to reference them via SpillRef
+	// records. Empty uses a throwaway temp directory created on first
+	// spill and removed at Close: spilling still bounds memory, but
+	// checkpoints then re-journal cold specs in full.
+	SpillDir string
+	// CompactSegments triggers an online journal checkpoint (re-journal the
+	// live state, drop older segments) whenever the journal spans more than
+	// this many segment files, bounding WAL growth over a long uptime —
+	// without it, segments were only compacted during restart recovery.
+	// Zero means the default (8); negative disables online checkpoints.
+	// Effective only when the journal implements journal.Checkpointer.
+	CompactSegments int
 }
+
+// DefaultHotQueueJobs is the per-shard hot-window bound applied when
+// Config.HotQueueJobs is zero.
+const DefaultHotQueueJobs = 131072
+
+// defaultCompactSegments is the checkpoint threshold applied when
+// Config.CompactSegments is zero.
+const defaultCompactSegments = 8
 
 // Stats are cumulative dispatcher counters.
 type Stats struct {
@@ -143,9 +175,16 @@ type Stats struct {
 	// (work stealing or cross-shard MPI group assembly).
 	Steals int
 	// JournalErrors counts records dropped because the journal's append
-	// failed (sticky after the WAL's first write/fsync error): nonzero means
-	// the dispatcher is running without durability.
+	// failed with its retry buffer full: those records are gone for good,
+	// so nonzero means the dispatcher lost durability for part of its
+	// workload. (A transient write/fsync failure alone no longer counts —
+	// the WAL buffers and retries; see Dispatcher.JournalDegraded for the
+	// live signal.)
 	JournalErrors int
+	// JobsSpilled counts jobs whose specs were written to the spill store
+	// (cold-queue tail); SpillReads counts rehydration read batches.
+	JobsSpilled int
+	SpillReads  int
 }
 
 // statsCounters is the lock-free internal form of Stats.
@@ -160,6 +199,9 @@ type statsCounters struct {
 	steals          atomic.Int64
 	jobsReplayed    atomic.Int64
 	journalErrors   atomic.Int64
+	jobsSpilled     atomic.Int64
+	spillBytes      atomic.Int64
+	spillReads      atomic.Int64
 }
 
 // outFrame is one entry in a worker's send queue: either a typed envelope
@@ -295,6 +337,23 @@ type Dispatcher struct {
 	recoveryErr    error
 	journalLogOnce sync.Once
 
+	// Queue spill (spill.go): the hot-window bound, the spill store holding
+	// cold jobs' specs, and the checkpoint trigger state. spillMu guards the
+	// lazy ephemeral open; spill itself is internally synchronized and, once
+	// set, never changes. retrying holds the jobs parked in retry-backoff
+	// timers (under mu) so checkpoints can re-journal their specs — the
+	// timer closures alone made them unreachable.
+	hotMax       int
+	spillMu      sync.Mutex // guards the lazy ephemeral open (spill writes, spillFailed, spillTmpDir)
+	spill        atomic.Pointer[journal.SpillStore]
+	spillDurable bool   // SpillDir configured: specs survive restarts
+	spillFailed  bool   // ephemeral open failed once; don't retry every push
+	spillTmpDir  string // ephemeral dir to remove at Close
+	spillErrOnce sync.Once
+	retrying     map[string]*Job
+	checkpointMu      sync.Mutex // serializes CompactJournal runs
+	checkpointLogOnce sync.Once
+
 	stats statsCounters
 	ins   *instruments
 
@@ -356,6 +415,12 @@ func New(cfg Config) *Dispatcher {
 	if cfg.RetryBackoffMax < cfg.RetryBackoff {
 		cfg.RetryBackoffMax = cfg.RetryBackoff
 	}
+	if cfg.HotQueueJobs == 0 {
+		cfg.HotQueueJobs = DefaultHotQueueJobs
+	}
+	if cfg.CompactSegments == 0 {
+		cfg.CompactSegments = defaultCompactSegments
+	}
 	d := &Dispatcher{
 		cfg:       cfg,
 		shards:    newShards(cfg.Shards, func() QueuePolicy { return cfg.NewQueue() }),
@@ -363,16 +428,34 @@ func New(cfg Config) *Dispatcher {
 		running:   make(map[string]*runningJob),
 		live:      make(map[string]struct{}),
 		handles:   make(map[string]*Handle),
+		retrying:  make(map[string]*Job),
 		jnl:       cfg.Journal,
+		hotMax:    cfg.HotQueueJobs,
 		idleWait:  make(chan struct{}),
 		retryQuit: make(chan struct{}),
 		ins:       newInstruments(cfg.Instance),
+	}
+	if cfg.SpillDir != "" && d.hotMax > 0 {
+		// A configured spill directory opens eagerly: recovery may need it to
+		// resolve SpillRef records from a checkpointed journal, and its
+		// surviving entries are swept against the recovered live set.
+		sp, err := journal.OpenSpill(cfg.SpillDir, 0)
+		if err != nil {
+			d.recoveryErr = fmt.Errorf("dispatch: opening spill store: %w", err)
+		} else {
+			d.spill.Store(sp)
+			d.spillDurable = true
+		}
 	}
 	if cfg.Obs != nil {
 		d.registerObs(cfg.Obs)
 	}
 	if d.jnl != nil {
 		d.recoverJournal()
+	} else if sp := d.spill.Load(); sp != nil {
+		// No journal: nothing on disk is live. Drop leftovers from a
+		// previous run so stale specs cannot accumulate.
+		sp.RetainOnly(nil)
 	}
 	return d
 }
@@ -814,8 +897,15 @@ func (d *Dispatcher) requeue(j *Job) {
 	// The job is visible to Drain through pendingRetries until placeJob has
 	// pushed it (the decrement happens after the push, and both Drain's
 	// check and the push run under the shard locks, so Drain can never see
-	// the job in neither place).
+	// the job in neither place). The retrying map keeps the parked job's
+	// spec reachable for journal checkpoints — the timer closure alone made
+	// it unreachable; it is cleared only after the placement lands, so a
+	// checkpoint snapshot always sees the job somewhere (the overlap
+	// window is deduped by ID).
 	d.pendingRetries.Add(1)
+	d.mu.Lock()
+	d.retrying[j.Spec.JobID] = j
+	d.mu.Unlock()
 	go func() {
 		t := time.NewTimer(delay)
 		defer t.Stop()
@@ -824,6 +914,7 @@ func (d *Dispatcher) requeue(j *Job) {
 			d.placeJob(j, true)
 			d.pendingRetries.Add(-1)
 			d.mu.Lock()
+			delete(d.retrying, j.Spec.JobID)
 			d.kickLocked()
 			d.mu.Unlock()
 			if d.closed.Load() {
@@ -836,6 +927,9 @@ func (d *Dispatcher) requeue(j *Job) {
 			// With a journal the job is still durably live and recovers on
 			// the next start.
 			d.pendingRetries.Add(-1)
+			d.mu.Lock()
+			delete(d.retrying, j.Spec.JobID)
+			d.mu.Unlock()
 			d.failStranded(j)
 			d.mu.Lock()
 			d.kickLocked()
@@ -1015,10 +1109,14 @@ func (d *Dispatcher) finalizeLocked(rj *runningJob, overrideErr string) *Job {
 		d.emit(Event{Kind: EvJobFailed, JobID: rj.job.Spec.JobID, Detail: rj.errMsg})
 	}
 	// Terminal: the Completed record dedupes the job at recovery, and the ID
-	// becomes submittable again.
+	// becomes submittable again. A once-spilled job's spec leaves the spill
+	// store's custody here (Remove is a no-op for never-spilled jobs).
 	delete(d.live, rj.job.Spec.JobID)
 	delete(d.handles, rj.job.Spec.JobID)
 	d.journal(journal.Record{Kind: journal.Completed, JobID: rj.job.Spec.JobID, Failed: rj.failed})
+	if sp := d.spillLoaded(); sp != nil {
+		sp.Remove(rj.job.Spec.JobID)
+	}
 	rj.job.handle.complete(JobResult{
 		JobID:       rj.job.Spec.JobID,
 		Failed:      rj.failed,
@@ -1045,6 +1143,7 @@ func (d *Dispatcher) janitor() {
 		if d.closed.Load() {
 			return
 		}
+		d.maybeCheckpoint()
 		cutoff := time.Now().Add(-d.cfg.HeartbeatTimeout).UnixNano()
 		var expired []*workerConn
 		d.mu.Lock()
@@ -1186,7 +1285,7 @@ func (d *Dispatcher) Drain(ctx context.Context) error {
 		d.lockAll()
 		queued := 0
 		for _, s := range d.shards {
-			queued += s.queue.Len()
+			queued += s.depthLocked()
 		}
 		// Read inside the locked region: a retry's decrement happens after
 		// its placeJob push, which needs a shard lock held here — so a zero
@@ -1262,6 +1361,17 @@ func (d *Dispatcher) Close() error {
 			err = jerr
 		}
 	}
+	d.spillMu.Lock()
+	sp, tmp := d.spill.Load(), d.spillTmpDir
+	d.spillMu.Unlock()
+	if sp != nil {
+		if serr := sp.Close(); err == nil {
+			err = serr
+		}
+	}
+	if tmp != "" {
+		os.RemoveAll(tmp) // ephemeral spill: nothing durable referenced it
+	}
 	return err
 }
 
@@ -1291,6 +1401,7 @@ func (d *Dispatcher) reserveID(id string, h *Handle) bool {
 // outlive Close unresolved.
 func (d *Dispatcher) failQueued() {
 	var stranded []*Job
+	var cold []coldJob
 	d.lockAll()
 	for _, s := range d.shards {
 		for {
@@ -1300,18 +1411,49 @@ func (d *Dispatcher) failQueued() {
 			}
 			stranded = append(stranded, j)
 		}
+		// The cold tail strands too; entries mid-refill stay with the refill
+		// goroutine, whose own post-push closed check re-runs this sweep.
+		cold = append(cold, s.cold...)
+		s.cold = nil
 		s.refreshHead()
 	}
 	d.unlockAll()
-	if len(stranded) == 0 {
+	if len(stranded) == 0 && len(cold) == 0 {
 		return
 	}
 	for _, j := range stranded {
 		d.failStranded(j)
 	}
+	for _, cj := range cold {
+		d.failColdStranded(cj)
+	}
 	d.mu.Lock()
 	d.kickLocked()
 	d.mu.Unlock()
+}
+
+// failColdStranded resolves a spilled job Close stranded in the cold tail.
+// Like failStranded, no Completed record is cut and the spill entry is kept:
+// with a durable journal the job recovers on the next start. The handle is
+// claimed by deleting its index entry, so a racing sweep (failQueued runs
+// from several paths) completes it exactly once.
+func (d *Dispatcher) failColdStranded(cj coldJob) {
+	d.mu.Lock()
+	h, ok := d.handles[cj.id]
+	delete(d.live, cj.id)
+	delete(d.handles, cj.id)
+	d.mu.Unlock()
+	if !ok {
+		return
+	}
+	d.stats.jobsFailed.Add(1)
+	d.emit(Event{Kind: EvJobFailed, JobID: cj.id, Detail: ErrDispatcherClosed.Error()})
+	h.complete(JobResult{
+		JobID:   cj.id,
+		Failed:  true,
+		Err:     ErrDispatcherClosed.Error(),
+		Retries: int(cj.retries),
+	})
 }
 
 // failStranded resolves the handle of one job Close stranded (in a queue or
@@ -1390,6 +1532,8 @@ func (d *Dispatcher) Stats() Stats {
 		WorkersLost:     int(d.stats.workersLost.Load()),
 		Steals:          int(d.stats.steals.Load()),
 		JournalErrors:   int(d.stats.journalErrors.Load()),
+		JobsSpilled:     int(d.stats.jobsSpilled.Load()),
+		SpillReads:      int(d.stats.spillReads.Load()),
 	}
 }
 

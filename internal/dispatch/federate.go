@@ -66,47 +66,106 @@ func (d *Dispatcher) StealQueued(max int, dest string) []StolenJob {
 	if max <= 0 {
 		return nil
 	}
-	var jobs []*Job
+	// One extracted job: a hydrated hot job, or a cold-tail entry whose spec
+	// is read back after the locks drop. Cold entries are moved by ID under
+	// the multi-lock — stealing never forces a disk read into the locked
+	// region — and hydrated in a single batched spill read below. Entries a
+	// refill pass has already claimed (s.refill) stay put.
+	type stealEntry struct {
+		j    *Job
+		cj   coldJob
+		cold bool
+	}
+	var entries []stealEntry
 	d.lockAll()
-	for len(jobs) < max {
+	for len(entries) < max {
 		// Exact global minimum under the full multi-lock, mirroring
 		// launchStolen: steal the oldest queued work so the destination's
 		// front-of-queue placement approximates the federation-wide FIFO.
-		best, bestSeq := -1, noJob
+		best, bestSeq, bestCold := -1, noJob, false
 		for i, s := range d.shards {
 			if j := s.queue.Peek(); j != nil && j.seq < bestSeq {
-				best, bestSeq = i, j.seq
+				best, bestSeq, bestCold = i, j.seq, false
+			}
+			if len(s.cold) > 0 && s.cold[0].seq < bestSeq {
+				best, bestSeq, bestCold = i, s.cold[0].seq, true
 			}
 		}
 		if best < 0 {
 			break
 		}
 		s := d.shards[best]
+		if bestCold {
+			cj := s.cold[0]
+			s.cold = s.cold[:copy(s.cold, s.cold[1:])]
+			s.refreshHead()
+			entries = append(entries, stealEntry{cj: cj, cold: true})
+			continue
+		}
 		j := s.queue.Next(math.MaxInt)
 		s.refreshHead()
 		if j == nil {
 			break
 		}
-		jobs = append(jobs, j)
+		entries = append(entries, stealEntry{j: j})
 	}
 	d.unlockAll()
-	if len(jobs) == 0 {
+	if len(entries) == 0 {
 		return nil
 	}
+	var coldIDs []string
+	for _, e := range entries {
+		if e.cold {
+			coldIDs = append(coldIDs, e.cj.id)
+		}
+	}
+	var recs map[string]journal.Record
+	sp := d.spillLoaded()
+	if len(coldIDs) > 0 && sp != nil {
+		var err error
+		recs, err = sp.GetBatch(coldIDs)
+		d.stats.spillReads.Add(1)
+		if err != nil {
+			d.spillFailure(err)
+		}
+	}
 	d.mu.Lock()
-	for _, j := range jobs {
+	for _, e := range entries {
 		// Release the ID reservation and the handle index: the job is no
 		// longer this instance's. The local handle is abandoned unresolved —
 		// the routing tier owns the client-facing handle (see NewHandle).
-		delete(d.live, j.Spec.JobID)
-		delete(d.handles, j.Spec.JobID)
+		id := e.cj.id
+		if !e.cold {
+			id = e.j.Spec.JobID
+		}
+		delete(d.live, id)
+		delete(d.handles, id)
 	}
 	d.mu.Unlock()
-	out := make([]StolenJob, 0, len(jobs))
-	for _, j := range jobs {
-		d.journal(journal.Record{Kind: journal.Migrated, JobID: j.Spec.JobID, Node: dest})
-		d.emit(Event{Kind: EvJobMigrated, JobID: j.Spec.JobID, Detail: dest})
-		out = append(out, StolenJob{Spec: j.Spec, Type: j.Type, Priority: j.Priority, Retries: j.retries})
+	out := make([]StolenJob, 0, len(entries))
+	for _, e := range entries {
+		if e.cold {
+			rec, ok := recs[e.cj.id]
+			if !ok {
+				// Spec unreadable: terminal-fail locally so neither instance
+				// resurrects a job nobody can reconstruct.
+				d.stats.jobsFailed.Add(1)
+				d.journal(journal.Record{Kind: journal.Completed, JobID: e.cj.id, Failed: true})
+				d.emit(Event{Kind: EvJobFailed, JobID: e.cj.id, Detail: "spilled job spec unreadable"})
+				continue
+			}
+			j := jobFromRecord(rec)
+			j.retries = int(e.cj.retries)
+			e.j = j
+		}
+		d.journal(journal.Record{Kind: journal.Migrated, JobID: e.j.Spec.JobID, Node: dest})
+		if sp != nil {
+			// Migration ends the spill's custody: the Migrated record is
+			// terminal locally and the destination journals its own Submitted.
+			sp.Remove(e.j.Spec.JobID)
+		}
+		d.emit(Event{Kind: EvJobMigrated, JobID: e.j.Spec.JobID, Detail: dest})
+		out = append(out, StolenJob{Spec: e.j.Spec, Type: e.j.Type, Priority: e.j.Priority, Retries: e.j.retries})
 	}
 	return out
 }

@@ -57,43 +57,58 @@ func submittedRecord(j *Job) journal.Record {
 	}
 }
 
+// jobFromRecord rebuilds a job from its durable Submitted record (the exact
+// inverse of submittedRecord); used by replay and by spill rehydration.
+func jobFromRecord(r journal.Record) *Job {
+	return &Job{
+		Spec: hydra.JobSpec{
+			JobID:     r.JobID,
+			NProcs:    r.NProcs,
+			Cmd:       r.Cmd,
+			Args:      r.Args,
+			Env:       r.Env,
+			Dir:       r.Dir,
+			WallLimit: r.WallLimit,
+		},
+		Type:     JobType(r.JobType),
+		Priority: r.Priority,
+	}
+}
+
 // recoverJournal rebuilds the scheduling state from the journal. Called from
 // New before any concurrency exists; placement still takes the shard locks
 // it would under load.
 func (d *Dispatcher) recoverJournal() {
 	type jobState struct {
-		job        *Job
+		job        *Job // nil for spill-resident jobs (spec lives in the spill store)
 		dispatched bool
+		spilled    bool
+		attempt    int
 	}
 	var order []string // first-submission order, preserved on requeue
 	live := make(map[string]*jobState)
-	d.recoveryErr = d.jnl.Replay(func(r journal.Record) error {
+	if err := d.jnl.Replay(func(r journal.Record) error {
 		switch r.Kind {
 		case journal.Submitted:
-			j := &Job{
-				Spec: hydra.JobSpec{
-					JobID:     r.JobID,
-					NProcs:    r.NProcs,
-					Cmd:       r.Cmd,
-					Args:      r.Args,
-					Env:       r.Env,
-					Dir:       r.Dir,
-					WallLimit: r.WallLimit,
-				},
-				Type:     JobType(r.JobType),
-				Priority: r.Priority,
-			}
 			if _, seen := live[r.JobID]; !seen {
 				order = append(order, r.JobID)
 			}
-			live[r.JobID] = &jobState{job: j}
+			live[r.JobID] = &jobState{job: jobFromRecord(r)}
+		case journal.SpillRef:
+			// Checkpoint reference: the job is live, its spec in the spill
+			// store. Re-placement below keeps it cold — a million-job backlog
+			// recovers without reading (or re-journaling) a million specs.
+			if _, seen := live[r.JobID]; !seen {
+				order = append(order, r.JobID)
+			}
+			live[r.JobID] = &jobState{spilled: true, attempt: r.Attempt}
 		case journal.Dispatched:
 			if s := live[r.JobID]; s != nil {
 				s.dispatched = true
 			}
 		case journal.Retried:
 			if s := live[r.JobID]; s != nil {
-				s.job.retries = r.Attempt
+				s.attempt = r.Attempt
 				s.dispatched = false // back in a queue when the record was cut
 			}
 		case journal.Completed:
@@ -104,7 +119,9 @@ func (d *Dispatcher) recoverJournal() {
 			delete(live, r.JobID)
 		}
 		return nil
-	})
+	}); err != nil {
+		d.recoveryErr = errors.Join(d.recoveryErr, err)
+	}
 
 	for _, id := range order {
 		s, ok := live[id]
@@ -118,6 +135,44 @@ func (d *Dispatcher) recoverJournal() {
 		// of recovering — and double-completing — the same *Job twice.
 		delete(live, id)
 		j := s.job
+		if j == nil {
+			// Spill-resident. A still-cold job goes straight back to a cold
+			// tail by reference; one the old process had rehydrated and
+			// dispatched needs its spec now, to ride the requeue path.
+			if sp := d.spillLoaded(); sp == nil {
+				d.recoveryErr = errors.Join(d.recoveryErr,
+					fmt.Errorf("dispatch: journal references spilled job %q but no spill store is configured", id))
+				continue
+			}
+			if !s.dispatched {
+				h := newHandle(id)
+				d.live[id] = struct{}{}
+				d.handles[id] = h
+				d.stats.jobsReplayed.Add(1)
+				d.recovered = append(d.recovered, h)
+				d.journal(journal.Record{Kind: journal.SpillRef, JobID: id, Attempt: s.attempt})
+				d.placeCold(coldJob{
+					id:        id,
+					seq:       d.subSeq.Add(1),
+					submitted: time.Now().UnixNano(),
+					retries:   int32(s.attempt),
+				})
+				continue
+			}
+			rec, found, err := d.spillLoaded().Get(id)
+			if err != nil || !found {
+				d.recoveryErr = errors.Join(d.recoveryErr,
+					fmt.Errorf("dispatch: spilled spec for recovered job %q unreadable (err=%v)", id, err))
+				// Cut a terminal record so the unresolvable reference does not
+				// replay forever.
+				d.journal(journal.Record{Kind: journal.Completed, JobID: id, Failed: true})
+				continue
+			}
+			j = jobFromRecord(rec)
+			// The spec re-enters memory for the requeue; its spill entry stays
+			// until a terminal record exists, like any rehydration.
+		}
+		j.retries = s.attempt
 		j.handle = newHandle(id)
 		j.submitted = time.Now()
 		j.seq = d.subSeq.Add(1)
@@ -138,6 +193,22 @@ func (d *Dispatcher) recoverJournal() {
 			d.requeue(j)
 		} else {
 			d.placeJob(j, false)
+		}
+	}
+	if sp := d.spillLoaded(); sp != nil {
+		// Sweep spill entries whose jobs the journal shows terminal — without
+		// this, completed-then-compacted history leaks specs forever.
+		keep := make(map[string]struct{}, len(d.live))
+		for id := range d.live {
+			keep[id] = struct{}{}
+		}
+		sp.RetainOnly(keep)
+		// Cold tails placed above refill lazily; kick the first pass so a
+		// worker arriving before any pop still finds hot work.
+		for _, s := range d.shards {
+			s.mu.Lock()
+			d.maybeRefillLocked(s)
+			s.mu.Unlock()
 		}
 	}
 	// The replayed history may only be compacted away once the re-journaled

@@ -30,6 +30,17 @@ import (
 // noJob is the headSeq sentinel for an empty shard queue.
 const noJob = int64(math.MaxInt64)
 
+// coldJob is the in-memory footprint of a spilled job: the identity, the
+// submit sequence that arbitrates global order, and the retry budget. The
+// full spec lives in the dispatcher's spill store; the handle stays reachable
+// through d.handles (every live job is indexed there for its whole life).
+type coldJob struct {
+	id        string
+	seq       int64
+	submitted int64 // unix nanos, restored on rehydration for queue-wait stats
+	retries   int32
+}
+
 // shard is one slice of the scheduling state.
 type shard struct {
 	idx int
@@ -38,12 +49,33 @@ type shard struct {
 	idle  *idleSet
 	queue QueuePolicy
 
+	// The cold tail (spill.go): jobs past the hot-window bound, FIFO by
+	// submission. Invariant: once cold is non-empty every new push goes
+	// cold, so within a shard all cold seqs exceed all hot pushed seqs
+	// (requeued retries go hot at the front regardless — they are old by
+	// definition and bounded by in-flight work, not backlog). refill holds
+	// the batch an in-flight rehydration pass has claimed: out of cold, not
+	// yet pushed hot, but still counted queued and snapshot-visible.
+	cold         []coldJob
+	refill       []coldJob
+	refillActive bool
+
 	// Advisory mirrors of the locked state, maintained under mu and read
-	// lock-free by the scheduling pass and the stats accessors.
+	// lock-free by the scheduling pass and the stats accessors. headSeq and
+	// headProcs mirror only the hot window: a shard whose hot queue drained
+	// while the cold tail waits on a refill looks empty to the advisory
+	// scan until the refill lands and reschedules.
 	headSeq   atomic.Int64 // submit seq of queue.Peek(), noJob when empty
 	headProcs atomic.Int64 // Procs() of queue.Peek(), 0 when empty
 	nIdle     atomic.Int64 // idle.Len()
-	qlen      atomic.Int64 // queue.Len()
+	qlen      atomic.Int64 // hot + cold + mid-refill depth
+	coldN     atomic.Int64 // cold + mid-refill depth
+}
+
+// depthLocked is the shard's full queued depth: hot window, cold tail, and
+// any batch mid-rehydration. Caller holds s.mu.
+func (s *shard) depthLocked() int {
+	return s.queue.Len() + len(s.cold) + len(s.refill)
 }
 
 func newShards(n int, newQueue func() QueuePolicy) []*shard {
@@ -84,7 +116,8 @@ func (s *shard) refreshHead() {
 		s.headSeq.Store(noJob)
 		s.headProcs.Store(0)
 	}
-	s.qlen.Store(int64(s.queue.Len()))
+	s.qlen.Store(int64(s.depthLocked()))
+	s.coldN.Store(int64(len(s.cold) + len(s.refill)))
 }
 
 // addIdle parks a worker. Caller holds s.mu.

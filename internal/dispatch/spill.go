@@ -1,0 +1,497 @@
+package dispatch
+
+// Queue spill: the machinery that bounds the dispatcher's memory footprint
+// under a cold backlog far larger than the worker pool can drain. Each shard
+// keeps a *hot window* of at most Config.HotQueueJobs fully hydrated jobs;
+// beyond it, a newly placed job's spec is persisted in a journal.SpillStore
+// and the shard remembers only a coldJob — ID, submit sequence, and retry
+// budget. A read-ahead pass (refillLoop) rehydrates specs in batches as the
+// hot window drains, off the scheduler locks, so placement latency never pays
+// for a disk read.
+//
+// Ordering: within a shard, cold jobs refill into the hot queue in submission
+// order, and the hot/cold split preserves per-shard FIFO (pushes go cold
+// whenever the cold tail is non-empty, so no new job overtakes a spilled
+// one). Across shards, the global sequence arbitration only sees hot heads:
+// once backlogs are deep enough to spill, cross-shard FIFO is approximate —
+// a deliberate trade, since a spilling dispatcher is by definition running
+// days ahead of its workers. Priority policies likewise apply within the hot
+// window only; the cold tail is strictly FIFO.
+//
+// Durability: spilled specs are the Submitted record encoding. When
+// Config.SpillDir is set the store survives restarts and online journal
+// checkpoints reference spilled jobs with tiny SpillRef records instead of
+// re-copying a million specs into the WAL; with an ephemeral (temp-dir)
+// store, checkpoints read the cold specs back and re-journal them in full.
+// A spill entry is removed only when the job leaves the spill's custody for
+// good — terminal state, migration to a peer, or recovery re-placement —
+// never on rehydration, because after a checkpoint the spill entry is the
+// only durable copy of a once-spilled job's spec.
+//
+// This file also owns the online WAL checkpoint (CompactJournal /
+// maybeCheckpoint): re-journal the live state into a fresh segment and drop
+// the older ones, bounding journal growth over an arbitrarily long uptime.
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"jets/internal/journal"
+)
+
+// refillBatch bounds how many cold jobs one rehydration pass claims — and
+// therefore the largest GetBatch read and the burst of hot pushes taken under
+// one shard-lock acquisition.
+const refillBatch = 1024
+
+// refillLow is the hot-window watermark below which a pop triggers
+// rehydration of the cold tail.
+func (d *Dispatcher) refillLow() int {
+	low := d.hotMax / 2
+	if low < 1 {
+		low = 1
+	}
+	return low
+}
+
+// pushJob places a submitted job in the shard: hot while the window has room
+// and the cold tail is empty, spilled otherwise. A spill failure (store
+// unavailable, disk error) degrades to the unbounded in-memory queue rather
+// than losing the job. Caller holds s.mu; reports whether the job spilled.
+func (d *Dispatcher) pushJob(s *shard, j *Job) bool {
+	if d.hotMax > 0 && (len(s.cold) > 0 || len(s.refill) > 0 || s.queue.Len() >= d.hotMax) {
+		if d.spillLocked(s, j) {
+			return true
+		}
+	}
+	s.push(j)
+	return false
+}
+
+// spillLocked persists j's spec and appends its coldJob to the shard's cold
+// tail. Caller holds s.mu; reports false when the spec could not be stored.
+func (d *Dispatcher) spillLocked(s *shard, j *Job) bool {
+	sp := d.spillStore()
+	if sp == nil {
+		return false
+	}
+	n, err := sp.Put(submittedRecord(j))
+	if err != nil {
+		d.spillFailure(err)
+		return false
+	}
+	d.stats.jobsSpilled.Add(1)
+	d.stats.spillBytes.Add(int64(n))
+	s.cold = append(s.cold, coldJob{
+		id:        j.Spec.JobID,
+		seq:       j.seq,
+		submitted: j.submitted.UnixNano(),
+		retries:   int32(j.retries),
+	})
+	s.refreshHead()
+	return true
+}
+
+// placeCold appends an already-spilled job (recovery re-placement of a
+// SpillRef) to a shard's cold tail without touching the spill store: the
+// entry written by the previous process is still the spec's durable home.
+func (d *Dispatcher) placeCold(cj coldJob) {
+	s := d.shards[int(d.subRR.Add(1)-1)%len(d.shards)]
+	s.mu.Lock()
+	s.cold = append(s.cold, cj)
+	s.refreshHead()
+	s.mu.Unlock()
+	d.emit(Event{Kind: EvJobQueued, JobID: cj.id, Detail: "spilled"})
+}
+
+// spillLoaded returns the spill store if one is open, without creating it.
+func (d *Dispatcher) spillLoaded() *journal.SpillStore { return d.spill.Load() }
+
+// spillStore returns the spill store, opening the ephemeral temp-directory
+// one on first use when no SpillDir was configured. nil means spilling is
+// unavailable (open failed, or the dispatcher is closing).
+func (d *Dispatcher) spillStore() *journal.SpillStore {
+	if sp := d.spill.Load(); sp != nil {
+		return sp
+	}
+	d.spillMu.Lock()
+	defer d.spillMu.Unlock()
+	if sp := d.spill.Load(); sp != nil {
+		return sp
+	}
+	if d.closed.Load() || d.spillFailed {
+		return nil
+	}
+	dir, err := os.MkdirTemp("", "jets-spill-*")
+	if err != nil {
+		d.spillFailed = true
+		d.spillFailure(err)
+		return nil
+	}
+	sp, err := journal.OpenSpill(dir, 0)
+	if err != nil {
+		os.RemoveAll(dir)
+		d.spillFailed = true
+		d.spillFailure(err)
+		return nil
+	}
+	d.spillTmpDir = dir
+	d.spill.Store(sp)
+	return sp
+}
+
+// spillFailure logs the first spill-path error; the dispatcher keeps running
+// with in-memory queueing.
+func (d *Dispatcher) spillFailure(err error) {
+	d.spillErrOnce.Do(func() {
+		log.Printf("dispatch: queue spill degraded, falling back to in-memory queueing: %v", err)
+	})
+}
+
+// maybeRefillLocked starts a rehydration pass when the hot window has drained
+// below the watermark and cold jobs are waiting. Caller holds s.mu; the pass
+// itself runs on its own goroutine so no disk read happens under the lock.
+func (d *Dispatcher) maybeRefillLocked(s *shard) {
+	if s.refillActive || len(s.cold) == 0 || s.queue.Len() >= d.refillLow() {
+		return
+	}
+	s.refillActive = true
+	go d.refillLoop(s)
+}
+
+// refillLoop claims cold batches and pushes their rehydrated jobs into the
+// hot window until the window is back above the watermark (or the tail is
+// empty). Exactly one loop runs per shard (refillActive); the claimed batch
+// sits in s.refill while its specs are read, so Drain and checkpoint
+// snapshots never lose sight of it.
+func (d *Dispatcher) refillLoop(s *shard) {
+	for {
+		s.mu.Lock()
+		if len(s.cold) == 0 || s.queue.Len() >= d.refillLow() {
+			s.refillActive = false
+			s.mu.Unlock()
+			return
+		}
+		n := len(s.cold)
+		if n > refillBatch {
+			n = refillBatch
+		}
+		batch := make([]coldJob, n)
+		copy(batch, s.cold[:n])
+		s.cold = s.cold[:copy(s.cold, s.cold[n:])]
+		s.refill = batch
+		s.mu.Unlock()
+
+		jobs := d.hydrateBatch(batch)
+
+		s.mu.Lock()
+		for _, j := range jobs {
+			s.queue.Push(j)
+		}
+		s.refill = nil
+		s.refreshHead()
+		s.mu.Unlock()
+
+		if d.closed.Load() {
+			// Close may have swept the queues while the batch was being read;
+			// sweep again so the just-pushed jobs resolve, then stop.
+			s.mu.Lock()
+			s.refillActive = false
+			s.mu.Unlock()
+			d.failQueued()
+			return
+		}
+		d.schedule()
+	}
+}
+
+// hydrateBatch reads a claimed cold batch's specs back and rebuilds the jobs.
+// The spill entries are deliberately left in place (see the package comment:
+// after a checkpoint they are the specs' only durable copy). An entry whose
+// spec cannot be read is failed terminally — unless the dispatcher is
+// closing, in which case the job is stranded like any other queued work and
+// recovers on the next start.
+func (d *Dispatcher) hydrateBatch(batch []coldJob) []*Job {
+	ids := make([]string, len(batch))
+	for i, cj := range batch {
+		ids[i] = cj.id
+	}
+	var recs map[string]journal.Record
+	var err error
+	if sp := d.spillLoaded(); sp != nil {
+		recs, err = sp.GetBatch(ids)
+		d.stats.spillReads.Add(1)
+	} else {
+		err = errors.New("dispatch: spill store unavailable")
+	}
+	if err != nil {
+		d.spillFailure(err)
+	}
+	type lostEntry struct {
+		cj coldJob
+		h  *Handle
+	}
+	jobs := make([]*Job, 0, len(batch))
+	var lost []lostEntry
+	d.mu.Lock()
+	for _, cj := range batch {
+		h, ok := d.handles[cj.id]
+		if !ok {
+			continue // already resolved by a concurrent sweep
+		}
+		rec, found := recs[cj.id]
+		if !found {
+			// Claim the handle under the lock so exactly one path completes it.
+			delete(d.live, cj.id)
+			delete(d.handles, cj.id)
+			lost = append(lost, lostEntry{cj, h})
+			continue
+		}
+		j := jobFromRecord(rec)
+		j.handle = h
+		j.seq = cj.seq
+		j.retries = int(cj.retries)
+		j.submitted = time.Unix(0, cj.submitted)
+		jobs = append(jobs, j)
+	}
+	d.mu.Unlock()
+	for _, le := range lost {
+		d.failSpillLost(le.cj, le.h)
+	}
+	if len(lost) > 0 {
+		d.mu.Lock()
+		d.kickLocked()
+		d.mu.Unlock()
+	}
+	return jobs
+}
+
+// failSpillLost resolves a cold job whose spilled spec could not be read.
+func (d *Dispatcher) failSpillLost(cj coldJob, h *Handle) {
+	d.stats.jobsFailed.Add(1)
+	if d.closed.Load() {
+		// The store is closing under us, not corrupt: strand the job so a
+		// durable journal recovers it on the next start.
+		d.emit(Event{Kind: EvJobFailed, JobID: cj.id, Detail: ErrDispatcherClosed.Error()})
+		h.complete(JobResult{
+			JobID:   cj.id,
+			Failed:  true,
+			Err:     ErrDispatcherClosed.Error(),
+			Retries: int(cj.retries),
+		})
+		return
+	}
+	d.journal(journal.Record{Kind: journal.Completed, JobID: cj.id, Failed: true})
+	d.emit(Event{Kind: EvJobFailed, JobID: cj.id, Detail: "spilled job spec unreadable"})
+	h.complete(JobResult{
+		JobID:   cj.id,
+		Failed:  true,
+		Err:     "dispatch: spilled job spec unreadable",
+		Retries: int(cj.retries),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Online journal checkpoint
+
+// maybeCheckpoint, called from the janitor tick, triggers an online
+// checkpoint once the journal spans more than Config.CompactSegments segment
+// files. Failures are retried on the next tick (and logged once): a degraded
+// journal refuses to checkpoint until its commit retry succeeds.
+func (d *Dispatcher) maybeCheckpoint() {
+	if d.jnl == nil || d.cfg.CompactSegments < 0 {
+		return
+	}
+	ck, ok := d.jnl.(journal.Checkpointer)
+	if !ok {
+		return
+	}
+	if ck.Segments() <= d.cfg.CompactSegments {
+		return
+	}
+	if err := d.CompactJournal(); err != nil {
+		d.checkpointLogOnce.Do(func() {
+			log.Printf("dispatch: online journal checkpoint failed (will retry): %v", err)
+		})
+	}
+}
+
+// CompactJournal re-journals the dispatcher's live state through an online
+// checkpoint (journal.Checkpointer), dropping the journal's older segments.
+// Scheduling keeps running: appends made while the snapshot is taken buffer
+// in the WAL and land after the snapshot records, replaying on top of them.
+// Safe to call at any time; concurrent calls serialize.
+func (d *Dispatcher) CompactJournal() error {
+	if d.jnl == nil {
+		return nil
+	}
+	ck, ok := d.jnl.(journal.Checkpointer)
+	if !ok {
+		return errors.New("dispatch: journal does not support online checkpoints")
+	}
+	d.checkpointMu.Lock()
+	defer d.checkpointMu.Unlock()
+	return ck.Checkpoint(d.snapshotLive)
+}
+
+// snapshotLive emits a self-contained durable snapshot of every live job:
+// queued (hot and cold), running, and parked in a retry backoff. The state is
+// gathered under the scheduling locks into memory first, then emitted after
+// they are released, so the disk writes never stall dispatch. Consistency
+// does not depend on holding the locks through the emit: the checkpoint holds
+// the WAL's commit mutex, so any transition journaled concurrently lands
+// after the snapshot in replay order and applies on top of it.
+func (d *Dispatcher) snapshotLive(emit func(journal.Record) error) error {
+	var recs []journal.Record
+	var cold []coldJob
+	seen := make(map[string]struct{})
+	// A job mid-transition (retry placement, queue pop) can be visible in two
+	// tables at once; first sighting wins and the duplicates carry the same
+	// state, so the snapshot stays consistent either way.
+	mark := func(id string) bool {
+		if _, dup := seen[id]; dup {
+			return false
+		}
+		seen[id] = struct{}{}
+		return true
+	}
+	addJob := func(j *Job, dispatched bool) {
+		if !mark(j.Spec.JobID) {
+			return
+		}
+		recs = append(recs, submittedRecord(j))
+		if j.retries > 0 {
+			recs = append(recs, journal.Record{Kind: journal.Retried, JobID: j.Spec.JobID, Attempt: j.retries})
+		}
+		if dispatched {
+			recs = append(recs, journal.Record{Kind: journal.Dispatched, JobID: j.Spec.JobID})
+		}
+	}
+	d.lockAll()
+	for _, s := range d.shards {
+		for _, j := range s.queue.Jobs() {
+			addJob(j, false)
+		}
+		for _, cj := range s.cold {
+			if mark(cj.id) {
+				cold = append(cold, cj)
+			}
+		}
+		for _, cj := range s.refill {
+			if mark(cj.id) {
+				cold = append(cold, cj)
+			}
+		}
+	}
+	d.mu.Lock()
+	for _, rj := range d.running {
+		addJob(rj.job, true)
+	}
+	for _, j := range d.retrying {
+		addJob(j, false)
+	}
+	d.mu.Unlock()
+	d.unlockAll()
+
+	for _, r := range recs {
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	if len(cold) == 0 {
+		return nil
+	}
+	sp := d.spillLoaded()
+	if sp == nil {
+		return errors.New("dispatch: cold-queued jobs but no spill store")
+	}
+	if d.spillDurable {
+		// The spill store survives restarts: reference each cold job with a
+		// tiny SpillRef instead of copying a (possibly million-entry) backlog
+		// of specs into the WAL. The Sync below makes every referenced entry
+		// durable before the checkpoint commits — it runs inside the
+		// checkpoint callback, so no entry written after it can be referenced
+		// by this snapshot.
+		for _, cj := range cold {
+			if err := emit(journal.Record{Kind: journal.SpillRef, JobID: cj.id, Attempt: int(cj.retries)}); err != nil {
+				return err
+			}
+		}
+		return sp.Sync()
+	}
+	// Ephemeral spill: the temp directory dies with the process, so cold
+	// specs must be re-journaled in full for the snapshot to stand alone.
+	for start := 0; start < len(cold); start += refillBatch {
+		end := start + refillBatch
+		if end > len(cold) {
+			end = len(cold)
+		}
+		chunk := cold[start:end]
+		ids := make([]string, len(chunk))
+		for i, cj := range chunk {
+			ids[i] = cj.id
+		}
+		got, err := sp.GetBatch(ids)
+		if err != nil {
+			return fmt.Errorf("dispatch: reading spilled specs for checkpoint: %w", err)
+		}
+		for _, cj := range chunk {
+			r, ok := got[cj.id]
+			if !ok {
+				continue // left the spill's custody since the gather (stolen/terminal)
+			}
+			if err := emit(r); err != nil {
+				return err
+			}
+			if cj.retries > 0 {
+				if err := emit(journal.Record{Kind: journal.Retried, JobID: cj.id, Attempt: int(cj.retries)}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+// SpilledJobs reports jobs currently in the cold tails (including batches
+// mid-rehydration).
+func (d *Dispatcher) SpilledJobs() int {
+	n := int64(0)
+	for _, s := range d.shards {
+		n += s.coldN.Load()
+	}
+	return int(n)
+}
+
+// SpillBytes reports the on-disk footprint of the live spilled specs.
+func (d *Dispatcher) SpillBytes() int64 {
+	if sp := d.spillLoaded(); sp != nil {
+		return sp.Bytes()
+	}
+	return 0
+}
+
+// JournalSegments reports how many segment files the journal spans; 0 when no
+// journal is configured or it does not expose segmentation.
+func (d *Dispatcher) JournalSegments() int {
+	if ck, ok := d.jnl.(journal.Checkpointer); ok {
+		return ck.Segments()
+	}
+	return 0
+}
+
+// JournalDegraded reports whether the journal's last commit attempt failed —
+// appends are buffering and retrying, but nothing new is reaching the disk.
+func (d *Dispatcher) JournalDegraded() bool {
+	type degrader interface{ Degraded() bool }
+	if dg, ok := d.jnl.(degrader); ok {
+		return dg.Degraded()
+	}
+	return false
+}

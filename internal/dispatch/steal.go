@@ -74,6 +74,7 @@ func (d *Dispatcher) launchLocal(c *shard) bool {
 	c.nIdle.Store(int64(c.idle.Len()))
 	rj := d.registerRunning(job)
 	c.refreshHead()
+	d.maybeRefillLocked(c)
 	// Emitted before the unlock: the pop held the same shard lock the queued
 	// event was emitted under, so the pair cannot reorder.
 	d.emit(Event{Kind: EvGroupAssembled, JobID: job.Spec.JobID, Detail: "local"})
@@ -133,6 +134,7 @@ func (d *Dispatcher) launchStolen() bool {
 	}
 	rj := d.registerRunning(job)
 	c.refreshHead()
+	d.maybeRefillLocked(c)
 	d.stats.steals.Add(1)
 	d.emit(Event{Kind: EvGroupAssembled, JobID: job.Spec.JobID, Detail: "stolen"})
 	d.unlockAll()
@@ -162,12 +164,16 @@ func (d *Dispatcher) placeJob(j *Job, retry bool) {
 	}
 	s.mu.Lock()
 	if retry {
+		// Retries bypass the spill decision: they are old by definition and
+		// bounded by in-flight work, so they always re-enter the hot window
+		// at the front of consideration.
 		s.requeueJob(j)
 		// Emitted under the shard lock: a pop needs this same lock, so the
 		// queued event always precedes the attempt's group-assembled event.
 		d.emit(Event{Kind: EvJobQueued, JobID: j.Spec.JobID, Detail: "retry"})
+	} else if d.pushJob(s, j) {
+		d.emit(Event{Kind: EvJobQueued, JobID: j.Spec.JobID, Detail: "spilled"})
 	} else {
-		s.push(j)
 		d.emit(Event{Kind: EvJobQueued, JobID: j.Spec.JobID})
 	}
 	s.mu.Unlock()

@@ -58,6 +58,14 @@ const (
 	// locally — recovery treats it like Completed — while the destination's
 	// own Submitted record carries the job's durability from then on.
 	Migrated Kind = 5
+	// SpillRef marks a job live whose full specification resides in the
+	// dispatcher's spill store (SpillStore) rather than in the log. Only
+	// online checkpoints write it: re-journaling a million-job cold backlog
+	// as full Submitted records would copy the entire spill store into the
+	// WAL, so a checkpoint emits one small SpillRef per spilled job instead.
+	// Attempt carries the retry budget; recovery resolves the spec through
+	// SpillStore.Get.
+	SpillRef Kind = 6
 )
 
 func (k Kind) String() string {
@@ -72,6 +80,8 @@ func (k Kind) String() string {
 		return "retried"
 	case Migrated:
 		return "migrated"
+	case SpillRef:
+		return "spillref"
 	}
 	return "unknown"
 }
@@ -124,6 +134,24 @@ type Journal interface {
 	Compact() error
 	// Close flushes buffered records and releases resources.
 	Close() error
+}
+
+// Checkpointer is the optional online-compaction interface a Journal may
+// implement (WAL does). Checkpoint atomically begins a fresh segment, writes
+// the records the callback emits — a self-contained snapshot of all live
+// state — fsyncs them, and drops every older segment, bounding the journal's
+// size over an arbitrarily long uptime. Group-commit flushes are held off
+// for the duration, so records appended concurrently land after the snapshot
+// in replay order and apply on top of it (replay is idempotent per job ID).
+type Checkpointer interface {
+	// Segments reports how many segment files the journal currently spans —
+	// the threshold signal for triggering a checkpoint.
+	Segments() int
+	// Checkpoint re-journals the live state: write must emit every record
+	// the caller needs to survive a restart, then return nil. emit is valid
+	// only until write returns. On error nothing is dropped — the old
+	// segments are kept and replay still covers the full history.
+	Checkpoint(write func(emit func(Record) error) error) error
 }
 
 // Nop is the default journal: no durability, every operation succeeds, and

@@ -27,25 +27,42 @@ import (
 // most one flush interval of appends; everything behind the last fsync
 // replays exactly.
 //
-// Replay scans the segments that existed at Open in name order, stopping at
-// the first torn or corrupt frame (the unsynced tail of a crash). Records
-// appended after Open land in a fresh segment, so Compact can drop the
-// replayed history once the caller has re-journaled the live state.
+// Replay scans the segments that existed at Open in name order. A torn or
+// corrupt frame ends that segment's scan (the unsynced tail of a crash, or a
+// segment abandoned by the degraded-commit retry below); later segments
+// still replay. Records appended after Open land in a fresh segment, so
+// Compact can drop the replayed history once the caller has re-journaled the
+// live state.
+//
+// A failed commit (write or fsync error) does not permanently disable the
+// log: the flush buffer is kept, the error is held in w.err, and the flusher
+// retries on a capped exponential backoff — rotating to a fresh segment
+// first, since the failed segment may end in a torn frame. A successful
+// retry clears the error. While degraded, Append keeps buffering (bounded by
+// maxPendingBytes) so a transient blip loses nothing; only records that
+// arrive with the buffer full are dropped, and those return the error so the
+// caller can count them.
 type WAL struct {
 	opts Options
 
-	mu      sync.Mutex // guards pending, spare, size, f, seg, closed, err
+	mu      sync.Mutex // guards pending, spare, size, f, seg, first, closed, err, retry*
 	pending []byte
 	spare   []byte // recycled flush buffer, reused by the next Append
 	f       *os.File
 	seg     int
+	first   int   // oldest segment still on disk (Segments gauge, Checkpoint sweep)
 	size    int64 // bytes written + pending in the active segment
 	closed  bool
-	err     error // sticky first write/fsync failure
+	err     error // last commit failure; cleared when a retry commits
 
-	flushMu sync.Mutex // serializes flush bodies (writer goroutine + Sync)
+	retryAt      time.Time     // earliest next commit attempt while degraded
+	retryBackoff time.Duration // doubles per failed attempt, capped
+	failCommits  int           // test hook: fail the next n commit attempts
 
-	replay []string // segments present at Open, consumed by Replay/Compact
+	flushMu sync.Mutex // serializes flush bodies (writer goroutine + Sync + Checkpoint)
+
+	replay    []string // segments present at Open, consumed by Replay/Compact
+	openFresh int      // first post-Open segment number (what Compact keeps)
 
 	quit chan struct{}
 	done chan struct{}
@@ -70,6 +87,13 @@ const (
 	// to pass the length read (the CRC catches corrupt bodies; this catches
 	// a corrupt length that would otherwise allocate gigabytes).
 	maxBodyLen = 16 << 20
+	// maxPendingBytes bounds the pending buffer while commits are failing:
+	// past it, new appends are dropped (and reported) instead of growing the
+	// heap without bound waiting for the disk to come back.
+	maxPendingBytes = 16 << 20
+	// retryBackoffMin/Max bracket the degraded-commit retry cadence.
+	retryBackoffMin = 10 * time.Millisecond
+	retryBackoffMax = 5 * time.Second
 )
 
 // ErrClosed is returned by operations on a closed WAL.
@@ -98,7 +122,7 @@ func OpenWAL(opts Options) (*WAL, error) {
 		return nil, err
 	}
 	var segs []string
-	last := 0
+	last, first := 0, 0
 	for _, e := range entries {
 		name := e.Name()
 		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
@@ -112,14 +136,22 @@ func OpenWAL(opts Options) (*WAL, error) {
 		if n > last {
 			last = n
 		}
+		if first == 0 || n < first {
+			first = n
+		}
 	}
 	sort.Strings(segs)
+	if first == 0 {
+		first = last + 1
+	}
 	w := &WAL{
-		opts:   opts,
-		seg:    last + 1,
-		replay: segs,
-		quit:   make(chan struct{}),
-		done:   make(chan struct{}),
+		opts:      opts,
+		seg:       last + 1,
+		first:     first,
+		replay:    segs,
+		openFresh: last + 1,
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 	if err := w.openSegment(); err != nil {
 		return nil, err
@@ -157,7 +189,10 @@ func (w *WAL) Append(r Record) error {
 		w.mu.Unlock()
 		return ErrClosed
 	}
-	if w.err != nil {
+	if w.err != nil && len(w.pending) >= maxPendingBytes {
+		// Degraded and the retry buffer is full: drop the record and report
+		// it. Below the cap, degraded appends keep buffering and return nil —
+		// a commit retry will land them, so they are not (yet) lost.
 		err := w.err
 		w.mu.Unlock()
 		return err
@@ -177,41 +212,87 @@ func (w *WAL) Append(r Record) error {
 	return nil
 }
 
-// Sync implements Journal: force a group commit now.
-func (w *WAL) Sync() error { return w.flush() }
+// Sync implements Journal: force a group commit now. An explicit Sync
+// ignores the degraded-retry backoff and attempts the commit immediately.
+func (w *WAL) Sync() error { return w.flush(true) }
+
+// bumpRetryLocked schedules the next degraded-commit attempt, doubling the
+// backoff per failure up to retryBackoffMax. Caller holds w.mu.
+func (w *WAL) bumpRetryLocked() {
+	if w.retryBackoff < retryBackoffMin {
+		w.retryBackoff = retryBackoffMin
+	} else if w.retryBackoff < retryBackoffMax {
+		w.retryBackoff *= 2
+		if w.retryBackoff > retryBackoffMax {
+			w.retryBackoff = retryBackoffMax
+		}
+	}
+	w.retryAt = time.Now().Add(w.retryBackoff)
+}
 
 // flush writes and fsyncs the pending buffer, then rotates the segment if
 // it outgrew SegmentBytes. Serialized by flushMu so the ticker goroutine
 // and explicit Syncs never interleave writes.
-func (w *WAL) flush() error {
+//
+// On a commit failure the buffer is restored to the front of pending and the
+// error parked in w.err; the next attempt (flusher tick past retryAt, or any
+// forced flush) first rotates to a fresh segment — the failed one may hold a
+// torn or partially duplicated frame, which Replay's per-segment skip
+// tolerates — and a successful commit clears the error.
+func (w *WAL) flush(force bool) error {
 	w.flushMu.Lock()
 	defer w.flushMu.Unlock()
 	w.mu.Lock()
 	if w.err != nil {
-		err := w.err
-		w.mu.Unlock()
-		return err
+		if !force && time.Now().Before(w.retryAt) {
+			err := w.err
+			w.mu.Unlock()
+			return err
+		}
+		// Retry: abandon the possibly-torn active segment.
+		w.seg++
+		if oerr := w.openSegment(); oerr != nil {
+			w.seg--
+			w.bumpRetryLocked()
+			err := w.err
+			w.mu.Unlock()
+			return err
+		}
+		w.size = int64(len(walMagic)) + int64(len(w.pending))
 	}
 	buf := w.pending
 	w.pending = nil
 	f := w.f
 	rotate := w.size > w.opts.SegmentBytes
+	degraded := w.err != nil
+	inject := w.failCommits > 0
+	if inject {
+		w.failCommits--
+	}
 	w.mu.Unlock()
-	if len(buf) == 0 && !rotate {
+	if len(buf) == 0 && !rotate && !degraded {
 		return nil
 	}
-	if len(buf) > 0 {
+	if len(buf) > 0 || inject {
 		start := time.Now()
-		_, err := f.Write(buf)
-		if err == nil {
+		var err error
+		if inject {
+			err = errInjectedCommit
+		} else if _, err = f.Write(buf); err == nil {
 			err = fsyncFile(f)
 		}
 		fsyncSeconds.Observe(time.Since(start))
 		if err != nil {
 			w.mu.Lock()
-			if w.err == nil {
-				w.err = err
+			// Keep the records: restore the buffer ahead of anything appended
+			// since it was taken out, preserving order for the retry.
+			if len(w.pending) == 0 {
+				w.pending = buf
+			} else {
+				w.pending = append(buf, w.pending...)
 			}
+			w.err = err
+			w.bumpRetryLocked()
 			w.mu.Unlock()
 			return err
 		}
@@ -221,19 +302,34 @@ func (w *WAL) flush() error {
 			w.mu.Unlock()
 		}
 	}
-	if rotate {
-		w.mu.Lock()
-		if !w.closed {
-			w.seg++
-			if err := w.openSegment(); err != nil && w.err == nil {
-				w.err = err
-			}
-		}
-		err := w.err
-		w.mu.Unlock()
-		return err
+	w.mu.Lock()
+	if w.err != nil {
+		// The commit that just succeeded (or the empty buffer on a fresh
+		// segment) ends the degraded episode.
+		w.err = nil
+		w.retryBackoff = 0
 	}
-	return nil
+	if rotate && !w.closed {
+		w.seg++
+		if err := w.openSegment(); err != nil {
+			w.err = err
+			w.bumpRetryLocked()
+		}
+	}
+	err := w.err
+	w.mu.Unlock()
+	return err
+}
+
+// errInjectedCommit is the test hook's synthetic commit failure.
+var errInjectedCommit = errors.New("journal: injected commit failure")
+
+// Degraded reports whether the last commit attempt failed — the WAL is
+// buffering appends and retrying, but nothing new is reaching the disk.
+func (w *WAL) Degraded() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err != nil
 }
 
 func (w *WAL) flusher() {
@@ -243,7 +339,7 @@ func (w *WAL) flusher() {
 	for {
 		select {
 		case <-t.C:
-			w.flush()
+			w.flush(false)
 		case <-w.quit:
 			return
 		}
@@ -251,23 +347,23 @@ func (w *WAL) flusher() {
 }
 
 // Replay implements Journal: stream the records of the segments that
-// existed at Open, oldest first. A torn or corrupt frame ends the scan
-// quietly — it is the unsynced tail of the crash the WAL exists to survive.
+// existed at Open, oldest first. A torn or corrupt frame ends that
+// *segment's* scan quietly and replay continues with the next segment: a
+// torn tail is either the unsynced end of the crash the WAL exists to
+// survive (final segment — nothing follows anyway) or a segment the
+// degraded-commit retry abandoned mid-write, whose records were re-committed
+// into the segment that follows.
 func (w *WAL) Replay(fn func(Record) error) error {
 	for _, path := range w.replay {
-		stop, err := replaySegment(path, fn)
-		if err != nil {
+		if _, err := replaySegment(path, fn); err != nil {
 			return err
-		}
-		if stop {
-			return nil
 		}
 	}
 	return nil
 }
 
 // replaySegment decodes one segment. It reports stop=true on a torn or
-// corrupt frame (the rest of the log is untrusted) and err only when fn
+// corrupt frame (the rest of this segment is untrusted) and err only when fn
 // itself fails; unreadable files count as torn.
 func replaySegment(path string, fn func(Record) error) (stop bool, err error) {
 	data, rerr := os.ReadFile(path)
@@ -315,7 +411,124 @@ func (w *WAL) Compact() error {
 		}
 	}
 	w.replay = nil
+	w.mu.Lock()
+	if w.openFresh > w.first {
+		w.first = w.openFresh
+	}
+	w.mu.Unlock()
 	return first
+}
+
+// Segments implements Checkpointer: the number of segments currently on
+// disk, the threshold signal for an online checkpoint.
+func (w *WAL) Segments() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seg - w.first + 1
+}
+
+// Checkpoint implements Checkpointer: rotate to a fresh segment, stream the
+// caller's snapshot of the live state into it, fsync, and delete every older
+// segment. flushMu is held throughout, so no group commit can land records
+// in a segment about to be dropped — appends made while the snapshot is
+// being taken stay in the pending buffer and flush into the checkpoint
+// segment *after* the snapshot records, replaying on top of them.
+//
+// The crash-safety argument is Compact's: the snapshot is fsynced before
+// anything is deleted, and a crash between the fsync and the deletions
+// merely replays some records twice (replay is idempotent per job ID).
+func (w *WAL) Checkpoint(write func(emit func(Record) error) error) error {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	if w.err != nil {
+		// Degraded: dropping history while new commits are failing could
+		// delete the only durable copy of the live state. Let the flusher's
+		// retry clear the error first.
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.seg++
+	if err := w.openSegment(); err != nil {
+		w.seg--
+		w.err = err
+		w.bumpRetryLocked()
+		w.mu.Unlock()
+		return err
+	}
+	ckSeg := w.seg
+	f := w.f
+	w.mu.Unlock()
+
+	var buf []byte
+	written := 0
+	var ioErr error
+	flushBuf := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if _, err := f.Write(buf); err != nil {
+			ioErr = err
+			return err
+		}
+		written += len(buf)
+		buf = buf[:0]
+		return nil
+	}
+	emit := func(r Record) error {
+		start := len(buf)
+		buf = append(buf, make([]byte, frameHeaderLen)...)
+		buf = encodeRecord(buf, r)
+		body := buf[start+frameHeaderLen:]
+		binary.LittleEndian.PutUint32(buf[start:start+4], uint32(len(body)))
+		binary.LittleEndian.PutUint32(buf[start+4:start+8], crc32.ChecksumIEEE(body))
+		if len(buf) >= 1<<20 {
+			return flushBuf()
+		}
+		return nil
+	}
+	err := write(emit)
+	if err == nil {
+		err = flushBuf()
+	}
+	if err == nil {
+		if ferr := fsyncFile(f); ferr != nil {
+			err, ioErr = ferr, ferr
+		}
+	}
+	if err != nil {
+		// Abort: the old segments are untouched and still cover everything;
+		// the partial snapshot in the new segment replays idempotently. Only
+		// a WAL I/O failure marks the log degraded — a snapshot-side error
+		// (the callback's) is the caller's to handle.
+		if ioErr != nil {
+			w.mu.Lock()
+			if w.err == nil {
+				w.err = ioErr
+				w.bumpRetryLocked()
+			}
+			w.mu.Unlock()
+		}
+		return err
+	}
+	w.mu.Lock()
+	first := w.first
+	w.first = ckSeg
+	if w.openFresh < ckSeg {
+		w.openFresh = ckSeg
+	}
+	w.size += int64(written)
+	w.mu.Unlock()
+	for n := first; n < ckSeg; n++ {
+		os.Remove(filepath.Join(w.opts.Dir, segmentName(n)))
+	}
+	w.replay = nil
+	return nil
 }
 
 // Close implements Journal: stop the flusher, commit the tail, and release
@@ -330,7 +543,7 @@ func (w *WAL) Close() error {
 	w.mu.Unlock()
 	close(w.quit)
 	<-w.done
-	err := w.flush()
+	err := w.flush(true)
 	w.mu.Lock()
 	if w.f != nil {
 		if cerr := w.f.Close(); err == nil {
@@ -382,6 +595,8 @@ func encodeRecord(b []byte, r Record) []byte {
 		b = binary.LittleEndian.AppendUint32(b, uint32(r.Attempt))
 	case Migrated:
 		b = appendString(b, r.Node)
+	case SpillRef:
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.Attempt))
 	}
 	return b
 }
@@ -476,6 +691,8 @@ func decodeRecord(body []byte) (Record, error) {
 		r.Attempt = int(d.u32())
 	case Migrated:
 		r.Node = d.str()
+	case SpillRef:
+		r.Attempt = int(d.u32())
 	case Dispatched:
 	default:
 		return r, fmt.Errorf("journal: unknown record kind %d", r.Kind)

@@ -1,0 +1,263 @@
+package journal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// openTestWAL opens a WAL with a fast flush cadence in a fresh temp dir.
+func openTestWAL(t *testing.T, opts Options) *WAL {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	if opts.FsyncInterval == 0 {
+		opts.FsyncInterval = time.Millisecond
+	}
+	w, err := OpenWAL(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestWALDegradedRetryRecovers is the regression test for the sticky journal
+// error: a failed commit used to latch w.err forever, so one transient disk
+// blip silently dropped every subsequent record until restart. The flusher
+// must retry, clear the error on success, and land the buffered records.
+func TestWALDegradedRetryRecovers(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, Options{Dir: dir})
+
+	if err := w.Append(Record{Kind: Submitted, JobID: "before", NProcs: 1, Cmd: "noop"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inject two commit failures and append: the record buffers through the
+	// failed commits (no error — it is not lost yet), the WAL reports
+	// degraded, and the retry eventually commits it and clears the error.
+	w.mu.Lock()
+	w.failCommits = 2
+	w.mu.Unlock()
+	if err := w.Append(Record{Kind: Submitted, JobID: "during", NProcs: 1, Cmd: "noop"}); err != nil {
+		t.Fatalf("append below the buffer cap must buffer, not fail: %v", err)
+	}
+	if err := w.Sync(); err == nil {
+		t.Fatal("injected commit failure not surfaced by Sync")
+	}
+	if !w.Degraded() {
+		t.Fatal("WAL not degraded after a failed commit")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("degraded error still sticky 5s after the fault cleared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := w.Append(Record{Kind: Submitted, JobID: "after", NProcs: 1, Cmd: "noop"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync after recovery: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every record — before, buffered during, and after the episode — replays.
+	w2 := openTestWAL(t, Options{Dir: dir})
+	defer w2.Close()
+	seen := map[string]bool{}
+	if err := w2.Replay(func(r Record) error {
+		seen[r.JobID] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"before", "during", "after"} {
+		if !seen[id] {
+			t.Fatalf("record %q lost across the degraded episode (replayed: %v)", id, seen)
+		}
+	}
+}
+
+// TestWALDegradedBufferCapDrops: while degraded, appends past maxPendingBytes
+// must return the commit error (the caller counts them as dropped) instead of
+// growing the heap without bound.
+func TestWALDegradedBufferCapDrops(t *testing.T) {
+	w := openTestWAL(t, Options{FsyncInterval: time.Hour}) // no flusher interference
+	defer w.Close()
+	w.mu.Lock()
+	w.failCommits = 1 << 30 // never recovers during the test
+	w.mu.Unlock()
+	if err := w.Append(Record{Kind: Submitted, JobID: "seed", NProcs: 1, Cmd: "noop"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err == nil {
+		t.Fatal("injected commit failure not surfaced")
+	}
+	big := Record{Kind: Submitted, JobID: "x", NProcs: 1, Cmd: string(make([]byte, 1<<20))}
+	var dropErr error
+	for i := 0; i < 64; i++ {
+		big.JobID = fmt.Sprintf("x%d", i)
+		if err := w.Append(big); err != nil {
+			dropErr = err
+			break
+		}
+	}
+	if dropErr == nil {
+		t.Fatal("appends past the degraded buffer cap never reported the drop")
+	}
+	w.mu.Lock()
+	pending := len(w.pending)
+	w.mu.Unlock()
+	if pending > maxPendingBytes+2<<20 {
+		t.Fatalf("pending buffer grew to %d bytes, cap is %d", pending, maxPendingBytes)
+	}
+}
+
+// TestWALCheckpointBoundsSegments: the online checkpoint must rewrite the
+// live state into one fresh segment and delete the older ones.
+func TestWALCheckpointBoundsSegments(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, Options{Dir: dir, SegmentBytes: 512})
+	defer w.Close()
+	for i := 0; i < 500; i++ {
+		if err := w.Append(Record{Kind: Submitted, JobID: fmt.Sprintf("j%03d", i), NProcs: 1, Cmd: "noop"}); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 49 {
+			if err := w.Sync(); err != nil { // force rotations
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before := w.Segments()
+	if before < 5 {
+		t.Fatalf("expected many segments before checkpoint, got %d", before)
+	}
+
+	err := w.Checkpoint(func(emit func(Record) error) error {
+		return emit(Record{Kind: Submitted, JobID: "live", NProcs: 1, Cmd: "noop"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := w.Segments(); after >= before || after > 2 {
+		t.Fatalf("Segments after checkpoint = %d (was %d), want the history dropped", after, before)
+	}
+	if n := countFiles(t, dir, ".log"); n > 2 {
+		t.Fatalf("%d segment files on disk after checkpoint, want <= 2", n)
+	}
+
+	// Records appended after the checkpoint land after the snapshot.
+	if err := w.Append(Record{Kind: Completed, JobID: "live"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openTestWAL(t, Options{Dir: dir})
+	defer w2.Close()
+	liveSet := map[string]bool{}
+	if err := w2.Replay(func(r Record) error {
+		switch r.Kind {
+		case Submitted:
+			liveSet[r.JobID] = true
+		case Completed:
+			delete(liveSet, r.JobID)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(liveSet) != 0 {
+		t.Fatalf("replay after checkpoint left live set %v, want empty (snapshot + completion)", liveSet)
+	}
+}
+
+// TestWALCheckpointRefusedWhileDegraded: checkpointing while commits are
+// failing would delete the only durable copy of the live state; it must
+// refuse until the retry clears the error.
+func TestWALCheckpointRefusedWhileDegraded(t *testing.T) {
+	w := openTestWAL(t, Options{FsyncInterval: time.Hour})
+	defer w.Close()
+	if err := w.Append(Record{Kind: Submitted, JobID: "j", NProcs: 1, Cmd: "noop"}); err != nil {
+		t.Fatal(err)
+	}
+	w.mu.Lock()
+	w.failCommits = 1
+	w.mu.Unlock()
+	if err := w.Sync(); err == nil {
+		t.Fatal("injected commit failure not surfaced")
+	}
+	if err := w.Checkpoint(func(emit func(Record) error) error { return nil }); err == nil {
+		t.Fatal("Checkpoint succeeded while the WAL was degraded")
+	}
+	if err := w.Sync(); err != nil { // retry clears the episode (forced Sync ignores backoff)
+		t.Fatal(err)
+	}
+	if err := w.Checkpoint(func(emit func(Record) error) error { return nil }); err != nil {
+		t.Fatalf("Checkpoint after recovery: %v", err)
+	}
+}
+
+// TestWALCheckpointConcurrentAppends: appends racing a checkpoint must land
+// in the checkpoint segment after the snapshot and survive replay.
+func TestWALCheckpointConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, Options{Dir: dir})
+	for i := 0; i < 10; i++ {
+		if err := w.Append(Record{Kind: Submitted, JobID: fmt.Sprintf("old%d", i), NProcs: 1, Cmd: "noop"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	appended := make(chan error, 1)
+	err := w.Checkpoint(func(emit func(Record) error) error {
+		// An append made mid-snapshot: it must not deadlock (Append never
+		// takes flushMu) and must survive the checkpoint.
+		appended <- w.Append(Record{Kind: Submitted, JobID: "racer", NProcs: 1, Cmd: "noop"})
+		for i := 0; i < 10; i++ {
+			if err := emit(Record{Kind: Submitted, JobID: fmt.Sprintf("old%d", i), NProcs: 1, Cmd: "noop"}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-appended; err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := openTestWAL(t, Options{Dir: dir})
+	defer w2.Close()
+	var got []string
+	if err := w2.Replay(func(r Record) error {
+		got = append(got, r.JobID)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 11 || got[len(got)-1] != "racer" {
+		t.Fatalf("replay after racing append = %v, want 10 snapshot records then \"racer\"", got)
+	}
+}

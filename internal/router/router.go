@@ -41,6 +41,11 @@ type Config struct {
 	StealInterval time.Duration
 	// StealBatch bounds the jobs moved per steal pass (default 16).
 	StealBatch int
+	// CompactSegments triggers an online routing-table checkpoint once the
+	// journal exceeds that many segment files, bounding WAL growth on
+	// long-lived federations (the startup-only Compact never ran again).
+	// 0 defaults to 8; negative disables online compaction.
+	CompactSegments int
 	// LoadEvery is the cadence remote instances report load at (default
 	// 50ms). Local instances are sampled directly.
 	LoadEvery time.Duration
@@ -87,6 +92,9 @@ type Router struct {
 	recoveryErr    error
 	journalLogOnce sync.Once
 
+	checkpointMu      sync.Mutex // serializes online checkpoints
+	checkpointLogOnce sync.Once
+
 	draining atomic.Bool
 	closed   atomic.Bool
 	quit     chan struct{}
@@ -121,6 +129,9 @@ func New(cfg Config) (*Router, error) {
 	}
 	if cfg.LoadEvery <= 0 {
 		cfg.LoadEvery = 50 * time.Millisecond
+	}
+	if cfg.CompactSegments == 0 {
+		cfg.CompactSegments = 8
 	}
 	r := &Router{
 		cfg:   cfg,
@@ -213,6 +224,67 @@ func (r *Router) registerObs(reg *obs.Registry) {
 	reg.GaugeFunc("jets_router_members", "configured federation members", func() float64 {
 		return float64(len(r.members))
 	})
+	reg.GaugeFunc("jets_router_journal_segments", "routing-table WAL segment files on disk (checkpointing keeps this bounded)", func() float64 {
+		return float64(r.JournalSegments())
+	})
+}
+
+// JournalSegments reports the routing-table WAL's segment-file count (0
+// without a segmented journal).
+func (r *Router) JournalSegments() int {
+	if ck, ok := r.jnl.(journal.Checkpointer); ok {
+		return ck.Segments()
+	}
+	return 0
+}
+
+// maybeCheckpoint runs an online routing-table checkpoint when the journal
+// has grown past the configured segment threshold. Mirrors the dispatcher's
+// online compaction: the startup Compact only ever ran once, so a long-lived
+// router's WAL grew without bound (two records per accepted job, one per
+// migration) until restart.
+func (r *Router) maybeCheckpoint() {
+	if r.jnl == nil || r.cfg.CompactSegments < 0 {
+		return
+	}
+	ck, ok := r.jnl.(journal.Checkpointer)
+	if !ok || ck.Segments() <= r.cfg.CompactSegments {
+		return
+	}
+	r.checkpointMu.Lock()
+	defer r.checkpointMu.Unlock()
+	err := ck.Checkpoint(func(emit func(journal.Record) error) error {
+		// Snapshot under r.mu, emit after: the checkpoint holds the WAL's
+		// commit lock, so any append racing this snapshot lands as a pending
+		// record flushed after it — replay applies it on top, last-wins.
+		type snap struct {
+			sj   dispatch.StolenJob
+			node string
+		}
+		r.mu.Lock()
+		snaps := make([]snap, 0, len(r.table))
+		for _, e := range r.table {
+			if e.done {
+				continue
+			}
+			snaps = append(snaps, snap{sj: e.sj, node: r.members[e.member].name})
+		}
+		r.mu.Unlock()
+		for _, s := range snaps {
+			if err := emit(submittedRecord(s.sj)); err != nil {
+				return err
+			}
+			if err := emit(journal.Record{Kind: journal.Migrated, JobID: s.sj.Spec.JobID, Node: s.node}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		r.checkpointLogOnce.Do(func() {
+			log.Printf("router: online journal checkpoint failed (will retry): %v", err)
+		})
+	}
 }
 
 // Members reports the federation size.
@@ -761,6 +833,7 @@ func (r *Router) stealLoop() {
 		select {
 		case <-t.C:
 			r.stealOnce()
+			r.maybeCheckpoint()
 		case <-r.quit:
 			return
 		}

@@ -284,6 +284,49 @@ func TestDuplicateIDAcrossInstancesRejected(t *testing.T) {
 	}
 }
 
+// TestDuplicateIDOfSpilledJobRejected: the federation-global duplicate check
+// must also cover jobs whose specs have been spilled to an instance's cold
+// queue tail — a cold job is as live as a hot one, on either side of the
+// router (instance-level reservation and routing-table check).
+func TestDuplicateIDOfSpilledJobRejected(t *testing.T) {
+	fc := startFed(t, 2, 0, Config{StealInterval: -1},
+		dispatch.Config{HotQueueJobs: 1, Shards: 1})
+	target := 0
+	fc.r.pickOverride = func(string) (int, bool) { return target, true }
+	for i := 0; i < 4; i++ {
+		if _, err := fc.r.Submit(dispatch.Job{
+			Spec: hydra.JobSpec{JobID: fmt.Sprintf("fill-%d", i), NProcs: 1, Cmd: "noop"},
+			Type: dispatch.Sequential,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fc.r.Submit(dispatch.Job{
+		Spec: hydra.JobSpec{JobID: "cold-dup", NProcs: 1, Cmd: "noop"},
+		Type: dispatch.Sequential,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fc.insts[0].SpilledJobs() == 0 {
+		t.Fatal("test setup broken: nothing spilled on instance 0")
+	}
+	// Same instance: the per-instance reservation must see the cold job.
+	if _, err := fc.r.Submit(dispatch.Job{
+		Spec: hydra.JobSpec{JobID: "cold-dup", NProcs: 1, Cmd: "noop"},
+		Type: dispatch.Sequential,
+	}); err == nil {
+		t.Fatal("duplicate of a spilled job accepted on the same instance")
+	}
+	// Other instance: only the router's federation-global table can see it.
+	target = 1
+	if _, err := fc.r.Submit(dispatch.Job{
+		Spec: hydra.JobSpec{JobID: "cold-dup", NProcs: 1, Cmd: "noop"},
+		Type: dispatch.Sequential,
+	}); err == nil {
+		t.Fatal("duplicate of a spilled job accepted across instances")
+	}
+}
+
 // TestStealRebalancesBacklog: everything is forced onto instance 0 (one
 // worker, occupied), instance 1 (four workers) sits idle. The steal pass
 // must migrate queued jobs over; all complete through their original

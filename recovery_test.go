@@ -31,11 +31,15 @@ const crashJobs = 60
 
 // helperCrashDispatcher is the child process: a journaled dispatcher with no
 // local workers that announces its listen address on stdout, submits the
-// workload, and waits — until the parent kills it.
+// workload, and waits — until the parent kills it. JETS_CRASH_HOT, when set,
+// caps the hot queue window so most of the workload crashes with its specs in
+// the on-disk spill store rather than in memory.
 func helperCrashDispatcher() int {
+	hot, _ := strconv.Atoi(os.Getenv("JETS_CRASH_HOT"))
 	eng, err := core.NewEngine(core.Options{
-		ListenAddr: "127.0.0.1:0",
-		DataDir:    os.Getenv("JETS_CRASH_DIR"),
+		ListenAddr:   "127.0.0.1:0",
+		DataDir:      os.Getenv("JETS_CRASH_DIR"),
+		HotQueueJobs: hot,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crash helper:", err)
@@ -64,7 +68,14 @@ func helperCrashDispatcher() int {
 	return 0
 }
 
-func TestCrashRecoveryKill9(t *testing.T) {
+func TestCrashRecoveryKill9(t *testing.T) { runCrashRecoveryKill9(t, 0) }
+
+// TestCrashRecoveryKill9Spilled is the same crash, but with a one-job hot
+// window: nearly the whole workload's specs live in the spill store on both
+// sides of the kill, so recovery must rebuild (and re-run) a cold backlog.
+func TestCrashRecoveryKill9Spilled(t *testing.T) { runCrashRecoveryKill9(t, 1) }
+
+func runCrashRecoveryKill9(t *testing.T, hot int) {
 	if testing.Short() {
 		t.Skip("forks a real dispatcher process")
 	}
@@ -74,6 +85,7 @@ func TestCrashRecoveryKill9(t *testing.T) {
 	cmd.Env = append(os.Environ(),
 		"JETS_HELPER=crash-dispatcher",
 		"JETS_CRASH_DIR="+dir,
+		fmt.Sprintf("JETS_CRASH_HOT=%d", hot),
 	)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
@@ -152,7 +164,7 @@ func TestCrashRecoveryKill9(t *testing.T) {
 	var eng *core.Engine
 	deadline = time.Now().Add(10 * time.Second)
 	for {
-		eng, err = core.NewEngine(core.Options{ListenAddr: addr, DataDir: dir})
+		eng, err = core.NewEngine(core.Options{ListenAddr: addr, DataDir: dir, HotQueueJobs: hot})
 		if err == nil {
 			break
 		}
@@ -168,6 +180,9 @@ func TestCrashRecoveryKill9(t *testing.T) {
 	recovered := eng.RecoveredJobs()
 	if len(recovered) == 0 {
 		t.Fatal("restart recovered no jobs")
+	}
+	if hot > 0 && eng.Dispatcher().Stats().JobsSpilled == 0 {
+		t.Fatal("spill variant: second life recovered the backlog without spilling")
 	}
 	t.Logf("recovered %d jobs after %d pre-crash executions", len(recovered), total.Load())
 
